@@ -1,0 +1,81 @@
+// Ablation: how sensitive are the paper's conclusions to the exponential
+// bundle-delay approximation? Monte-Carlo re-runs the Fig. 3 sweep under three
+// delay laws with identical means — exponential (the analytical model),
+// Erlang per-task (the testbed's law), and deterministic — and compares the
+// optimal gains and minima.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/lbp1.hpp"
+#include "mc/engine.hpp"
+#include "net/delay_model.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+using namespace lbsim;
+
+namespace {
+
+struct SweepResult {
+  double best_gain = 0.0;
+  double best_mean = 1e18;
+};
+
+SweepResult sweep(const markov::TwoNodeParams& params, net::TransferDelayModelPtr delay,
+                  std::size_t reps) {
+  SweepResult out;
+  for (int step = 0; step <= 20; ++step) {
+    const double gain = 0.05 * step;
+    mc::ScenarioConfig scenario = mc::make_two_node_scenario(
+        params, 100, 60, std::make_unique<core::Lbp1Policy>(0, gain));
+    scenario.delay_model = delay->clone();
+    mc::McConfig mc_cfg;
+    mc_cfg.replications = reps;
+    const double mean = mc::run_monte_carlo(scenario, mc_cfg).mean();
+    if (mean < out.best_mean) {
+      out.best_mean = mean;
+      out.best_gain = gain;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const bool quick = args.has("quick");
+  const auto reps = static_cast<std::size_t>(args.get_int64("mc-reps", quick ? 100 : 400));
+
+  bench::print_banner("Ablation: delay-law robustness",
+                      "optimal LBP-1 gain under different bundle-delay laws");
+
+  util::TextTable table({"delay/task (s)", "delay law", "K*", "min mean (s)"});
+  for (const double d : {0.02, 0.5, 2.0}) {
+    markov::TwoNodeParams params = markov::ipdps2006_params();
+    params.per_task_delay_mean = d;
+    struct Row {
+      const char* name;
+      net::TransferDelayModelPtr model;
+    };
+    Row rows[] = {
+        {"Exponential bundle (analytic model)",
+         std::make_unique<net::ExponentialBundleDelay>(d)},
+        {"Erlang per-task (testbed law)", std::make_unique<net::ErlangPerTaskDelay>(d)},
+        {"Deterministic linear", std::make_unique<net::DeterministicLinearDelay>(d)},
+    };
+    for (Row& row : rows) {
+      const SweepResult result = sweep(params, std::move(row.model), reps);
+      table.add_row({util::format_double(d, 2), row.name,
+                     util::format_double(result.best_gain, 2),
+                     util::format_double(result.best_mean, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: at the paper's 0.02 s/task the law is irrelevant (the receiver\n"
+               "never idles before the bundle lands), so the exponential approximation is\n"
+               "exact in effect; at multi-second delays heavier tails (exponential bundle)\n"
+               "cost a few extra seconds and push K* down -- same conclusion, now bounded.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared helpers for the table/figure regeneration binaries: consistent
+/// headers, ASCII curves for the "figure" benches, and paper-vs-measured rows.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+namespace lbsim::bench {
+
+/// Prints the standard bench banner (which paper artefact this regenerates).
+inline void print_banner(const std::string& artefact, const std::string& description) {
+  std::cout << "==============================================================\n"
+            << artefact << " - " << description << "\n"
+            << "Dhakal et al., IPDPS 2006 (reproduction)\n"
+            << "==============================================================\n";
+}
+
+/// Renders y(x) as a fixed-height ASCII chart (rows top-down), for the
+/// "figure" benches where the shape matters more than exact values.
+inline void print_ascii_curve(const std::vector<double>& xs,
+                              const std::vector<std::vector<double>>& series,
+                              const std::vector<std::string>& labels, int height = 16) {
+  if (xs.empty() || series.empty()) return;
+  double lo = series[0][0], hi = series[0][0];
+  for (const auto& ys : series) {
+    for (const double y : ys) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  const char* glyphs = "*o+x#";
+  for (int row = height; row >= 0; --row) {
+    const double level = lo + (hi - lo) * row / height;
+    std::string line(xs.size(), ' ');
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      for (std::size_t i = 0; i < xs.size() && i < series[s].size(); ++i) {
+        const double y = series[s][i];
+        const double cell = (hi - lo) / height;
+        if (y >= level - cell / 2 && y < level + cell / 2) {
+          line[i] = glyphs[s % 5];
+        }
+      }
+    }
+    std::cout << util::format_double(level, 1) << "\t|" << line << "\n";
+  }
+  std::cout << "\t+" << std::string(xs.size(), '-') << "\n";
+  std::cout << "\t x: " << xs.front() << " .. " << xs.back() << "\n";
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    std::cout << "\t '" << glyphs[s % 5] << "' = " << labels[s] << "\n";
+  }
+}
+
+/// "paper vs measured" comparison line used by EXPERIMENTS.md extraction.
+inline void print_comparison(const std::string& what, double paper, double measured) {
+  std::cout << "  " << what << ": paper=" << util::format_double(paper, 2)
+            << "  measured=" << util::format_double(measured, 2) << "  (ratio "
+            << util::format_double(measured / paper, 3) << ")\n";
+}
+
+}  // namespace lbsim::bench

@@ -1,0 +1,88 @@
+// google-benchmark microbenchmarks for the DES kernel: event throughput,
+// cancellation cost, and a full two-node replication per policy.
+
+#include <benchmark/benchmark.h>
+
+#include "core/lbp1.hpp"
+#include "core/lbp2.hpp"
+#include "mc/scenario.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "stochastic/rng.hpp"
+
+using namespace lbsim;
+
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stoch::RngStream rng(1);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform01() * 1000.0;
+  for (auto _ : state) {
+    des::EventQueue queue;
+    for (const double t : times) queue.push(t, [] {});
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::EventQueue queue;
+    std::vector<des::EventId> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(queue.push(static_cast<double>(i), [] {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) queue.cancel(ids[i]);
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop().serial);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(16384);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  const auto hops = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    std::uint64_t remaining = hops;
+    std::function<void()> hop = [&] {
+      if (remaining-- > 0) sim.schedule_in(0.001, hop);
+    };
+    sim.schedule_in(0.001, hop);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(hops));
+}
+BENCHMARK(BM_SimulatorSelfScheduling)->Arg(10000);
+
+void BM_TwoNodeReplicationLbp1(benchmark::State& state) {
+  mc::ScenarioConfig config = mc::make_two_node_scenario(
+      markov::ipdps2006_params(), 100, 60, std::make_unique<core::Lbp1Policy>(0, 0.35));
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::run_scenario(config, 42, rep++).completion_time);
+  }
+}
+BENCHMARK(BM_TwoNodeReplicationLbp1);
+
+void BM_TwoNodeReplicationLbp2(benchmark::State& state) {
+  mc::ScenarioConfig config = mc::make_two_node_scenario(
+      markov::ipdps2006_params(), 100, 60, std::make_unique<core::Lbp2Policy>(1.0));
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::run_scenario(config, 42, rep++).completion_time);
+  }
+}
+BENCHMARK(BM_TwoNodeReplicationLbp2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// google-benchmark microbenchmarks for the Monte-Carlo engine and the testbed
+// emulation: replication throughput, thread scaling, RNG stream cost.
+
+#include <benchmark/benchmark.h>
+
+#include "core/lbp1.hpp"
+#include "core/lbp2.hpp"
+#include "mc/engine.hpp"
+#include "stochastic/rng.hpp"
+#include "testbed/experiment.hpp"
+
+using namespace lbsim;
+
+namespace {
+
+void BM_RngStreamCreation(benchmark::State& state) {
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    stoch::RngStream rng(42, stream++);
+    benchmark::DoNotOptimize(rng.uniform01());
+  }
+}
+BENCHMARK(BM_RngStreamCreation);
+
+void BM_ExponentialSampling(benchmark::State& state) {
+  stoch::RngStream rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(1.86));
+}
+BENCHMARK(BM_ExponentialSampling);
+
+void BM_MonteCarloBatch(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  mc::ScenarioConfig config = mc::make_two_node_scenario(
+      markov::ipdps2006_params(), 100, 60, std::make_unique<core::Lbp1Policy>(0, 0.35));
+  mc::McConfig mc_cfg;
+  mc_cfg.replications = 200;
+  mc_cfg.threads = threads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::run_monte_carlo(config, mc_cfg).mean());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 200);
+}
+BENCHMARK(BM_MonteCarloBatch)->Arg(1)->Arg(2)->UseRealTime();
+
+void BM_TestbedRealization(benchmark::State& state) {
+  testbed::TestbedConfig config =
+      testbed::paper_testbed(100, 60, std::make_unique<core::Lbp2Policy>(1.0));
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testbed::run_realization(config, 42, rep++).completion_time);
+  }
+}
+BENCHMARK(BM_TestbedRealization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

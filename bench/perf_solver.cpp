@@ -1,0 +1,72 @@
+// google-benchmark microbenchmarks for the analytical engines: mean-solver
+// lattice scaling, optimizer cost, CDF integration, and multi-node recursion.
+
+#include <benchmark/benchmark.h>
+
+#include "core/optimizer.hpp"
+#include "markov/multi_node_mean.hpp"
+#include "markov/two_node_cdf.hpp"
+#include "markov/two_node_mean.hpp"
+
+using namespace lbsim;
+
+namespace {
+
+void BM_MeanSolverLattice(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    markov::TwoNodeMeanSolver solver(markov::ipdps2006_params());  // fresh cache
+    benchmark::DoNotOptimize(solver.lbp1_mean(m, m * 3 / 5, 0, 0.35));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_MeanSolverLattice)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+void BM_MeanSolverHatReuse(benchmark::State& state) {
+  // Sweeping K against one solver instance reuses the hatted lattice.
+  markov::TwoNodeMeanSolver solver(markov::ipdps2006_params());
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int k = 0; k <= 20; ++k) acc += solver.lbp1_mean(100, 60, 0, 0.05 * k);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_MeanSolverHatReuse);
+
+void BM_ExactOptimizer(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::optimize_lbp1_exact(markov::ipdps2006_params(), m, m / 2).transfer);
+  }
+}
+BENCHMARK(BM_ExactOptimizer)->Arg(50)->Arg(100);
+
+void BM_CdfSolver(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  markov::TwoNodeCdfSolver::Config config;
+  config.horizon = 150.0;
+  config.dt = 0.1;
+  const markov::TwoNodeCdfSolver solver(markov::ipdps2006_params(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.lbp1_cdf(m, m / 2, 0, 0.3).values.back());
+  }
+}
+BENCHMARK(BM_CdfSolver)->Arg(10)->Arg(25);
+
+void BM_MultiNodeSolverThreeNodes(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  markov::MultiNodeParams params;
+  params.nodes = {markov::NodeParams{1.0, 0.05, 0.1}, markov::NodeParams{2.0, 0.05, 0.05},
+                  markov::NodeParams{1.5, 0.025, 0.1}};
+  params.per_task_delay_mean = 0.02;
+  for (auto _ : state) {
+    markov::MultiNodeMeanSolver solver(params);
+    benchmark::DoNotOptimize(solver.expected_completion({m, m, m}));
+  }
+}
+BENCHMARK(BM_MultiNodeSolverThreeNodes)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Policy explorer: a command-line advisor that answers the practical question
+// the paper leaves the reader with — "given MY rates, delays, and workloads,
+// should I balance preemptively (LBP-1) or compensate at failures (LBP-2),
+// and with what gain?"
+//
+// Usage (all flags optional; defaults are the paper's parameters):
+//   ./examples/policy_explorer --m0=100 --m1=60 --rate0=1.08 --rate1=1.86
+//       --mttf0=20 --mttr0=10 --mttf1=20 --mttr1=20 --delay=0.02 [--reps=800]
+
+#include <iostream>
+
+#include "core/lbp2.hpp"
+#include "core/optimizer.hpp"
+#include "markov/two_node_cdf.hpp"
+#include "mc/engine.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+using namespace lbsim;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  markov::TwoNodeParams params;
+  params.nodes[0].lambda_d = args.get_double("rate0", 1.08);
+  params.nodes[1].lambda_d = args.get_double("rate1", 1.86);
+  const double mttf0 = args.get_double("mttf0", 20.0);
+  const double mttf1 = args.get_double("mttf1", 20.0);
+  params.nodes[0].lambda_f = mttf0 > 0.0 ? 1.0 / mttf0 : 0.0;
+  params.nodes[1].lambda_f = mttf1 > 0.0 ? 1.0 / mttf1 : 0.0;
+  params.nodes[0].lambda_r = params.nodes[0].lambda_f > 0.0
+                                 ? 1.0 / args.get_double("mttr0", 10.0)
+                                 : 0.0;
+  params.nodes[1].lambda_r = params.nodes[1].lambda_f > 0.0
+                                 ? 1.0 / args.get_double("mttr1", 20.0)
+                                 : 0.0;
+  params.per_task_delay_mean = args.get_double("delay", 0.02);
+  const auto m0 = static_cast<std::size_t>(args.get_int64("m0", 100));
+  const auto m1 = static_cast<std::size_t>(args.get_int64("m1", 60));
+  const auto reps = static_cast<std::size_t>(args.get_int64("reps", 800));
+
+  std::cout << "System under analysis\n"
+            << "  node 0: " << params.nodes[0].lambda_d << " tasks/s, availability "
+            << util::format_double(markov::availability(params.nodes[0]), 3) << ", " << m0
+            << " tasks\n"
+            << "  node 1: " << params.nodes[1].lambda_d << " tasks/s, availability "
+            << util::format_double(markov::availability(params.nodes[1]), 3) << ", " << m1
+            << " tasks\n"
+            << "  per-task transfer delay: " << params.per_task_delay_mean << " s\n\n";
+
+  // --- LBP-1: exact churn-aware optimum (analytical) ------------------------
+  const core::Lbp1Optimum lbp1 = core::optimize_lbp1_exact(params, m0, m1);
+  std::cout << "LBP-1 (preemptive one-shot):\n"
+            << "  send " << lbp1.transfer << " tasks from node " << lbp1.sender
+            << " (K = " << util::format_double(lbp1.gain, 3) << ")\n"
+            << "  predicted mean completion " << util::format_double(lbp1.expected_completion, 2)
+            << " s\n";
+
+  // Completion-time distribution tails for risk-aware users.
+  markov::TwoNodeCdfSolver::Config cdf_cfg;
+  cdf_cfg.horizon = std::max(100.0, 6.0 * lbp1.expected_completion);
+  cdf_cfg.dt = cdf_cfg.horizon / 4000.0;
+  const markov::TwoNodeCdfSolver cdf_solver(params, cdf_cfg);
+  const markov::CdfCurve curve = cdf_solver.lbp1_cdf(m0, m1, lbp1.sender, lbp1.gain);
+  std::cout << "  completion-time quantiles: median "
+            << util::format_double(curve.quantile(0.5), 1) << " s, p90 "
+            << util::format_double(curve.quantile(0.9), 1) << " s, p99 "
+            << util::format_double(curve.quantile(0.99), 1) << " s\n\n";
+
+  // --- LBP-2: no-failure initial gain + on-failure compensation (MC) --------
+  const core::Lbp2InitialGain gain = core::optimize_lbp2_initial_gain(params, m0, m1);
+  mc::ScenarioConfig scenario = mc::make_two_node_scenario(
+      params, m0, m1, std::make_unique<core::Lbp2Policy>(gain.gain));
+  mc::McConfig mc_cfg;
+  mc_cfg.replications = reps;
+  const mc::McResult lbp2 = mc::run_monte_carlo(scenario, mc_cfg);
+  std::cout << "LBP-2 (react at failure instants):\n"
+            << "  initial gain K = " << util::format_double(gain.gain, 2)
+            << ", estimated mean completion " << util::format_double(lbp2.mean(), 2)
+            << " +- " << util::format_double(lbp2.ci95(), 2) << " s (" << reps
+            << " Monte-Carlo runs)\n\n";
+
+  // --- the verdict (the Table 3 tradeoff) ------------------------------------
+  const double margin = lbp2.mean() - lbp1.expected_completion;
+  std::cout << "Recommendation: ";
+  if (margin < -lbp2.ci95()) {
+    std::cout << "use LBP-2 — transfer delays are small relative to recovery\n"
+                 "times, so compensating at actual failure instants wins by "
+              << util::format_double(-margin, 1) << " s.\n";
+  } else if (margin > lbp2.ci95()) {
+    std::cout << "use LBP-1 — transfers are slow relative to recovery times, so\n"
+                 "repeated on-failure shipments waste more than they save ("
+              << util::format_double(margin, 1) << " s).\n";
+  } else {
+    std::cout << "either policy; the two are statistically indistinguishable here\n"
+                 "(gap " << util::format_double(margin, 1) << " s within the CI).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Volunteer computing ("SETI at Home" scenario from the paper's introduction):
+// a dedicated server plus four volunteer desktops that come and go. Shows how
+// churn-aware balancing (LBP-2's on-failure compensation) recovers most of the
+// throughput lost to churn, compared with churn-oblivious baselines.
+//
+// Build & run:  ./examples/volunteer_computing [--tasks=600] [--reps=400]
+
+#include <iostream>
+
+#include "core/baseline.hpp"
+#include "core/lbp1.hpp"
+#include "core/lbp2.hpp"
+#include "mc/engine.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+using namespace lbsim;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto tasks = static_cast<std::size_t>(args.get_int64("tasks", 600));
+  const auto reps = static_cast<std::size_t>(args.get_int64("reps", 400));
+
+  // The pool: one dedicated node (never leaves) and four volunteers whose
+  // owners interrupt them at different rates — the setting of the paper's
+  // introduction where even "dedicated" nodes may fail.
+  markov::MultiNodeParams pool;
+  pool.nodes = {
+      markov::NodeParams{2.0, 0.0, 0.0},             // dedicated server
+      markov::NodeParams{1.5, 1.0 / 15.0, 1.0 / 8.0},   // office desktop
+      markov::NodeParams{1.0, 1.0 / 30.0, 1.0 / 30.0},  // home PC, long absences
+      markov::NodeParams{2.5, 1.0 / 8.0, 1.0 / 6.0},    // laptop, frequent suspend
+      markov::NodeParams{0.8, 1.0 / 60.0, 1.0 / 20.0},  // old workstation
+  };
+  pool.per_task_delay_mean = 0.05;  // WAN-ish per-task transfer delay
+
+  std::cout << "Volunteer pool: 5 nodes, " << tasks
+            << " tasks all arriving at the dedicated server\n"
+            << "(availability: 1.00, 0.65, 0.50, 0.43, 0.75)\n\n";
+
+  util::TextTable table({"policy", "mean makespan (s)", "+-95%", "tasks migrated"});
+  struct Entry {
+    const char* name;
+    core::PolicyPtr policy;
+  };
+  Entry entries[] = {
+      {"NoBalancing (server does everything)", std::make_unique<core::NoBalancingPolicy>()},
+      {"ProportionalOnce (churn-oblivious)", std::make_unique<core::ProportionalOncePolicy>()},
+      {"Preemptive one-shot, K=0.7 (LBP-1 form)", std::make_unique<core::Lbp1Policy>(0.7)},
+      {"LBP-2 (initial balance + on-failure)", std::make_unique<core::Lbp2Policy>(1.0)},
+  };
+  double best = 1e18;
+  std::string best_name;
+  for (Entry& entry : entries) {
+    mc::ScenarioConfig scenario;
+    scenario.params = pool;
+    scenario.workloads = {tasks, 0, 0, 0, 0};
+    scenario.policy = std::move(entry.policy);
+    mc::McConfig mc_cfg;
+    mc_cfg.replications = reps;
+    const mc::McResult result = mc::run_monte_carlo(scenario, mc_cfg);
+    table.add_row({entry.name, util::format_double(result.mean(), 1),
+                   util::format_double(result.ci95(), 1),
+                   util::format_double(result.mean_tasks_moved, 1)});
+    if (result.mean() < best) {
+      best = result.mean();
+      best_name = entry.name;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nWinner: " << best_name << "\n"
+            << "Reading: spreading work onto unreliable volunteers beats hoarding it\n"
+               "(see NoBalancing), but only the churn-aware variants — preemptive gain\n"
+               "attenuation or on-failure compensation — beat the oblivious split.\n";
+  return 0;
+}

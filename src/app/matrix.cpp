@@ -1,0 +1,48 @@
+#include "app/matrix.hpp"
+
+#include "stochastic/rng.hpp"
+#include "util/error.hpp"
+
+namespace lbsim::app {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  LBSIM_REQUIRE(rows >= 1 && cols >= 1, "matrix " << rows << "x" << cols);
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  LBSIM_REQUIRE(r < rows_ && c < cols_, "index (" << r << "," << c << ")");
+  return data_[r * cols_ + c];
+}
+
+const double& Matrix::at(std::size_t r, std::size_t c) const {
+  LBSIM_REQUIRE(r < rows_ && c < cols_, "index (" << r << "," << c << ")");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::seeded(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  stoch::RngStream rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  return m;
+}
+
+std::vector<double> multiply_row(const std::vector<double>& row, const Matrix& matrix) {
+  LBSIM_REQUIRE(row.size() == matrix.rows(),
+                "row length " << row.size() << " vs matrix rows " << matrix.rows());
+  std::vector<double> out(matrix.cols(), 0.0);
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    const double scale = row[r];
+    if (scale == 0.0) continue;
+    for (std::size_t c = 0; c < matrix.cols(); ++c) {
+      out[c] += scale * matrix.at(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace lbsim::app

@@ -1,0 +1,41 @@
+#pragma once
+/// \file matrix.hpp
+/// Minimal dense matrix and row kernel. The paper's application defines one
+/// task as the multiplication of one row by a static matrix duplicated on all
+/// nodes; this kernel is used by the examples to do real work and by tests to
+/// validate the workload model.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lbsim::app {
+
+/// Row-major dense matrix of doubles. Regular value type.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] const double& at(std::size_t r, std::size_t c) const;
+
+  /// Builds a deterministic pseudo-random matrix (for examples/tests).
+  [[nodiscard]] static Matrix seeded(std::size_t rows, std::size_t cols, std::uint64_t seed);
+
+  [[nodiscard]] bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// One "task" of the paper's application: row (1 x n) times matrix (n x m).
+/// Returns the 1 x m product row. row.size() must equal matrix.rows().
+[[nodiscard]] std::vector<double> multiply_row(const std::vector<double>& row,
+                                               const Matrix& matrix);
+
+}  // namespace lbsim::app

@@ -1,0 +1,46 @@
+#include "app/workload.hpp"
+
+#include "util/error.hpp"
+
+namespace lbsim::app {
+
+WorkloadGenerator::WorkloadGenerator(stoch::DistributionPtr size_law)
+    : size_law_(size_law ? std::move(size_law)
+                         : std::make_unique<stoch::Exponential>(1.0)) {}
+
+node::TaskBatch WorkloadGenerator::generate(std::size_t count, int origin,
+                                            stoch::RngStream& rng) {
+  node::TaskBatch batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    node::Task task;
+    task.id = next_id_++;
+    task.size = size_law_->sample(rng);
+    task.origin = origin;
+    batch.push_back(task);
+  }
+  return batch;
+}
+
+double size_based_service_time(const node::Task& task, double processing_rate) {
+  LBSIM_REQUIRE(processing_rate > 0.0, "processing_rate=" << processing_rate);
+  return task.size / processing_rate;
+}
+
+std::function<double(const node::Task&, stoch::RngStream&)> exponential_service(
+    double processing_rate) {
+  LBSIM_REQUIRE(processing_rate > 0.0, "processing_rate=" << processing_rate);
+  return [processing_rate](const node::Task&, stoch::RngStream& rng) {
+    return rng.exponential(processing_rate);
+  };
+}
+
+std::function<double(const node::Task&, stoch::RngStream&)> calibrated_service(
+    double processing_rate) {
+  LBSIM_REQUIRE(processing_rate > 0.0, "processing_rate=" << processing_rate);
+  return [processing_rate](const node::Task& task, stoch::RngStream&) {
+    return size_based_service_time(task, processing_rate);
+  };
+}
+
+}  // namespace lbsim::app

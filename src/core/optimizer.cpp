@@ -1,0 +1,113 @@
+#include "core/optimizer.hpp"
+
+#include <cmath>
+
+#include "core/excess.hpp"
+#include "util/error.hpp"
+
+namespace lbsim::core {
+namespace {
+
+/// Mean completion when `sender` ships exactly L tasks.
+double mean_for_transfer(markov::TwoNodeMeanSolver& solver, std::size_t m0, std::size_t m1,
+                         int sender, std::size_t L) {
+  const std::size_t q0 = (sender == 0) ? m0 - L : m0;
+  const std::size_t q1 = (sender == 1) ? m1 - L : m1;
+  return solver.mean_with_transit(q0, q1, L, 1 - sender);
+}
+
+}  // namespace
+
+Lbp1Optimum optimize_lbp1_exact(const markov::TwoNodeParams& params, std::size_t m0,
+                                std::size_t m1) {
+  markov::TwoNodeMeanSolver solver(params);
+  Lbp1Optimum best;
+  bool first = true;
+  for (const int sender : {0, 1}) {
+    const std::size_t m_sender = (sender == 0) ? m0 : m1;
+    for (std::size_t L = 0; L <= m_sender; ++L) {
+      const double mean = mean_for_transfer(solver, m0, m1, sender, L);
+      if (first || mean < best.expected_completion) {
+        first = false;
+        best.sender = sender;
+        best.transfer = L;
+        best.gain = (m_sender == 0)
+                        ? 0.0
+                        : static_cast<double>(L) / static_cast<double>(m_sender);
+        best.expected_completion = mean;
+      }
+    }
+  }
+  return best;
+}
+
+Lbp1Optimum optimize_lbp1_grid(const markov::TwoNodeParams& params, std::size_t m0,
+                               std::size_t m1, double step) {
+  LBSIM_REQUIRE(step > 0.0 && step <= 1.0, "step=" << step);
+  markov::TwoNodeMeanSolver solver(params);
+  Lbp1Optimum best;
+  bool first = true;
+  const auto n_steps = static_cast<std::size_t>(std::llround(1.0 / step));
+  for (const int sender : {0, 1}) {
+    const std::size_t m_sender = (sender == 0) ? m0 : m1;
+    for (std::size_t k = 0; k <= n_steps; ++k) {
+      const double gain = std::min(1.0, static_cast<double>(k) * step);
+      const std::size_t L = markov::TwoNodeMeanSolver::lbp1_transfer_count(m_sender, gain);
+      const double mean = mean_for_transfer(solver, m0, m1, sender, L);
+      if (first || mean < best.expected_completion) {
+        first = false;
+        best.sender = sender;
+        best.gain = gain;
+        best.transfer = L;
+        best.expected_completion = mean;
+      }
+    }
+  }
+  return best;
+}
+
+Lbp2InitialGain optimize_lbp2_initial_gain(const markov::TwoNodeParams& params,
+                                           std::size_t m0, std::size_t m1) {
+  const markov::TwoNodeParams reliable = markov::without_failures(params);
+  markov::TwoNodeMeanSolver solver(reliable);
+
+  const std::vector<double> rates = {reliable.nodes[0].lambda_d, reliable.nodes[1].lambda_d};
+  const std::vector<std::size_t> loads = {m0, m1};
+  // At most one node carries excess in a two-node system.
+  int sender = -1;
+  double excess = 0.0;
+  for (const std::size_t j : {std::size_t{0}, std::size_t{1}}) {
+    const double e = excess_load(rates, loads, j);
+    if (e > excess) {
+      excess = e;
+      sender = static_cast<int>(j);
+    }
+  }
+
+  Lbp2InitialGain best;
+  if (sender < 0) {
+    // Already balanced: no transfer; K conventionally 1 (nothing to attenuate).
+    best.gain = 1.0;
+    best.sender = -1;
+    best.transfer = 0;
+    best.expected_completion = solver.mean_no_transit(m0, m1);
+    return best;
+  }
+
+  const auto max_transfer = static_cast<std::size_t>(std::llround(excess));
+  bool first = true;
+  for (std::size_t L = 0; L <= max_transfer; ++L) {
+    const double mean = mean_for_transfer(solver, m0, m1, sender, L);
+    if (first || mean < best.expected_completion) {
+      first = false;
+      best.sender = sender;
+      best.transfer = L;
+      best.gain = excess > 0.0 ? static_cast<double>(L) / excess : 0.0;
+      best.expected_completion = mean;
+    }
+  }
+  best.gain = std::min(best.gain, 1.0);
+  return best;
+}
+
+}  // namespace lbsim::core

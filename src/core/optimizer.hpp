@@ -1,0 +1,49 @@
+#pragma once
+/// \file optimizer.hpp
+/// Gain and sender/receiver optimisation against the analytical model.
+///
+/// Because tasks are indivisible, the objective is piecewise constant in K:
+/// only the integer transfer count L = round(K * m_sender) matters. The exact
+/// optimiser therefore enumerates L (for both candidate senders) and reports
+/// K* = L*/m_sender; a paper-style grid search over K is also provided for
+/// reproducing the published sweeps.
+
+#include <cstddef>
+
+#include "markov/params.hpp"
+#include "markov/two_node_mean.hpp"
+
+namespace lbsim::core {
+
+struct Lbp1Optimum {
+  int sender = 0;             ///< which node ships tasks
+  double gain = 0.0;          ///< K*
+  std::size_t transfer = 0;   ///< L = round(K* x m_sender)
+  double expected_completion = 0.0;
+};
+
+/// Exact optimum of LBP-1 over both senders and every integer transfer size.
+[[nodiscard]] Lbp1Optimum optimize_lbp1_exact(const markov::TwoNodeParams& params,
+                                              std::size_t m0, std::size_t m1);
+
+/// Paper-style optimisation over a K grid {0, step, 2*step, ..., 1} for both
+/// senders (the paper uses step = 0.05).
+[[nodiscard]] Lbp1Optimum optimize_lbp1_grid(const markov::TwoNodeParams& params,
+                                             std::size_t m0, std::size_t m1,
+                                             double step = 0.05);
+
+struct Lbp2InitialGain {
+  double gain = 0.0;
+  std::size_t transfer = 0;         ///< tasks leaving the overloaded node
+  int sender = 0;                   ///< the overloaded node (excess > 0), or -1 if none
+  double expected_completion = 0.0; ///< under the no-failure model
+};
+
+/// LBP-2's initial gain: the K minimising the *no-failure* mean completion
+/// time when the overloaded node ships round(K * excess) tasks (this is the
+/// optimisation the authors solved in their earlier delay papers and reuse
+/// in Table 2). Failure rates in `params` are ignored.
+[[nodiscard]] Lbp2InitialGain optimize_lbp2_initial_gain(const markov::TwoNodeParams& params,
+                                                         std::size_t m0, std::size_t m1);
+
+}  // namespace lbsim::core

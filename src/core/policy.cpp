@@ -1,0 +1,19 @@
+#include "core/policy.hpp"
+
+namespace lbsim::core {
+
+std::vector<TransferDirective> LoadBalancingPolicy::on_failure(int /*node*/,
+                                                               const SystemView& /*view*/) {
+  return {};
+}
+
+std::vector<TransferDirective> LoadBalancingPolicy::on_recovery(int /*node*/,
+                                                                const SystemView& /*view*/) {
+  return {};
+}
+
+std::vector<TransferDirective> LoadBalancingPolicy::on_periodic(const SystemView& /*view*/) {
+  return {};
+}
+
+}  // namespace lbsim::core

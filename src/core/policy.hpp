@@ -1,0 +1,64 @@
+#pragma once
+/// \file policy.hpp
+/// The load-balancing policy abstraction. A policy observes the system through
+/// a read-only SystemView and answers three questions with transfer directives:
+/// what to do at t = 0, at a node-failure instant, and at a recovery instant.
+/// The simulation engines (mc/, testbed/) execute the directives — capping them
+/// by what the sender actually holds — and charge the network delays.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "markov/params.hpp"
+
+namespace lbsim::core {
+
+/// "Move `count` tasks from node `from` to node `to`."
+struct TransferDirective {
+  int from = 0;
+  int to = 0;
+  std::size_t count = 0;
+};
+
+/// Read-only system snapshot offered to policies. Implemented by the engines.
+class SystemView {
+ public:
+  virtual ~SystemView() = default;
+  [[nodiscard]] virtual std::size_t node_count() const = 0;
+  [[nodiscard]] virtual std::size_t queue_length(int node) const = 0;
+  [[nodiscard]] virtual bool is_up(int node) const = 0;
+  /// The stochastic parameters the policy is allowed to know (the paper's
+  /// policies know rates, not realisations).
+  [[nodiscard]] virtual markov::NodeParams node_params(int node) const = 0;
+  [[nodiscard]] virtual double per_task_delay_mean() const = 0;
+};
+
+class LoadBalancingPolicy {
+ public:
+  virtual ~LoadBalancingPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Balancing action at t = 0 (all policies act here, possibly with nothing).
+  [[nodiscard]] virtual std::vector<TransferDirective> on_start(const SystemView& view) = 0;
+
+  /// Balancing action at the instant node `node` fails (default: none).
+  [[nodiscard]] virtual std::vector<TransferDirective> on_failure(int node,
+                                                                  const SystemView& view);
+
+  /// Balancing action at the instant node `node` recovers (default: none).
+  [[nodiscard]] virtual std::vector<TransferDirective> on_recovery(int node,
+                                                                   const SystemView& view);
+
+  /// Balancing action on a periodic timer tick (default: none). Engines fire
+  /// this only when configured with a rebalance period.
+  [[nodiscard]] virtual std::vector<TransferDirective> on_periodic(const SystemView& view);
+
+  /// Deep copy, so each Monte-Carlo replication can own an instance.
+  [[nodiscard]] virtual std::unique_ptr<LoadBalancingPolicy> clone() const = 0;
+};
+
+using PolicyPtr = std::unique_ptr<LoadBalancingPolicy>;
+
+}  // namespace lbsim::core

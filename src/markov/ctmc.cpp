@@ -1,0 +1,191 @@
+#include "markov/ctmc.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "markov/linsolve.hpp"
+#include "util/error.hpp"
+
+namespace lbsim::markov {
+
+AbsorbingCtmc::AbsorbingCtmc(
+    std::size_t state_count,
+    std::function<std::vector<Transition>(std::size_t)> transitions_of)
+    : n_(state_count) {
+  LBSIM_REQUIRE(n_ >= 1, "empty chain");
+  LBSIM_REQUIRE(transitions_of != nullptr, "null transition function");
+  out_.resize(n_);
+  exit_rate_.assign(n_, 0.0);
+  for (std::size_t s = 0; s < n_; ++s) {
+    out_[s] = transitions_of(s);
+    for (const Transition& t : out_[s]) {
+      LBSIM_REQUIRE(t.to < n_, "transition to unknown state " << t.to);
+      LBSIM_REQUIRE(t.rate > 0.0, "nonpositive rate " << t.rate);
+      exit_rate_[s] += t.rate;
+    }
+  }
+}
+
+bool AbsorbingCtmc::is_absorbing(std::size_t state) const {
+  LBSIM_REQUIRE(state < n_, "state " << state);
+  return out_[state].empty();
+}
+
+std::vector<double> AbsorbingCtmc::mean_absorption_times() const {
+  // Unknowns: transient states only. mu_s * Lambda_s - sum rate * mu_to = 1.
+  std::vector<std::size_t> transient;
+  std::vector<std::size_t> row_of(n_, SIZE_MAX);
+  for (std::size_t s = 0; s < n_; ++s) {
+    if (!out_[s].empty()) {
+      row_of[s] = transient.size();
+      transient.push_back(s);
+    }
+  }
+  const std::size_t m = transient.size();
+  std::vector<double> mat(m * m, 0.0);
+  std::vector<double> rhs(m, 1.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t s = transient[r];
+    mat[r * m + r] = exit_rate_[s];
+    for (const Transition& t : out_[s]) {
+      if (row_of[t.to] != SIZE_MAX) mat[r * m + row_of[t.to]] -= t.rate;
+    }
+  }
+  const std::vector<double> mu_transient = solve_dense(std::move(mat), std::move(rhs));
+  std::vector<double> mu(n_, 0.0);
+  for (std::size_t r = 0; r < m; ++r) mu[transient[r]] = mu_transient[r];
+  return mu;
+}
+
+double AbsorbingCtmc::absorption_cdf(std::size_t from, double t, double epsilon) const {
+  LBSIM_REQUIRE(from < n_, "state " << from);
+  LBSIM_REQUIRE(t >= 0.0, "t=" << t);
+  LBSIM_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon=" << epsilon);
+  if (is_absorbing(from)) return 1.0;
+  double lambda_max = 0.0;
+  for (const double rate : exit_rate_) lambda_max = std::max(lambda_max, rate);
+  if (lambda_max == 0.0) return 0.0;
+
+  // Uniformisation: p(t) = sum_k Pois(lambda_max * t; k) * P^k, with
+  // P = I + Q / lambda_max (absorbing states become self-loops).
+  const double theta = lambda_max * t;
+  std::vector<double> v(n_, 0.0);
+  v[from] = 1.0;
+  // Poisson weights in log space (theta can be large enough that exp(-theta)
+  // underflows): Pois(theta; k) = exp(k ln(theta) - theta - ln(k!)).
+  const auto poisson_weight = [theta](std::size_t k) {
+    if (theta == 0.0) return k == 0 ? 1.0 : 0.0;
+    return std::exp(static_cast<double>(k) * std::log(theta) - theta -
+                    std::lgamma(static_cast<double>(k) + 1.0));
+  };
+  double weight = poisson_weight(0);
+  double absorbed_mass = 0.0;
+  double accumulated_weight = 0.0;
+  const auto absorbed_in = [&](const std::vector<double>& vec) {
+    double total = 0.0;
+    for (std::size_t s = 0; s < n_; ++s) {
+      if (out_[s].empty()) total += vec[s];
+    }
+    return total;
+  };
+
+  std::vector<double> next(n_, 0.0);
+  std::size_t k = 0;
+  while (accumulated_weight < 1.0 - epsilon) {
+    absorbed_mass += weight * absorbed_in(v);
+    accumulated_weight += weight;
+    ++k;
+    weight = poisson_weight(k);
+    // one uniformised jump: next = v * P
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = 0; s < n_; ++s) {
+      if (v[s] == 0.0) continue;
+      const double stay = 1.0 - exit_rate_[s] / lambda_max;
+      next[s] += v[s] * stay;
+      for (const Transition& tr : out_[s]) {
+        next[tr.to] += v[s] * tr.rate / lambda_max;
+      }
+    }
+    v.swap(next);
+    LBSIM_CHECK(k < 2'000'000, "uniformisation failed to converge");
+  }
+  return absorbed_mass;
+}
+
+TwoNodeChain build_two_node_chain(const TwoNodeParams& params, std::size_t q0,
+                                  std::size_t q1, std::size_t transit, int dest,
+                                  unsigned initial_work_state) {
+  validate(params);
+  LBSIM_REQUIRE(initial_work_state < 4, "state=" << initial_work_state);
+  LBSIM_REQUIRE(transit == 0 || (dest == 0 || dest == 1), "dest=" << dest);
+  for (const int i : {0, 1}) {
+    LBSIM_REQUIRE(((initial_work_state >> i) & 1u) || params.nodes[i].lambda_f > 0.0,
+                  "initial state marks never-failing node " << i << " as down");
+  }
+
+  // Reachable-state BFS; key packs (w, a, b, tau).
+  struct Raw {
+    unsigned w;
+    std::size_t a, b;
+    bool tau;
+  };
+  const auto pack = [](const Raw& s) {
+    return (static_cast<std::uint64_t>(s.tau) << 63) |
+           (static_cast<std::uint64_t>(s.a) << 34) |
+           (static_cast<std::uint64_t>(s.b) << 5) | s.w;
+  };
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  std::vector<Raw> states;
+  std::deque<std::size_t> frontier;
+  const auto intern = [&](const Raw& s) {
+    const auto [it, inserted] = index.emplace(pack(s), states.size());
+    if (inserted) {
+      states.push_back(s);
+      frontier.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  const Raw initial{initial_work_state, q0, q1, transit > 0};
+  const std::size_t initial_index = intern(initial);
+  const double arrival_rate =
+      transit > 0 ? 1.0 / (params.per_task_delay_mean * static_cast<double>(transit)) : 0.0;
+
+  // First pass: discover all reachable states and record raw transitions.
+  std::vector<std::vector<AbsorbingCtmc::Transition>> transitions;
+  while (!frontier.empty()) {
+    const std::size_t s_index = frontier.front();
+    frontier.pop_front();
+    const Raw s = states[s_index];
+    std::vector<AbsorbingCtmc::Transition> out;
+    if (!(s.a == 0 && s.b == 0 && !s.tau)) {
+      const bool up0 = (s.w >> 0) & 1u;
+      const bool up1 = (s.w >> 1) & 1u;
+      if (up0 && s.a > 0) {
+        out.push_back({intern({s.w, s.a - 1, s.b, s.tau}), params.nodes[0].lambda_d});
+      }
+      if (up1 && s.b > 0) {
+        out.push_back({intern({s.w, s.a, s.b - 1, s.tau}), params.nodes[1].lambda_d});
+      }
+      const double churn0 = up0 ? params.nodes[0].lambda_f : params.nodes[0].lambda_r;
+      const double churn1 = up1 ? params.nodes[1].lambda_f : params.nodes[1].lambda_r;
+      if (churn0 > 0.0) out.push_back({intern({s.w ^ 0b01u, s.a, s.b, s.tau}), churn0});
+      if (churn1 > 0.0) out.push_back({intern({s.w ^ 0b10u, s.a, s.b, s.tau}), churn1});
+      if (s.tau) {
+        const Raw landed{s.w, s.a + (dest == 0 ? transit : 0),
+                         s.b + (dest == 1 ? transit : 0), false};
+        out.push_back({intern(landed), arrival_rate});
+      }
+    }
+    if (transitions.size() <= s_index) transitions.resize(states.size());
+    transitions[s_index] = std::move(out);
+  }
+  transitions.resize(states.size());
+
+  AbsorbingCtmc chain(states.size(), [&transitions](std::size_t s) {
+    return transitions[s];
+  });
+  return TwoNodeChain{std::move(chain), initial_index};
+}
+
+}  // namespace lbsim::markov

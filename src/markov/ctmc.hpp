@@ -1,0 +1,66 @@
+#pragma once
+/// \file ctmc.hpp
+/// A generic absorbing continuous-time Markov chain, used as an *independent*
+/// implementation of the completion-time analysis: instead of the lattice
+/// recursion of eq. (4), enumerate the full state space, assemble the
+/// generator, and solve the first-passage equations directly. The two
+/// implementations share no code, so their agreement (tests) certifies both.
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "markov/params.hpp"
+
+namespace lbsim::markov {
+
+/// An absorbing CTMC described by an explicit transition list.
+class AbsorbingCtmc {
+ public:
+  struct Transition {
+    std::size_t to = 0;
+    double rate = 0.0;
+  };
+
+  /// `transitions_of(s)` returns the outgoing transitions of state s; a state
+  /// with no outgoing transitions is absorbing. States are 0..n-1.
+  AbsorbingCtmc(std::size_t state_count,
+                std::function<std::vector<Transition>(std::size_t)> transitions_of);
+
+  [[nodiscard]] std::size_t state_count() const noexcept { return n_; }
+  [[nodiscard]] bool is_absorbing(std::size_t state) const;
+
+  /// Expected time to absorption from every state (mean first-passage time),
+  /// by solving (I - P) mu = 1/Lambda over the transient states with dense
+  /// Gaussian elimination. States that cannot reach absorption make the
+  /// system singular (throws std::logic_error). O(n^3): intended for
+  /// cross-validation on small chains, not production solving.
+  [[nodiscard]] std::vector<double> mean_absorption_times() const;
+
+  /// P{absorbed by time t} from `from`, by uniformisation (truncated Poisson
+  /// mixture, error < epsilon).
+  [[nodiscard]] double absorption_cdf(std::size_t from, double t,
+                                      double epsilon = 1e-9) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<Transition>> out_;
+  std::vector<double> exit_rate_;
+};
+
+/// Enumerates the full two-node completion chain — state = (work-state mask,
+/// q0, q1, bundle-in-flight flag) — and returns the CTMC plus the index of the
+/// requested initial state. Bundle semantics identical to TwoNodeMeanSolver:
+/// L tasks travel toward `dest` at rate 1/(d*L) and join that queue on arrival.
+struct TwoNodeChain {
+  AbsorbingCtmc chain;
+  std::size_t initial_state;
+};
+
+[[nodiscard]] TwoNodeChain build_two_node_chain(const TwoNodeParams& params,
+                                                std::size_t q0, std::size_t q1,
+                                                std::size_t transit, int dest,
+                                                unsigned initial_work_state = kBothUp);
+
+}  // namespace lbsim::markov

@@ -1,0 +1,47 @@
+#include "markov/linsolve.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lbsim::markov {
+
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  LBSIM_REQUIRE(a.size() == n * n, "matrix is " << a.size() << " entries for n=" << n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest magnitude in this column, at or below the diagonal.
+    std::size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double mag = std::fabs(a[row * n + col]);
+      if (mag > best) {
+        best = mag;
+        pivot = row;
+      }
+    }
+    LBSIM_CHECK(best > 1e-14, "singular work-state system (column " << col << ")");
+    if (pivot != col) {
+      for (std::size_t k = col; k < n; ++k) std::swap(a[col * n + k], a[pivot * n + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] * inv;
+      if (factor == 0.0) continue;
+      a[row * n + col] = 0.0;
+      for (std::size_t k = col + 1; k < n; ++k) a[row * n + k] -= factor * a[col * n + k];
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i * n + k] * x[k];
+    x[i] = acc / a[i * n + i];
+  }
+  return x;
+}
+
+}  // namespace lbsim::markov

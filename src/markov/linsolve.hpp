@@ -1,0 +1,16 @@
+#pragma once
+/// \file linsolve.hpp
+/// Small dense linear solver for the per-lattice-point work-state systems
+/// (4x4 for two nodes, 2^n x 2^n for the multi-node extension).
+
+#include <cstddef>
+#include <vector>
+
+namespace lbsim::markov {
+
+/// Solves A x = b for square A (row-major, n*n entries) by Gaussian elimination
+/// with partial pivoting. A and b are consumed (modified in place); the result
+/// is returned. Throws std::logic_error on a (numerically) singular matrix.
+[[nodiscard]] std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b);
+
+}  // namespace lbsim::markov

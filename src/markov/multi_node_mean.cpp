@@ -1,0 +1,148 @@
+#include "markov/multi_node_mean.hpp"
+
+#include <cmath>
+
+#include "markov/linsolve.hpp"
+#include "util/error.hpp"
+
+namespace lbsim::markov {
+
+std::size_t MultiNodeMeanSolver::KeyHash::operator()(const Key& key) const noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ key.transfer_mask;
+  for (const std::size_t q : key.queues) {
+    h ^= q + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+MultiNodeMeanSolver::MultiNodeMeanSolver(MultiNodeParams params)
+    : params_(std::move(params)), n_(params_.nodes.size()) {
+  validate(params_);
+  LBSIM_REQUIRE(n_ >= 1 && n_ <= 8, "multi-node solver supports 1..8 nodes, got " << n_);
+}
+
+double MultiNodeMeanSolver::expected_completion(const std::vector<std::size_t>& queues,
+                                                const std::vector<TransferSpec>& transfers) {
+  return expected_completion(queues, transfers, (1u << n_) - 1u);
+}
+
+double MultiNodeMeanSolver::expected_completion(const std::vector<std::size_t>& queues,
+                                                const std::vector<TransferSpec>& transfers,
+                                                unsigned initial_state) {
+  LBSIM_REQUIRE(queues.size() == n_, "queue vector has " << queues.size() << " entries");
+  LBSIM_REQUIRE(transfers.size() <= 16, "at most 16 simultaneous transfers");
+  LBSIM_REQUIRE(initial_state < (1u << n_), "state=" << initial_state);
+  for (const auto& t : transfers) {
+    LBSIM_REQUIRE(t.count >= 1, "empty transfer");
+    LBSIM_REQUIRE(t.from >= 0 && static_cast<std::size_t>(t.from) < n_, "from=" << t.from);
+    LBSIM_REQUIRE(t.to >= 0 && static_cast<std::size_t>(t.to) < n_ && t.to != t.from,
+                  "to=" << t.to);
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    const bool up = (initial_state >> i) & 1u;
+    LBSIM_REQUIRE(up || params_.nodes[i].lambda_f > 0.0,
+                  "node " << i << " starts down but can never fail/recover");
+  }
+
+  // The memo is tied to the transfer list (masks index into it).
+  transfers_ = transfers;
+  memo_.clear();
+
+  Key key{transfers.empty() ? 0u : (1u << transfers.size()) - 1u, queues};
+  return solve(key)[initial_state];
+}
+
+const std::vector<double>& MultiNodeMeanSolver::solve(const Key& key) {
+  if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+  const unsigned n_states = 1u << n_;
+  const auto total_tasks = [&] {
+    std::size_t total = 0;
+    for (const std::size_t q : key.queues) total += q;
+    return total;
+  }();
+
+  if (total_tasks == 0 && key.transfer_mask == 0) {
+    return memo_.emplace(key, std::vector<double>(n_states, 0.0)).first->second;
+  }
+
+  // Resolve children first so the deep recursion holds only small frames.
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (key.queues[i] > 0) {
+      Key child = key;
+      child.queues[i] -= 1;
+      solve(child);
+    }
+  }
+  for (std::size_t t = 0; t < transfers_.size(); ++t) {
+    if ((key.transfer_mask >> t) & 1u) {
+      Key child = key;
+      child.transfer_mask &= ~(1u << t);
+      child.queues[transfers_[t].to] += transfers_[t].count;
+      solve(child);
+    }
+  }
+
+  std::vector<double> mat(static_cast<std::size_t>(n_states) * n_states, 0.0);
+  std::vector<double> rhs(n_states, 0.0);
+
+  for (unsigned w = 0; w < n_states; ++w) {
+    double total = 0.0;
+    bool unreachable = false;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const bool up = (w >> i) & 1u;
+      const NodeParams& node = params_.nodes[i];
+      if (up) {
+        if (key.queues[i] > 0) total += node.lambda_d;
+        total += node.lambda_f;
+      } else {
+        if (node.lambda_f == 0.0) unreachable = true;
+        total += node.lambda_r;
+      }
+    }
+    double arrival_total = 0.0;
+    for (std::size_t t = 0; t < transfers_.size(); ++t) {
+      if ((key.transfer_mask >> t) & 1u) {
+        arrival_total +=
+            1.0 / (params_.per_task_delay_mean * static_cast<double>(transfers_[t].count));
+      }
+    }
+    total += arrival_total;
+
+    if (unreachable || total <= 0.0) {
+      mat[w * n_states + w] = 1.0;
+      rhs[w] = 0.0;
+      continue;
+    }
+
+    mat[w * n_states + w] = 1.0;
+    double known = 1.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const bool up = (w >> i) & 1u;
+      const NodeParams& node = params_.nodes[i];
+      if (up && key.queues[i] > 0) {
+        Key child = key;
+        child.queues[i] -= 1;
+        known += node.lambda_d * memo_.at(child)[w];
+      }
+      const double churn = up ? node.lambda_f : node.lambda_r;
+      if (churn > 0.0) mat[w * n_states + (w ^ (1u << i))] -= churn / total;
+    }
+    for (std::size_t t = 0; t < transfers_.size(); ++t) {
+      if ((key.transfer_mask >> t) & 1u) {
+        const double rate =
+            1.0 / (params_.per_task_delay_mean * static_cast<double>(transfers_[t].count));
+        Key child = key;
+        child.transfer_mask &= ~(1u << t);
+        child.queues[transfers_[t].to] += transfers_[t].count;
+        known += rate * memo_.at(child)[w];
+      }
+    }
+    rhs[w] = known / total;
+  }
+
+  std::vector<double> mu = solve_dense(std::move(mat), std::move(rhs));
+  return memo_.emplace(key, std::move(mu)).first->second;
+}
+
+}  // namespace lbsim::markov

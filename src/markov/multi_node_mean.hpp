@@ -1,0 +1,68 @@
+#pragma once
+/// \file multi_node_mean.hpp
+/// The paper's "straightforward extension" of the regeneration analysis to n
+/// nodes (Section 1/5), implemented as a memoised recursion.
+///
+/// State: (pending-transfer mask, queue vector, work-state mask). Service and
+/// bundle-arrival events move to strictly smaller states in the lexicographic
+/// order (total outstanding tasks, pending transfers); failure/recovery events
+/// couple the 2^n work states at a fixed (mask, queues), yielding one
+/// 2^n x 2^n linear solve per lattice point. Two-node problems reduce exactly
+/// to TwoNodeMeanSolver, which is used as a cross-check in the tests.
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "markov/params.hpp"
+
+namespace lbsim::markov {
+
+/// One bundle launched at t = 0 from `from` to `to` (count >= 1); in flight
+/// for an Exp(1/(d*count)) time.
+struct TransferSpec {
+  int from = 0;
+  int to = 0;
+  std::size_t count = 0;
+};
+
+class MultiNodeMeanSolver {
+ public:
+  /// Supports up to 8 nodes (the work-state solve is 2^n x 2^n) and up to 16
+  /// simultaneous initial transfers.
+  explicit MultiNodeMeanSolver(MultiNodeParams params);
+
+  [[nodiscard]] const MultiNodeParams& params() const noexcept { return params_; }
+
+  /// Mean overall completion time given queue lengths at t = 0 (net of any
+  /// departed bundles), the bundles in flight, and the initial work state
+  /// (bit i = node i up; defaults to all-up).
+  [[nodiscard]] double expected_completion(const std::vector<std::size_t>& queues,
+                                           const std::vector<TransferSpec>& transfers = {});
+
+  [[nodiscard]] double expected_completion(const std::vector<std::size_t>& queues,
+                                           const std::vector<TransferSpec>& transfers,
+                                           unsigned initial_state);
+
+  /// Number of memoised lattice points (diagnostics / perf tests).
+  [[nodiscard]] std::size_t memo_size() const noexcept { return memo_.size(); }
+
+ private:
+  struct Key {
+    unsigned transfer_mask;
+    std::vector<std::size_t> queues;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
+
+  const std::vector<double>& solve(const Key& key);
+
+  MultiNodeParams params_;
+  std::vector<TransferSpec> transfers_;
+  std::size_t n_ = 0;
+  std::unordered_map<Key, std::vector<double>, KeyHash> memo_;
+};
+
+}  // namespace lbsim::markov

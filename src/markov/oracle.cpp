@@ -1,0 +1,47 @@
+#include "markov/oracle.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace lbsim::markov {
+
+double single_node_mean(std::size_t m, double lambda_d) {
+  LBSIM_REQUIRE(lambda_d > 0.0, "lambda_d=" << lambda_d);
+  return static_cast<double>(m) / lambda_d;
+}
+
+double single_node_churn_mean(std::size_t m, const NodeParams& node) {
+  validate(node);
+  if (node.lambda_f == 0.0) return single_node_mean(m, node.lambda_d);
+  const double per_task = (1.0 + node.lambda_f / node.lambda_r) / node.lambda_d;
+  return static_cast<double>(m) * per_task;
+}
+
+double erlang_race_mean_min(std::size_t m1, double r1, std::size_t m2, double r2) {
+  LBSIM_REQUIRE(r1 > 0.0 && r2 > 0.0, "rates " << r1 << ", " << r2);
+  if (m1 == 0 || m2 == 0) return 0.0;
+  const double p = r1 / (r1 + r2);
+  const double q = 1.0 - p;
+  util::KahanSum acc;
+  for (std::size_t j1 = 0; j1 < m1; ++j1) {
+    // term(j1, j2) = C(j1+j2, j1) p^j1 q^j2, built by recurrence over j2.
+    double term = std::pow(p, static_cast<double>(j1));
+    for (std::size_t j2 = 0; j2 < m2; ++j2) {
+      if (j2 > 0) {
+        term *= q * static_cast<double>(j1 + j2) / static_cast<double>(j2);
+      }
+      acc.add(term);
+    }
+  }
+  return acc.value() / (r1 + r2);
+}
+
+double erlang_race_mean_max(std::size_t m1, double r1, std::size_t m2, double r2) {
+  const double sum_of_means =
+      static_cast<double>(m1) / r1 + static_cast<double>(m2) / r2;
+  return sum_of_means - erlang_race_mean_min(m1, r1, m2, r2);
+}
+
+}  // namespace lbsim::markov

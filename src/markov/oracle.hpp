@@ -1,0 +1,30 @@
+#pragma once
+/// \file oracle.hpp
+/// Closed-form expected completion times for degenerate configurations, used
+/// as independent oracles when testing the regeneration solvers.
+
+#include <cstddef>
+
+#include "markov/params.hpp"
+
+namespace lbsim::markov {
+
+/// One reliable node, m tasks at rate lambda_d: E[T] = m / lambda_d.
+[[nodiscard]] double single_node_mean(std::size_t m, double lambda_d);
+
+/// One failing/recovering node: each task costs (1 + lambda_f/lambda_r)/lambda_d
+/// in expectation (regeneration argument), so E[T] = m times that. Assumes the
+/// node starts up.
+[[nodiscard]] double single_node_churn_mean(std::size_t m, const NodeParams& node);
+
+/// E[min(Erlang(m1, r1), Erlang(m2, r2))] via the Poisson race formula:
+/// sum over j1 < m1, j2 < m2 of C(j1+j2, j1) p^j1 q^j2 / (r1 + r2), p = r1/(r1+r2).
+[[nodiscard]] double erlang_race_mean_min(std::size_t m1, double r1, std::size_t m2,
+                                          double r2);
+
+/// E[max] = m1/r1 + m2/r2 - E[min]: the exact mean completion time of two
+/// reliable nodes with no transfer (each node grinds through its own queue).
+[[nodiscard]] double erlang_race_mean_max(std::size_t m1, double r1, std::size_t m2,
+                                          double r2);
+
+}  // namespace lbsim::markov

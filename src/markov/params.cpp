@@ -1,0 +1,52 @@
+#include "markov/params.hpp"
+
+#include "util/error.hpp"
+
+namespace lbsim::markov {
+
+void validate(const NodeParams& node) {
+  LBSIM_REQUIRE(node.lambda_d > 0.0, "lambda_d=" << node.lambda_d);
+  LBSIM_REQUIRE(node.lambda_f >= 0.0, "lambda_f=" << node.lambda_f);
+  LBSIM_REQUIRE(node.lambda_r >= 0.0, "lambda_r=" << node.lambda_r);
+  LBSIM_REQUIRE(node.lambda_f == 0.0 || node.lambda_r > 0.0,
+                "a node that can fail (lambda_f=" << node.lambda_f
+                                                  << ") needs lambda_r > 0");
+}
+
+double availability(const NodeParams& node) {
+  validate(node);
+  if (node.lambda_f == 0.0) return 1.0;
+  return node.lambda_r / (node.lambda_f + node.lambda_r);
+}
+
+void validate(const TwoNodeParams& params) {
+  validate(params.nodes[0]);
+  validate(params.nodes[1]);
+  LBSIM_REQUIRE(params.per_task_delay_mean > 0.0,
+                "per_task_delay_mean=" << params.per_task_delay_mean);
+}
+
+TwoNodeParams ipdps2006_params() {
+  TwoNodeParams p;
+  p.nodes[0] = NodeParams{1.08, 1.0 / 20.0, 1.0 / 10.0};
+  p.nodes[1] = NodeParams{1.86, 1.0 / 20.0, 1.0 / 20.0};
+  p.per_task_delay_mean = 0.02;
+  return p;
+}
+
+TwoNodeParams without_failures(TwoNodeParams params) {
+  for (auto& node : params.nodes) {
+    node.lambda_f = 0.0;
+    node.lambda_r = 0.0;
+  }
+  return params;
+}
+
+void validate(const MultiNodeParams& params) {
+  LBSIM_REQUIRE(!params.nodes.empty(), "no nodes");
+  for (const auto& node : params.nodes) validate(node);
+  LBSIM_REQUIRE(params.per_task_delay_mean > 0.0,
+                "per_task_delay_mean=" << params.per_task_delay_mean);
+}
+
+}  // namespace lbsim::markov

@@ -1,0 +1,56 @@
+#pragma once
+/// \file params.hpp
+/// Stochastic parameters of the analytical model (Section 2 of the paper).
+/// All rates are in 1/seconds; a rate is the inverse of the corresponding mean.
+
+#include <cstddef>
+#include <vector>
+
+namespace lbsim::markov {
+
+/// Work-state bitmask with both nodes of a two-node system up (bit i = node i up).
+inline constexpr unsigned kBothUp = 0b11;
+
+struct NodeParams {
+  /// Service rate lambda_d: tasks completed per second while up.
+  double lambda_d = 1.0;
+  /// Failure rate lambda_f of an up node; 0 means the node never fails.
+  double lambda_f = 0.0;
+  /// Recovery rate lambda_r of a down node; required > 0 whenever lambda_f > 0.
+  double lambda_r = 0.0;
+};
+
+/// Throws std::invalid_argument unless lambda_d > 0 and the failure/recovery
+/// pair is consistent (lambda_f > 0 implies lambda_r > 0; both nonnegative).
+void validate(const NodeParams& node);
+
+/// Steady-state probability that the node is up: lambda_r/(lambda_f+lambda_r),
+/// or 1 when the node never fails. Enters LBP-2's eq. (8).
+[[nodiscard]] double availability(const NodeParams& node);
+
+/// Two-node system of Section 2: nodes plus the mean per-task transfer delay d.
+/// A bundle of L tasks is delayed Exp(1/(d*L)) — mean d*L (paper Fig. 2).
+struct TwoNodeParams {
+  NodeParams nodes[2];
+  double per_task_delay_mean = 0.02;
+};
+
+void validate(const TwoNodeParams& params);
+
+/// The parameters measured in Section 4 of the paper:
+/// lambda_d = (1.08, 1.86) tasks/s, mean failure time 20 s for both nodes,
+/// mean recovery 10 s (node 0) / 20 s (node 1), per-task delay 0.02 s.
+[[nodiscard]] TwoNodeParams ipdps2006_params();
+
+/// Same nodes with failures switched off (the paper's "no failure case").
+[[nodiscard]] TwoNodeParams without_failures(TwoNodeParams params);
+
+/// Multi-node generalisation used by the extension solvers and simulators.
+struct MultiNodeParams {
+  std::vector<NodeParams> nodes;
+  double per_task_delay_mean = 0.02;
+};
+
+void validate(const MultiNodeParams& params);
+
+}  // namespace lbsim::markov

@@ -1,0 +1,262 @@
+#include "markov/two_node_cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "markov/two_node_mean.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace lbsim::markov {
+namespace {
+
+bool node_up(unsigned w, int i) noexcept { return (w >> i) & 1u; }
+
+/// Per-work-state constants of one lattice point's ODE system.
+struct PointSystem {
+  double total[4];   // Lambda(w); < 0 marks an unreachable work state
+  double churn0[4];  // rate of the node-0 churn event from w (toward w^1)
+  double churn1[4];  // rate of the node-1 churn event from w (toward w^2)
+  double svc0[4];
+  double svc1[4];
+  double arrival;
+};
+
+PointSystem build_point(const TwoNodeParams& p, std::size_t a, std::size_t b,
+                        double arrival_rate) {
+  PointSystem s{};
+  s.arrival = arrival_rate;
+  for (unsigned w = 0; w < 4; ++w) {
+    const bool up0 = node_up(w, 0);
+    const bool up1 = node_up(w, 1);
+    s.svc0[w] = (up0 && a > 0) ? p.nodes[0].lambda_d : 0.0;
+    s.svc1[w] = (up1 && b > 0) ? p.nodes[1].lambda_d : 0.0;
+    s.churn0[w] = up0 ? p.nodes[0].lambda_f : p.nodes[0].lambda_r;
+    s.churn1[w] = up1 ? p.nodes[1].lambda_f : p.nodes[1].lambda_r;
+    s.total[w] = s.svc0[w] + s.svc1[w] + s.churn0[w] + s.churn1[w] + arrival_rate;
+    const bool unreachable = !up0 && p.nodes[0].lambda_f == 0.0;
+    const bool unreachable1 = !up1 && p.nodes[1].lambda_f == 0.0;
+    if (unreachable || unreachable1) s.total[w] = -1.0;  // pin curve to zero
+  }
+  return s;
+}
+
+}  // namespace
+
+double CdfCurve::tail_mass() const {
+  LBSIM_REQUIRE(!values.empty(), "empty curve");
+  return 1.0 - values.back();
+}
+
+double CdfCurve::mean_estimate() const {
+  LBSIM_REQUIRE(grid.size() == values.size() && grid.size() >= 2, "malformed curve");
+  std::vector<double> survival(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) survival[i] = 1.0 - values[i];
+  return util::trapezoid(survival, grid[1] - grid[0]);
+}
+
+double CdfCurve::quantile(double q) const {
+  LBSIM_REQUIRE(q > 0.0 && q <= 1.0, "q=" << q);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= q) return grid[i];
+  }
+  LBSIM_REQUIRE(false, "quantile " << q << " beyond horizon (tail=" << tail_mass() << ")");
+  return 0.0;  // unreachable
+}
+
+TwoNodeParams swap_nodes(const TwoNodeParams& params) {
+  TwoNodeParams out = params;
+  std::swap(out.nodes[0], out.nodes[1]);
+  return out;
+}
+
+unsigned swap_state_bits(unsigned state) {
+  return ((state & 0b01u) << 1) | ((state & 0b10u) >> 1);
+}
+
+TwoNodeCdfSolver::TwoNodeCdfSolver(TwoNodeParams params, Config config)
+    : params_(params), config_(config) {
+  validate(params_);
+  LBSIM_REQUIRE(config_.horizon > 0.0, "horizon=" << config_.horizon);
+  LBSIM_REQUIRE(config_.dt > 0.0 && config_.dt <= config_.horizon, "dt=" << config_.dt);
+  LBSIM_REQUIRE(config_.stability_factor > 0.0 && config_.stability_factor <= 1.0,
+                "stability_factor=" << config_.stability_factor);
+}
+
+CdfCurve TwoNodeCdfSolver::cdf_no_transit(std::size_t q0, std::size_t q1,
+                                          unsigned state) const {
+  LBSIM_REQUIRE(state < 4, "state=" << state);
+  return solve_toward_node1(params_, q0, q1, 0, state);
+}
+
+CdfCurve TwoNodeCdfSolver::cdf_with_transit(std::size_t q0, std::size_t q1, std::size_t L,
+                                            int dest, unsigned state) const {
+  LBSIM_REQUIRE(state < 4, "state=" << state);
+  LBSIM_REQUIRE(dest == 0 || dest == 1, "dest=" << dest);
+  if (L == 0) return cdf_no_transit(q0, q1, state);
+  if (dest == 1) return solve_toward_node1(params_, q0, q1, L, state);
+  return solve_toward_node1(swap_nodes(params_), q1, q0, L, swap_state_bits(state));
+}
+
+CdfCurve TwoNodeCdfSolver::lbp1_cdf(std::size_t m0, std::size_t m1, int sender, double gain,
+                                    unsigned state) const {
+  LBSIM_REQUIRE(sender == 0 || sender == 1, "sender=" << sender);
+  const std::size_t m_sender = (sender == 0) ? m0 : m1;
+  const std::size_t L = TwoNodeMeanSolver::lbp1_transfer_count(m_sender, gain);
+  const std::size_t q0 = (sender == 0) ? m0 - L : m0;
+  const std::size_t q1 = (sender == 1) ? m1 - L : m1;
+  return cdf_with_transit(q0, q1, L, 1 - sender, state);
+}
+
+CdfCurve TwoNodeCdfSolver::solve_toward_node1(const TwoNodeParams& params, std::size_t q0,
+                                              std::size_t q1, std::size_t L,
+                                              unsigned state) const {
+  const std::size_t n_steps =
+      static_cast<std::size_t>(std::ceil(config_.horizon / config_.dt));
+  const double dt = config_.dt;
+  const std::size_t n_grid = n_steps + 1;
+  const std::size_t b_hat = q1 + L;     // hat lattice column extent
+  const std::size_t row_curves = (b_hat + 1) * 4;
+
+  // Row buffers: curve (b, w) occupies [((b*4)+w) * n_grid, ...).
+  const auto curve_of = [n_grid](std::vector<double>& row, std::size_t b,
+                                 unsigned w) -> double* {
+    return row.data() + ((b * 4) + w) * n_grid;
+  };
+  const auto curve_of_const = [n_grid](const std::vector<double>& row, std::size_t b,
+                                       unsigned w) -> const double* {
+    return row.data() + ((b * 4) + w) * n_grid;
+  };
+
+  std::vector<double> hat_prev(row_curves * n_grid, 0.0);
+  std::vector<double> hat_cur(row_curves * n_grid, 0.0);
+  std::vector<double> main_prev;
+  std::vector<double> main_cur;
+  if (L > 0) {
+    main_prev.assign(row_curves * n_grid, 0.0);
+    main_cur.assign(row_curves * n_grid, 0.0);
+  }
+
+  const double arrival_rate =
+      (L > 0) ? 1.0 / (params.per_task_delay_mean * static_cast<double>(L)) : 0.0;
+
+  // Integrates the 4-state system at one lattice point, writing 4 curves.
+  const auto integrate_point = [&](const PointSystem& sys, std::vector<double>& row,
+                                   std::size_t b, const std::vector<double>* lower_row,
+                                   std::size_t lower_b_valid,
+                                   const std::vector<double>* same_row_lower,
+                                   const std::vector<double>* hat_row, std::size_t hat_b) {
+    double y[4] = {0.0, 0.0, 0.0, 0.0};
+    // Unreachable states keep p = 0 throughout (already zero-initialised).
+    double u0[4];
+    double u1[4];
+    const auto gather_u = [&](std::size_t k, double* u) {
+      for (unsigned w = 0; w < 4; ++w) {
+        double acc = 0.0;
+        if (sys.svc0[w] > 0.0 && lower_row != nullptr && lower_b_valid) {
+          acc += sys.svc0[w] * curve_of_const(*lower_row, b, w)[k];
+        }
+        if (sys.svc1[w] > 0.0 && same_row_lower != nullptr) {
+          acc += sys.svc1[w] * curve_of_const(*same_row_lower, b - 1, w)[k];
+        }
+        if (sys.arrival > 0.0 && hat_row != nullptr) {
+          acc += sys.arrival * curve_of_const(*hat_row, hat_b, w)[k];
+        }
+        u[w] = acc;
+      }
+    };
+    double lambda_max = 0.0;
+    for (unsigned w = 0; w < 4; ++w) lambda_max = std::max(lambda_max, sys.total[w]);
+    const std::size_t n_sub = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(dt * lambda_max / config_.stability_factor)));
+    const double h = dt / static_cast<double>(n_sub);
+
+    for (unsigned w = 0; w < 4; ++w) curve_of(row, b, w)[0] = 0.0;
+
+    const auto deriv = [&sys](const double* y_in, const double* u, double* dy) {
+      for (unsigned w = 0; w < 4; ++w) {
+        if (sys.total[w] < 0.0) {  // unreachable state pinned at zero
+          dy[w] = 0.0;
+          continue;
+        }
+        double v = -sys.total[w] * y_in[w] + u[w];
+        v += sys.churn0[w] * y_in[w ^ 0b01u];
+        v += sys.churn1[w] * y_in[w ^ 0b10u];
+        dy[w] = v;
+      }
+    };
+
+    for (std::size_t k = 0; k < n_steps; ++k) {
+      gather_u(k, u0);
+      gather_u(k + 1, u1);
+      for (std::size_t s = 0; s < n_sub; ++s) {
+        // u linearly interpolated across the output step
+        const double f0 = static_cast<double>(s) / static_cast<double>(n_sub);
+        const double f1 = static_cast<double>(s + 1) / static_cast<double>(n_sub);
+        const double fm = 0.5 * (f0 + f1);
+        double ua[4], um[4], ub[4];
+        for (unsigned w = 0; w < 4; ++w) {
+          ua[w] = u0[w] + (u1[w] - u0[w]) * f0;
+          um[w] = u0[w] + (u1[w] - u0[w]) * fm;
+          ub[w] = u0[w] + (u1[w] - u0[w]) * f1;
+        }
+        double k1[4], k2[4], k3[4], k4[4], tmp[4];
+        deriv(y, ua, k1);
+        for (unsigned w = 0; w < 4; ++w) tmp[w] = y[w] + 0.5 * h * k1[w];
+        deriv(tmp, um, k2);
+        for (unsigned w = 0; w < 4; ++w) tmp[w] = y[w] + 0.5 * h * k2[w];
+        deriv(tmp, um, k3);
+        for (unsigned w = 0; w < 4; ++w) tmp[w] = y[w] + h * k3[w];
+        deriv(tmp, ub, k4);
+        for (unsigned w = 0; w < 4; ++w) {
+          y[w] += h / 6.0 * (k1[w] + 2.0 * k2[w] + 2.0 * k3[w] + k4[w]);
+          y[w] = std::clamp(y[w], 0.0, 1.0);
+        }
+      }
+      for (unsigned w = 0; w < 4; ++w) curve_of(row, b, w)[k + 1] = y[w];
+    }
+  };
+
+  for (std::size_t a = 0; a <= q0; ++a) {
+    // --- hatted row a over b in [0, b_hat] ---
+    std::fill(hat_cur.begin(), hat_cur.end(), 0.0);
+    for (std::size_t b = 0; b <= b_hat; ++b) {
+      if (a == 0 && b == 0) {
+        // No work anywhere and nothing in transit: done at t = 0.
+        for (unsigned w = 0; w < 4; ++w) {
+          double* c = curve_of(hat_cur, 0, w);
+          std::fill(c, c + n_grid, 1.0);
+        }
+        continue;
+      }
+      const PointSystem sys = build_point(params, a, b, 0.0);
+      integrate_point(sys, hat_cur, b, a > 0 ? &hat_prev : nullptr, a > 0,
+                      b > 0 ? &hat_cur : nullptr, nullptr, 0);
+    }
+
+    // --- transit row a over b in [0, q1] ---
+    if (L > 0) {
+      std::fill(main_cur.begin(), main_cur.end(), 0.0);
+      for (std::size_t b = 0; b <= q1; ++b) {
+        const PointSystem sys = build_point(params, a, b, arrival_rate);
+        integrate_point(sys, main_cur, b, a > 0 ? &main_prev : nullptr, a > 0,
+                        b > 0 ? &main_cur : nullptr, &hat_cur, b + L);
+      }
+    }
+
+    if (a < q0) {
+      std::swap(hat_prev, hat_cur);
+      if (L > 0) std::swap(main_prev, main_cur);
+    }
+  }
+
+  CdfCurve out;
+  out.grid.resize(n_grid);
+  for (std::size_t k = 0; k < n_grid; ++k) out.grid[k] = static_cast<double>(k) * dt;
+  const std::vector<double>& final_row = (L > 0) ? main_cur : hat_cur;
+  const double* curve = curve_of_const(final_row, q1, state);
+  out.values.assign(curve, curve + n_grid);
+  return out;
+}
+
+}  // namespace lbsim::markov

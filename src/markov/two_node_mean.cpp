@@ -1,0 +1,133 @@
+#include "markov/two_node_mean.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "markov/linsolve.hpp"
+#include "util/error.hpp"
+
+namespace lbsim::markov {
+namespace {
+
+bool node_up(unsigned w, int i) noexcept { return (w >> i) & 1u; }
+
+}  // namespace
+
+TwoNodeMeanSolver::TwoNodeMeanSolver(TwoNodeParams params) : params_(params) {
+  validate(params_);
+}
+
+std::size_t TwoNodeMeanSolver::lbp1_transfer_count(std::size_t m_sender, double gain) {
+  // Tolerate float-accumulated sweep values like 1.0000000000000002.
+  constexpr double kEps = 1e-9;
+  LBSIM_REQUIRE(gain >= -kEps && gain <= 1.0 + kEps, "gain=" << gain);
+  const double clamped = std::clamp(gain, 0.0, 1.0);
+  return static_cast<std::size_t>(
+      std::llround(clamped * static_cast<double>(m_sender)));
+}
+
+void TwoNodeMeanSolver::solve_lattice(std::size_t A, std::size_t B, double arrival_rate,
+                                      int dest, std::size_t L,
+                                      const std::vector<double>* hat,
+                                      std::size_t hat_b_extent,
+                                      std::vector<double>& out) const {
+  const NodeParams& n0 = params_.nodes[0];
+  const NodeParams& n1 = params_.nodes[1];
+  out.assign((A + 1) * (B + 1) * 4, 0.0);
+
+  std::vector<double> mat(16);
+  std::vector<double> rhs(4);
+
+  for (std::size_t a = 0; a <= A; ++a) {
+    for (std::size_t b = 0; b <= B; ++b) {
+      if (a == 0 && b == 0 && arrival_rate == 0.0) {
+        // All work done: completion time zero in every work state.
+        continue;  // out already zero
+      }
+      mat.assign(16, 0.0);
+      for (unsigned w = 0; w < 4; ++w) {
+        const bool up0 = node_up(w, 0);
+        const bool up1 = node_up(w, 1);
+        const double svc0 = (up0 && a > 0) ? n0.lambda_d : 0.0;
+        const double svc1 = (up1 && b > 0) ? n1.lambda_d : 0.0;
+        const double churn0 = up0 ? n0.lambda_f : n0.lambda_r;
+        const double churn1 = up1 ? n1.lambda_f : n1.lambda_r;
+        const double total = svc0 + svc1 + churn0 + churn1 + arrival_rate;
+
+        // A work state showing a never-failing node as "down" is unreachable;
+        // pin its unknown to zero so the coupled system stays nonsingular (no
+        // reachable state transitions into it).
+        const bool unreachable = (!up0 && n0.lambda_f == 0.0) ||
+                                 (!up1 && n1.lambda_f == 0.0) || total <= 0.0;
+        if (unreachable) {
+          mat[w * 4 + w] = 1.0;
+          rhs[w] = 0.0;
+          continue;
+        }
+
+        mat[w * 4 + w] = 1.0;
+        double known = 1.0;  // the E[tau] = 1/total term, scaled below
+        if (svc0 > 0.0) known += svc0 * out[idx(a - 1, b, w, B)];
+        if (svc1 > 0.0) known += svc1 * out[idx(a, b - 1, w, B)];
+        if (arrival_rate > 0.0) {
+          const std::size_t ha = a + (dest == 0 ? L : 0);
+          const std::size_t hb = b + (dest == 1 ? L : 0);
+          known += arrival_rate * (*hat)[idx(ha, hb, w, hat_b_extent)];
+        }
+        if (churn0 > 0.0) mat[w * 4 + (w ^ 0b01u)] -= churn0 / total;
+        if (churn1 > 0.0) mat[w * 4 + (w ^ 0b10u)] -= churn1 / total;
+        rhs[w] = known / total;
+      }
+      const std::vector<double> mu = solve_dense(mat, rhs);
+      for (unsigned w = 0; w < 4; ++w) out[idx(a, b, w, B)] = mu[w];
+    }
+  }
+}
+
+void TwoNodeMeanSolver::ensure_hat(std::size_t A, std::size_t B) {
+  if (hat_ready_ && A <= hat_a_ && B <= hat_b_) return;
+  hat_a_ = std::max(A, hat_ready_ ? hat_a_ : A);
+  hat_b_ = std::max(B, hat_ready_ ? hat_b_ : B);
+  solve_lattice(hat_a_, hat_b_, 0.0, 0, 0, nullptr, 0, hat_);
+  hat_ready_ = true;
+}
+
+double TwoNodeMeanSolver::mean_no_transit(std::size_t q0, std::size_t q1, unsigned state) {
+  LBSIM_REQUIRE(state < 4, "state=" << state);
+  for (const int i : {0, 1}) {
+    LBSIM_REQUIRE(node_up(state, i) || params_.nodes[i].lambda_f > 0.0,
+                  "initial state marks never-failing node " << i << " as down");
+  }
+  ensure_hat(q0, q1);
+  return hat_[idx(q0, q1, state, hat_b_)];
+}
+
+double TwoNodeMeanSolver::mean_with_transit(std::size_t q0, std::size_t q1, std::size_t L,
+                                            int dest, unsigned state) {
+  LBSIM_REQUIRE(state < 4, "state=" << state);
+  LBSIM_REQUIRE(dest == 0 || dest == 1, "dest=" << dest);
+  if (L == 0) return mean_no_transit(q0, q1, state);
+
+  const std::size_t hat_a = q0 + (dest == 0 ? L : 0);
+  const std::size_t hat_b = q1 + (dest == 1 ? L : 0);
+  ensure_hat(hat_a, hat_b);
+
+  const double arrival_rate =
+      1.0 / (params_.per_task_delay_mean * static_cast<double>(L));
+  std::vector<double> lattice;
+  solve_lattice(q0, q1, arrival_rate, dest, L, &hat_, hat_b_, lattice);
+  return lattice[idx(q0, q1, state, q1)];
+}
+
+double TwoNodeMeanSolver::lbp1_mean(std::size_t m0, std::size_t m1, int sender, double gain,
+                                    unsigned state) {
+  LBSIM_REQUIRE(sender == 0 || sender == 1, "sender=" << sender);
+  const std::size_t m_sender = (sender == 0) ? m0 : m1;
+  const std::size_t L = lbp1_transfer_count(m_sender, gain);
+  const int dest = 1 - sender;
+  const std::size_t q0 = (sender == 0) ? m0 - L : m0;
+  const std::size_t q1 = (sender == 1) ? m1 - L : m1;
+  return mean_with_transit(q0, q1, L, dest, state);
+}
+
+}  // namespace lbsim::markov

@@ -1,0 +1,73 @@
+#pragma once
+/// \file two_node_mean.hpp
+/// Exact expected overall completion time for the two-node system of Section 2,
+/// via the regeneration-theory difference equations (paper eq. (4)).
+///
+/// The system state is (work state w, queue lengths (q0, q1), transit): w is a
+/// bitmask (bit i set = node i up); `transit` is either empty ("hatted"
+/// quantities, mu-hat) or one bundle of L tasks in flight toward a destination
+/// node, delayed Exp(1/(d*L)). At every lattice point the four work states are
+/// coupled by failure/recovery events, giving one 4x4 linear solve; service
+/// events reference already-solved lower lattice points, and the bundle-arrival
+/// event references the hatted lattice at (q_dest + L).
+///
+/// Boundary behaviour matches the paper: mu-hat(0,0) = 0 in every work state
+/// (the work is done, whatever the nodes do afterwards), and rows/columns with
+/// an empty queue simply lose the corresponding service event.
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/params.hpp"
+
+namespace lbsim::markov {
+
+class TwoNodeMeanSolver {
+ public:
+  explicit TwoNodeMeanSolver(TwoNodeParams params);
+
+  [[nodiscard]] const TwoNodeParams& params() const noexcept { return params_; }
+
+  /// E[T-hat]: mean completion time with q0/q1 tasks queued, nothing in transit,
+  /// starting in work state `state` (default both up).
+  [[nodiscard]] double mean_no_transit(std::size_t q0, std::size_t q1,
+                                       unsigned state = kBothUp);
+
+  /// E[T]: q0/q1 queued (already net of the departed bundle) plus L tasks in
+  /// flight toward node `dest`. L = 0 degenerates to mean_no_transit.
+  [[nodiscard]] double mean_with_transit(std::size_t q0, std::size_t q1, std::size_t L,
+                                         int dest, unsigned state = kBothUp);
+
+  /// LBP-1 entry point: initial workloads (m0, m1); `sender` ships
+  /// L = round(K * m_sender) tasks to the other node at t = 0.
+  [[nodiscard]] double lbp1_mean(std::size_t m0, std::size_t m1, int sender, double gain,
+                                 unsigned state = kBothUp);
+
+  /// Number of tasks LBP-1 transfers for a given gain (paper eq. (1), rounded
+  /// to the nearest whole task).
+  [[nodiscard]] static std::size_t lbp1_transfer_count(std::size_t m_sender, double gain);
+
+ private:
+  /// Solves a full lattice [0..A] x [0..B]. When `arrival_rate` > 0, each point
+  /// additionally references `hat` at (q0 + L*[dest==0], q1 + L*[dest==1]);
+  /// `hat_b_extent` is the row stride of the hat lattice.
+  void solve_lattice(std::size_t A, std::size_t B, double arrival_rate, int dest,
+                     std::size_t L, const std::vector<double>* hat,
+                     std::size_t hat_b_extent, std::vector<double>& out) const;
+
+  /// Recomputes the cached hat lattice if the requested extent exceeds it.
+  void ensure_hat(std::size_t A, std::size_t B);
+
+  static std::size_t idx(std::size_t a, std::size_t b, unsigned w,
+                         std::size_t b_extent) noexcept {
+    return (a * (b_extent + 1) + b) * 4 + w;
+  }
+
+  TwoNodeParams params_;
+  std::vector<double> hat_;
+  std::size_t hat_a_ = 0;
+  std::size_t hat_b_ = 0;
+  bool hat_ready_ = false;
+};
+
+}  // namespace lbsim::markov

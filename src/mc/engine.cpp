@@ -1,0 +1,70 @@
+#include "mc/engine.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace lbsim::mc {
+
+double McResult::ci95() const noexcept { return stoch::ci_half_width(completion); }
+
+McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
+  LBSIM_REQUIRE(mc.replications >= 1, "replications=" << mc.replications);
+  unsigned threads = mc.threads == 0 ? std::thread::hardware_concurrency() : mc.threads;
+  threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(mc.replications)));
+
+  struct Partial {
+    stoch::RunningStats completion;
+    double failures = 0.0;
+    double tasks_moved = 0.0;
+    double bundles = 0.0;
+    std::vector<double> samples;
+  };
+  std::vector<Partial> partials(threads);
+
+  const auto worker = [&](unsigned tid) {
+    // Each worker clones the scenario once; per-replication state is rebuilt
+    // inside run_scenario, and RNG streams are keyed by replication index.
+    const ScenarioConfig local = config.clone();
+    Partial& out = partials[tid];
+    if (mc.collect_samples) out.samples.reserve(mc.replications / threads + 1);
+    for (std::size_t rep = tid; rep < mc.replications; rep += threads) {
+      const RunResult run = run_scenario(local, mc.seed, rep);
+      out.completion.add(run.completion_time);
+      out.failures += static_cast<double>(run.failures);
+      out.tasks_moved += static_cast<double>(run.tasks_moved);
+      out.bundles += static_cast<double>(run.bundles_sent);
+      if (mc.collect_samples) out.samples.push_back(run.completion_time);
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& th : pool) th.join();
+  }
+
+  McResult result;
+  double failures = 0.0;
+  double moved = 0.0;
+  double bundles = 0.0;
+  for (Partial& p : partials) {
+    result.completion.merge(p.completion);
+    failures += p.failures;
+    moved += p.tasks_moved;
+    bundles += p.bundles;
+    result.samples.insert(result.samples.end(), p.samples.begin(), p.samples.end());
+  }
+  const double n = static_cast<double>(mc.replications);
+  result.mean_failures = failures / n;
+  result.mean_tasks_moved = moved / n;
+  result.mean_bundles = bundles / n;
+  if (mc.collect_samples) std::sort(result.samples.begin(), result.samples.end());
+  return result;
+}
+
+}  // namespace lbsim::mc

@@ -1,0 +1,38 @@
+#pragma once
+/// \file engine.hpp
+/// Parallel Monte-Carlo driver: runs N independent replications of a scenario
+/// (disjoint RNG streams, so the estimate is identical for any thread count)
+/// and aggregates completion-time statistics.
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/scenario.hpp"
+#include "stochastic/stats.hpp"
+
+namespace lbsim::mc {
+
+struct McConfig {
+  std::size_t replications = 500;  ///< the paper uses 500 for its MC columns
+  std::uint64_t seed = 0x5eed2006;
+  unsigned threads = 0;            ///< 0 = std::thread::hardware_concurrency()
+  bool collect_samples = false;    ///< keep raw completion times (ECDF/quantiles)
+};
+
+struct McResult {
+  stoch::RunningStats completion;   ///< completion-time statistics
+  double mean_failures = 0.0;       ///< average churn events per run
+  double mean_tasks_moved = 0.0;    ///< average migrated tasks per run
+  double mean_bundles = 0.0;        ///< average transfers per run
+  std::vector<double> samples;      ///< raw times (empty unless collect_samples)
+
+  [[nodiscard]] double mean() const noexcept { return completion.mean(); }
+  [[nodiscard]] double std_error() const noexcept { return completion.std_error(); }
+  /// 95% normal-approximation half width.
+  [[nodiscard]] double ci95() const noexcept;
+};
+
+/// Runs the experiment. Deterministic in (config, mc.seed, mc.replications).
+[[nodiscard]] McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc);
+
+}  // namespace lbsim::mc

@@ -1,0 +1,240 @@
+#include "mc/scenario.hpp"
+
+#include <sstream>
+
+#include "app/workload.hpp"
+#include "node/compute_element.hpp"
+#include "node/failure_process.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace lbsim::mc {
+namespace {
+
+/// SystemView over the live CEs.
+class LiveView final : public core::SystemView {
+ public:
+  LiveView(const markov::MultiNodeParams& params,
+           const std::vector<std::unique_ptr<node::ComputeElement>>& ces)
+      : params_(params), ces_(ces) {}
+
+  [[nodiscard]] std::size_t node_count() const override { return ces_.size(); }
+  [[nodiscard]] std::size_t queue_length(int n) const override {
+    return ces_.at(static_cast<std::size_t>(n))->queue_length();
+  }
+  [[nodiscard]] bool is_up(int n) const override {
+    return ces_.at(static_cast<std::size_t>(n))->is_up();
+  }
+  [[nodiscard]] markov::NodeParams node_params(int n) const override {
+    return params_.nodes.at(static_cast<std::size_t>(n));
+  }
+  [[nodiscard]] double per_task_delay_mean() const override {
+    return params_.per_task_delay_mean;
+  }
+
+ private:
+  const markov::MultiNodeParams& params_;
+  const std::vector<std::unique_ptr<node::ComputeElement>>& ces_;
+};
+
+void validate_config(const ScenarioConfig& config) {
+  markov::validate(config.params);
+  const std::size_t n = config.params.nodes.size();
+  LBSIM_REQUIRE(n >= 2, "scenario needs >= 2 nodes");
+  LBSIM_REQUIRE(config.workloads.size() == n,
+                "workloads has " << config.workloads.size() << " entries for " << n
+                                 << " nodes");
+  LBSIM_REQUIRE(config.policy != nullptr, "scenario needs a policy");
+  LBSIM_REQUIRE(config.initially_down < (1u << n), "initially_down mask");
+}
+
+}  // namespace
+
+ScenarioConfig ScenarioConfig::clone() const {
+  ScenarioConfig copy;
+  copy.params = params;
+  copy.workloads = workloads;
+  copy.policy = policy ? policy->clone() : nullptr;
+  copy.delay_model = delay_model ? delay_model->clone() : nullptr;
+  copy.churn_enabled = churn_enabled;
+  copy.initially_down = initially_down;
+  copy.rebalance_period = rebalance_period;
+  return copy;
+}
+
+ScenarioConfig make_two_node_scenario(const markov::TwoNodeParams& params, std::size_t m0,
+                                      std::size_t m1, core::PolicyPtr policy) {
+  ScenarioConfig config;
+  config.params.nodes = {params.nodes[0], params.nodes[1]};
+  config.params.per_task_delay_mean = params.per_task_delay_mean;
+  config.workloads = {m0, m1};
+  config.policy = std::move(policy);
+  return config;
+}
+
+RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
+                       std::uint64_t replication, RunTrace* trace) {
+  validate_config(config);
+  const std::size_t n = config.params.nodes.size();
+
+  // Disjoint, deterministic RNG streams per (replication, role, node):
+  // results do not depend on thread scheduling.
+  const std::uint64_t streams_per_run = 2 * static_cast<std::uint64_t>(n) + 1;
+  const std::uint64_t base = replication * streams_per_run;
+  std::vector<stoch::RngStream> service_rngs;
+  std::vector<stoch::RngStream> churn_rngs;
+  service_rngs.reserve(n);
+  churn_rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    service_rngs.emplace_back(seed, base + i);
+    churn_rngs.emplace_back(seed, base + n + i);
+  }
+  stoch::RngStream net_rng(seed, base + 2 * n);
+
+  des::Simulator sim;
+
+  // --- nodes ---
+  std::vector<std::unique_ptr<node::ComputeElement>> ces;
+  ces.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ces.push_back(std::make_unique<node::ComputeElement>(
+        sim, static_cast<int>(i),
+        app::exponential_service(config.params.nodes[i].lambda_d), service_rngs[i]));
+  }
+
+  if (trace != nullptr) {
+    trace->queue_lengths.assign(n, des::TimeSeries{});
+    for (std::size_t i = 0; i < n; ++i) {
+      ces[i]->set_queue_trace(&trace->queue_lengths[i]);
+    }
+  }
+
+  // --- links (full mesh, delay model cloned per directed pair) ---
+  const net::ExponentialBundleDelay default_delay(config.params.per_task_delay_mean);
+  const net::TransferDelayModel& delay_proto =
+      config.delay_model ? *config.delay_model
+                         : static_cast<const net::TransferDelayModel&>(default_delay);
+  std::vector<std::unique_ptr<net::Link>> links(n * n);
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      if (from == to) continue;
+      links[from * n + to] = std::make_unique<net::Link>(
+          sim, static_cast<int>(from), static_cast<int>(to), delay_proto.clone(), net_rng);
+    }
+  }
+
+  // --- completion tracking ---
+  std::size_t remaining = 0;
+  for (const std::size_t m : config.workloads) remaining += m;
+  double completion_time = 0.0;
+  bool done = remaining == 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ces[i]->set_completion_handler([&, i](const node::Task&) {
+      (void)i;
+      LBSIM_CHECK(remaining > 0, "completed more tasks than injected");
+      if (--remaining == 0) {
+        done = true;
+        completion_time = sim.now();
+      }
+    });
+  }
+
+  // --- initial workloads (unit tasks; the abstract model draws service times
+  //     from Exp(lambda_d) regardless of size) ---
+  std::uint64_t next_id = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    ces[i]->enqueue_batch(
+        node::make_unit_tasks(config.workloads[i], static_cast<int>(i), next_id));
+    next_id += config.workloads[i];
+  }
+
+  // --- transfer plumbing ---
+  LiveView view(config.params, ces);
+  RunResult result;
+  const auto execute = [&](const std::vector<core::TransferDirective>& directives) {
+    for (const core::TransferDirective& d : directives) {
+      LBSIM_REQUIRE(d.from >= 0 && static_cast<std::size_t>(d.from) < n, "from=" << d.from);
+      LBSIM_REQUIRE(d.to >= 0 && static_cast<std::size_t>(d.to) < n && d.to != d.from,
+                    "to=" << d.to);
+      if (d.count == 0) continue;
+      node::TaskBatch batch = ces[static_cast<std::size_t>(d.from)]->extract_tasks(d.count);
+      if (batch.empty()) continue;
+      result.bundles_sent += 1;
+      result.tasks_moved += batch.size();
+      if (trace != nullptr) {
+        std::ostringstream os;
+        os << d.from << "->" << d.to << " x" << batch.size();
+        trace->events.log(sim.now(), "transfer", os.str());
+      }
+      const std::size_t batch_size = batch.size();
+      links[static_cast<std::size_t>(d.from) * n + static_cast<std::size_t>(d.to)]->send(
+          std::move(batch), [&, batch_size](net::DataTransfer&& xfer) {
+            if (trace != nullptr) {
+              std::ostringstream os;
+              os << xfer.from << "->" << xfer.to << " x" << batch_size;
+              trace->events.log(sim.now(), "arrival", os.str());
+            }
+            ces[static_cast<std::size_t>(xfer.to)]->enqueue_batch(std::move(xfer.tasks));
+          });
+    }
+  };
+
+  // --- churn ---
+  std::vector<std::unique_ptr<node::FailureProcess>> churn;
+  churn.reserve(n);
+  core::LoadBalancingPolicy& policy = *config.policy;
+  for (std::size_t i = 0; i < n; ++i) {
+    const markov::NodeParams& np = config.params.nodes[i];
+    stoch::DistributionPtr ttf;
+    stoch::DistributionPtr ttr;
+    if (config.churn_enabled && np.lambda_f > 0.0) {
+      ttf = std::make_unique<stoch::Exponential>(np.lambda_f);
+      ttr = std::make_unique<stoch::Exponential>(np.lambda_r);
+    } else if ((config.initially_down >> i) & 1u) {
+      LBSIM_REQUIRE(np.lambda_r > 0.0, "initially-down node " << i << " cannot recover");
+      ttr = std::make_unique<stoch::Exponential>(np.lambda_r);
+    }
+    auto process = std::make_unique<node::FailureProcess>(sim, *ces[i], std::move(ttf),
+                                                          std::move(ttr), churn_rngs[i]);
+    process->set_failure_handler([&](int node_id) {
+      ++result.failures;
+      if (trace != nullptr) trace->events.log(sim.now(), "fail", std::to_string(node_id));
+      execute(policy.on_failure(node_id, view));
+    });
+    process->set_recovery_handler([&](int node_id) {
+      ++result.recoveries;
+      if (trace != nullptr) trace->events.log(sim.now(), "recover", std::to_string(node_id));
+      execute(policy.on_recovery(node_id, view));
+    });
+    churn.push_back(std::move(process));
+  }
+
+  // --- t = 0: policy's initial action, then churn starts ---
+  execute(policy.on_start(view));
+  if (config.rebalance_period > 0.0) {
+    // Recurring timer for periodic policies; stops mattering once done.
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&, tick] {
+      if (done) return;
+      execute(policy.on_periodic(view));
+      sim.schedule_in(config.rebalance_period, *tick);
+    };
+    sim.schedule_in(config.rebalance_period, *tick);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool can_churn = config.churn_enabled && config.params.nodes[i].lambda_f > 0.0;
+    const bool starts_down = (config.initially_down >> i) & 1u;
+    if (can_churn || starts_down) churn[i]->start(starts_down);
+  }
+
+  sim.run_while_pending([&] { return done; });
+  LBSIM_CHECK(done, "simulation drained its event queue before completing "
+                        << remaining << " tasks");
+
+  result.completion_time = completion_time;
+  for (const auto& ce : ces) result.tasks_completed += ce->stats().tasks_completed;
+  return result;
+}
+
+}  // namespace lbsim::mc

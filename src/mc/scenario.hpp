@@ -1,0 +1,68 @@
+#pragma once
+/// \file scenario.hpp
+/// One Monte-Carlo replication of the abstract model of Section 2: exponential
+/// service per task, alternating exponential failure/recovery per node, and
+/// exponential load-dependent bundle delays — exactly the laws the
+/// regeneration analysis assumes, so MC means must converge to the solver's.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "markov/params.hpp"
+#include "net/delay_model.hpp"
+#include "sim/trace.hpp"
+
+namespace lbsim::mc {
+
+/// A complete experiment description. Move-only (owns prototypes that are
+/// cloned per replication).
+struct ScenarioConfig {
+  markov::MultiNodeParams params;
+  std::vector<std::size_t> workloads;
+  core::PolicyPtr policy;
+  /// Bundle-delay law; when null, ExponentialBundleDelay(params.per_task_delay_mean)
+  /// — the analytical model — is used.
+  net::TransferDelayModelPtr delay_model;
+  /// Master switch for churn (false reproduces the paper's no-failure runs
+  /// without touching the per-node rates).
+  bool churn_enabled = true;
+  /// Bitmask of nodes that start down (bit i); all-up by default.
+  unsigned initially_down = 0;
+  /// When > 0, the policy's on_periodic() hook fires every this many seconds
+  /// (for PeriodicRebalancePolicy and similar extensions).
+  double rebalance_period = 0.0;
+
+  /// Deep copy (clones policy and delay model).
+  [[nodiscard]] ScenarioConfig clone() const;
+};
+
+/// Builds the common two-node config from TwoNodeParams.
+[[nodiscard]] ScenarioConfig make_two_node_scenario(const markov::TwoNodeParams& params,
+                                                    std::size_t m0, std::size_t m1,
+                                                    core::PolicyPtr policy);
+
+/// Everything observed in one replication.
+struct RunResult {
+  double completion_time = 0.0;
+  std::uint64_t failures = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t bundles_sent = 0;
+  std::uint64_t tasks_moved = 0;
+  std::uint64_t tasks_completed = 0;
+};
+
+/// Optional per-run observability (Fig. 4): queue traces and a churn/transfer log.
+struct RunTrace {
+  std::vector<des::TimeSeries> queue_lengths;  // one per node
+  des::EventLog events;                        // tags: fail, recover, transfer, arrival
+};
+
+/// Runs one replication. `seed` is the experiment master seed; `replication`
+/// selects disjoint RNG streams, so results are independent across
+/// replications and identical regardless of threading.
+[[nodiscard]] RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
+                                     std::uint64_t replication, RunTrace* trace = nullptr);
+
+}  // namespace lbsim::mc

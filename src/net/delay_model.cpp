@@ -1,0 +1,91 @@
+#include "net/delay_model.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lbsim::net {
+
+ExponentialBundleDelay::ExponentialBundleDelay(double per_task_mean, double shift)
+    : per_task_mean_(per_task_mean), shift_(shift) {
+  LBSIM_REQUIRE(per_task_mean > 0.0, "per_task_mean=" << per_task_mean);
+  LBSIM_REQUIRE(shift >= 0.0, "shift=" << shift);
+}
+
+double ExponentialBundleDelay::sample(std::size_t n_tasks, stoch::RngStream& rng) const {
+  LBSIM_REQUIRE(n_tasks >= 1, "empty bundle");
+  const double mean_delay = per_task_mean_ * static_cast<double>(n_tasks);
+  return shift_ + rng.exponential(1.0 / mean_delay);
+}
+
+double ExponentialBundleDelay::mean(std::size_t n_tasks) const {
+  LBSIM_REQUIRE(n_tasks >= 1, "empty bundle");
+  return shift_ + per_task_mean_ * static_cast<double>(n_tasks);
+}
+
+std::string ExponentialBundleDelay::describe() const {
+  std::ostringstream os;
+  os << "ExponentialBundleDelay(per_task_mean=" << per_task_mean_ << ", shift=" << shift_ << ")";
+  return os.str();
+}
+
+TransferDelayModelPtr ExponentialBundleDelay::clone() const {
+  return std::make_unique<ExponentialBundleDelay>(*this);
+}
+
+ErlangPerTaskDelay::ErlangPerTaskDelay(double per_task_mean, double shift)
+    : per_task_mean_(per_task_mean), shift_(shift) {
+  LBSIM_REQUIRE(per_task_mean > 0.0, "per_task_mean=" << per_task_mean);
+  LBSIM_REQUIRE(shift >= 0.0, "shift=" << shift);
+}
+
+double ErlangPerTaskDelay::sample(std::size_t n_tasks, stoch::RngStream& rng) const {
+  LBSIM_REQUIRE(n_tasks >= 1, "empty bundle");
+  double total = shift_;
+  const double rate = 1.0 / per_task_mean_;
+  for (std::size_t i = 0; i < n_tasks; ++i) total += rng.exponential(rate);
+  return total;
+}
+
+double ErlangPerTaskDelay::mean(std::size_t n_tasks) const {
+  LBSIM_REQUIRE(n_tasks >= 1, "empty bundle");
+  return shift_ + per_task_mean_ * static_cast<double>(n_tasks);
+}
+
+std::string ErlangPerTaskDelay::describe() const {
+  std::ostringstream os;
+  os << "ErlangPerTaskDelay(per_task_mean=" << per_task_mean_ << ", shift=" << shift_ << ")";
+  return os.str();
+}
+
+TransferDelayModelPtr ErlangPerTaskDelay::clone() const {
+  return std::make_unique<ErlangPerTaskDelay>(*this);
+}
+
+DeterministicLinearDelay::DeterministicLinearDelay(double per_task_mean, double shift)
+    : per_task_mean_(per_task_mean), shift_(shift) {
+  LBSIM_REQUIRE(per_task_mean > 0.0, "per_task_mean=" << per_task_mean);
+  LBSIM_REQUIRE(shift >= 0.0, "shift=" << shift);
+}
+
+double DeterministicLinearDelay::sample(std::size_t n_tasks, stoch::RngStream& /*rng*/) const {
+  return mean(n_tasks);
+}
+
+double DeterministicLinearDelay::mean(std::size_t n_tasks) const {
+  LBSIM_REQUIRE(n_tasks >= 1, "empty bundle");
+  return shift_ + per_task_mean_ * static_cast<double>(n_tasks);
+}
+
+std::string DeterministicLinearDelay::describe() const {
+  std::ostringstream os;
+  os << "DeterministicLinearDelay(per_task_mean=" << per_task_mean_ << ", shift=" << shift_
+     << ")";
+  return os.str();
+}
+
+TransferDelayModelPtr DeterministicLinearDelay::clone() const {
+  return std::make_unique<DeterministicLinearDelay>(*this);
+}
+
+}  // namespace lbsim::net

@@ -1,0 +1,84 @@
+#pragma once
+/// \file delay_model.hpp
+/// Load-dependent transfer-delay laws for moving a bundle of L tasks between
+/// nodes.
+///
+/// The paper's analytical model (Section 2) takes the whole bundle delay to be
+/// exponential with mean d*L (d = mean per-task delay, 0.02 s measured); the
+/// empirical measurements (Fig. 2) show the mean growing linearly in L with a
+/// slight shift. Three laws are provided:
+///  * ExponentialBundleDelay  — the analytical model;
+///  * ErlangPerTaskDelay      — sum of L iid Exp per-task delays + setup shift
+///                              (the testbed emulation; same linear mean);
+///  * DeterministicLinearDelay — ablation baseline.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "stochastic/rng.hpp"
+
+namespace lbsim::net {
+
+class TransferDelayModel {
+ public:
+  virtual ~TransferDelayModel() = default;
+
+  /// Delay (seconds) to deliver a bundle of `n_tasks` tasks; n_tasks >= 1.
+  [[nodiscard]] virtual double sample(std::size_t n_tasks, stoch::RngStream& rng) const = 0;
+
+  /// Mean of the above law.
+  [[nodiscard]] virtual double mean(std::size_t n_tasks) const = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<TransferDelayModel> clone() const = 0;
+};
+
+using TransferDelayModelPtr = std::unique_ptr<TransferDelayModel>;
+
+/// Exp with mean `shift + per_task_mean * n`; shift defaults to 0 (paper model).
+class ExponentialBundleDelay final : public TransferDelayModel {
+ public:
+  explicit ExponentialBundleDelay(double per_task_mean, double shift = 0.0);
+  [[nodiscard]] double sample(std::size_t n_tasks, stoch::RngStream& rng) const override;
+  [[nodiscard]] double mean(std::size_t n_tasks) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] TransferDelayModelPtr clone() const override;
+  [[nodiscard]] double per_task_mean() const noexcept { return per_task_mean_; }
+
+ private:
+  double per_task_mean_;
+  double shift_;
+};
+
+/// shift + sum of n iid Exp(1/per_task_mean): Erlang(n) bundle delay.
+class ErlangPerTaskDelay final : public TransferDelayModel {
+ public:
+  explicit ErlangPerTaskDelay(double per_task_mean, double shift = 0.0);
+  [[nodiscard]] double sample(std::size_t n_tasks, stoch::RngStream& rng) const override;
+  [[nodiscard]] double mean(std::size_t n_tasks) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] TransferDelayModelPtr clone() const override;
+  [[nodiscard]] double per_task_mean() const noexcept { return per_task_mean_; }
+  [[nodiscard]] double shift() const noexcept { return shift_; }
+
+ private:
+  double per_task_mean_;
+  double shift_;
+};
+
+/// Exactly shift + per_task_mean * n.
+class DeterministicLinearDelay final : public TransferDelayModel {
+ public:
+  explicit DeterministicLinearDelay(double per_task_mean, double shift = 0.0);
+  [[nodiscard]] double sample(std::size_t n_tasks, stoch::RngStream& rng) const override;
+  [[nodiscard]] double mean(std::size_t n_tasks) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] TransferDelayModelPtr clone() const override;
+
+ private:
+  double per_task_mean_;
+  double shift_;
+};
+
+}  // namespace lbsim::net

@@ -1,0 +1,54 @@
+#pragma once
+/// \file link.hpp
+/// A one-directional point-to-point link delivering task bundles after a
+/// load-dependent random delay, with in-flight accounting.
+
+#include <cstdint>
+#include <functional>
+
+#include "net/delay_model.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace lbsim::net {
+
+class Link {
+ public:
+  using DeliveryHandler = std::function<void(DataTransfer&&)>;
+
+  /// The link samples delays from `delay` using `rng`; both references/pointees
+  /// must outlive the link.
+  Link(des::Simulator& sim, int from, int to, TransferDelayModelPtr delay,
+       stoch::RngStream& rng);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Ships `tasks` (non-empty) and invokes `on_delivery` when they arrive.
+  /// Returns the sampled delay.
+  double send(node::TaskBatch tasks, DeliveryHandler on_delivery);
+
+  [[nodiscard]] int from() const noexcept { return from_; }
+  [[nodiscard]] int to() const noexcept { return to_; }
+  [[nodiscard]] std::size_t bundles_in_flight() const noexcept { return in_flight_bundles_; }
+  [[nodiscard]] std::size_t tasks_in_flight() const noexcept { return in_flight_tasks_; }
+  [[nodiscard]] std::uint64_t bundles_delivered() const noexcept { return delivered_bundles_; }
+  [[nodiscard]] std::uint64_t tasks_delivered() const noexcept { return delivered_tasks_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] const TransferDelayModel& delay_model() const noexcept { return *delay_; }
+
+ private:
+  des::Simulator& sim_;
+  int from_;
+  int to_;
+  TransferDelayModelPtr delay_;
+  stoch::RngStream& rng_;
+
+  std::size_t in_flight_bundles_ = 0;
+  std::size_t in_flight_tasks_ = 0;
+  std::uint64_t delivered_bundles_ = 0;
+  std::uint64_t delivered_tasks_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace lbsim::net

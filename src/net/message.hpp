@@ -1,0 +1,56 @@
+#pragma once
+/// \file message.hpp
+/// Wire messages of the emulated communication layer (Section 3 of the paper):
+/// small UDP state-information packets and TCP data transfers whose size depends
+/// on the tasks carried.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "node/task.hpp"
+
+namespace lbsim::net {
+
+/// Queue/capability advertisement exchanged over UDP. The paper reports packet
+/// sizes between 20 and 34 bytes depending on the policy fields present.
+struct StateInfoPacket {
+  int sender = 0;
+  double timestamp = 0.0;       ///< emission time (virtual seconds)
+  std::uint32_t queue_size = 0;
+  double processing_rate = 0.0;  ///< tasks per second
+  bool node_up = true;
+  /// Optional policy-specific payload (e.g. LBP-2 advertises its excess load).
+  double policy_payload = 0.0;
+  bool has_policy_payload = false;
+
+  /// Emulated wire size in bytes: 20-byte base record plus optional fields,
+  /// matching the 20-34 byte range reported in the paper.
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    std::size_t bytes = 20;              // sender, timestamp, queue, rate
+    bytes += 2;                          // node_up + version tag
+    if (has_policy_payload) bytes += 12; // payload + descriptor
+    return bytes;
+  }
+};
+
+/// A bundle of tasks in flight between two nodes (TCP transfer).
+struct DataTransfer {
+  int from = 0;
+  int to = 0;
+  double sent_at = 0.0;
+  node::TaskBatch tasks;
+
+  /// Emulated wire size: 16-byte header + per-task records whose length scales
+  /// with the (random) task size, mirroring "the size of the data packets
+  /// depends on the number of tasks ... and the particular realization of each
+  /// randomly generated task".
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    std::size_t bytes = 16;
+    for (const auto& task : tasks) {
+      bytes += 12 + static_cast<std::size_t>(task.size * 8.0);
+    }
+    return bytes;
+  }
+};
+
+}  // namespace lbsim::net

@@ -1,0 +1,68 @@
+#include "net/network.hpp"
+
+#include "util/error.hpp"
+
+namespace lbsim::net {
+
+Network::Network(des::Simulator& sim, std::size_t node_count, Config config,
+                 stoch::RngStream& rng)
+    : sim_(sim), node_count_(node_count), config_(std::move(config)), rng_(rng) {
+  LBSIM_REQUIRE(node_count >= 2, "network needs >= 2 nodes");
+  LBSIM_REQUIRE(config_.data_delay != nullptr, "network needs a data delay model");
+  LBSIM_REQUIRE(config_.state_latency >= 0.0, "state_latency=" << config_.state_latency);
+  LBSIM_REQUIRE(config_.state_loss_probability >= 0.0 && config_.state_loss_probability < 1.0,
+                "state_loss_probability=" << config_.state_loss_probability);
+  links_.resize(node_count_ * node_count_);
+  for (std::size_t from = 0; from < node_count_; ++from) {
+    for (std::size_t to = 0; to < node_count_; ++to) {
+      if (from == to) continue;
+      links_[from * node_count_ + to] =
+          std::make_unique<Link>(sim_, static_cast<int>(from), static_cast<int>(to),
+                                 config_.data_delay->clone(), rng_);
+    }
+  }
+}
+
+std::size_t Network::index(int from, int to) const {
+  LBSIM_REQUIRE(from >= 0 && static_cast<std::size_t>(from) < node_count_, "from=" << from);
+  LBSIM_REQUIRE(to >= 0 && static_cast<std::size_t>(to) < node_count_, "to=" << to);
+  LBSIM_REQUIRE(from != to, "no self link");
+  return static_cast<std::size_t>(from) * node_count_ + static_cast<std::size_t>(to);
+}
+
+Link& Network::link(int from, int to) { return *links_[index(from, to)]; }
+
+const Link& Network::link(int from, int to) const { return *links_[index(from, to)]; }
+
+double Network::transfer(int from, int to, node::TaskBatch tasks,
+                         DeliveryHandler on_delivery) {
+  return link(from, to).send(std::move(tasks), std::move(on_delivery));
+}
+
+std::size_t Network::broadcast_state(const StateInfoPacket& packet, StateHandler on_state) {
+  LBSIM_REQUIRE(on_state != nullptr, "null state handler");
+  std::size_t delivered = 0;
+  for (std::size_t to = 0; to < node_count_; ++to) {
+    if (static_cast<int>(to) == packet.sender) continue;
+    state_bytes_ += packet.wire_bytes();
+    if (config_.state_loss_probability > 0.0 &&
+        rng_.uniform01() < config_.state_loss_probability) {
+      ++state_lost_;
+      continue;
+    }
+    ++delivered;
+    sim_.schedule_in(config_.state_latency,
+                     [on_state, to, packet] { on_state(static_cast<int>(to), packet); });
+  }
+  return delivered;
+}
+
+std::size_t Network::tasks_in_flight() const noexcept {
+  std::size_t total = 0;
+  for (const auto& link : links_) {
+    if (link) total += link->tasks_in_flight();
+  }
+  return total;
+}
+
+}  // namespace lbsim::net

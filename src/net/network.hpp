@@ -1,0 +1,68 @@
+#pragma once
+/// \file network.hpp
+/// Full-mesh network between n nodes: one Link per ordered pair plus a UDP-like
+/// state-information channel with fixed small latency and optional loss.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/message.hpp"
+
+namespace lbsim::net {
+
+class Network {
+ public:
+  struct Config {
+    /// Delay law shared by all data links (cloned per link).
+    TransferDelayModelPtr data_delay;
+    /// One-way latency of a state packet, seconds (UDP datagrams are small).
+    double state_latency = 1e-3;
+    /// Probability that a state packet is lost (UDP is unreliable).
+    double state_loss_probability = 0.0;
+  };
+
+  using DeliveryHandler = std::function<void(DataTransfer&&)>;
+  using StateHandler = std::function<void(int receiver, const StateInfoPacket&)>;
+
+  /// Builds links for every ordered pair of `node_count` >= 2 nodes.
+  Network(des::Simulator& sim, std::size_t node_count, Config config, stoch::RngStream& rng);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
+
+  /// The directional link from -> to.
+  [[nodiscard]] Link& link(int from, int to);
+  [[nodiscard]] const Link& link(int from, int to) const;
+
+  /// Ships tasks from -> to; returns the sampled delay.
+  double transfer(int from, int to, node::TaskBatch tasks, DeliveryHandler on_delivery);
+
+  /// Sends `packet` to every other node. Each copy independently suffers the
+  /// configured loss probability; survivors arrive after `state_latency`.
+  /// Returns the number of copies actually delivered (scheduled).
+  std::size_t broadcast_state(const StateInfoPacket& packet, StateHandler on_state);
+
+  /// Total tasks currently in flight over all links.
+  [[nodiscard]] std::size_t tasks_in_flight() const noexcept;
+
+  /// Count of state packets dropped by the loss process.
+  [[nodiscard]] std::uint64_t state_packets_lost() const noexcept { return state_lost_; }
+  [[nodiscard]] std::uint64_t state_bytes_sent() const noexcept { return state_bytes_; }
+
+ private:
+  [[nodiscard]] std::size_t index(int from, int to) const;
+
+  des::Simulator& sim_;
+  std::size_t node_count_;
+  Config config_;
+  stoch::RngStream& rng_;
+  std::vector<std::unique_ptr<Link>> links_;  // row-major [from][to], diagonal empty
+  std::uint64_t state_lost_ = 0;
+  std::uint64_t state_bytes_ = 0;
+};
+
+}  // namespace lbsim::net

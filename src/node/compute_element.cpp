@@ -1,0 +1,110 @@
+#include "node/compute_element.hpp"
+
+#include "util/error.hpp"
+
+namespace lbsim::node {
+
+ComputeElement::ComputeElement(des::Simulator& sim, int id, ServiceTimeFn service_time,
+                               stoch::RngStream& rng)
+    : sim_(sim), id_(id), service_time_(std::move(service_time)), rng_(rng) {
+  LBSIM_REQUIRE(service_time_ != nullptr, "CE " << id << " needs a service-time function");
+}
+
+void ComputeElement::record_queue() const {
+  if (queue_trace_ != nullptr) {
+    queue_trace_->record(sim_.now(), static_cast<double>(queue_.size()));
+  }
+}
+
+void ComputeElement::set_queue_trace(des::TimeSeries* trace) {
+  queue_trace_ = trace;
+  record_queue();
+}
+
+void ComputeElement::enqueue(Task task) {
+  queue_.push_back(task);
+  ++stats_.tasks_received;
+  record_queue();
+  maybe_start_service();
+}
+
+void ComputeElement::enqueue_batch(TaskBatch batch) {
+  if (batch.empty()) return;
+  for (Task& task : batch) {
+    queue_.push_back(task);
+  }
+  stats_.tasks_received += batch.size();
+  record_queue();
+  maybe_start_service();
+}
+
+TaskBatch ComputeElement::extract_tasks(std::size_t count) {
+  TaskBatch out;
+  const std::size_t take = std::min(count, queue_.size());
+  if (take == 0) return out;
+  // Abort the running/frozen service only when the head task itself leaves.
+  if (take == queue_.size()) {
+    if (serving_) {
+      sim_.cancel(service_event_);
+      serving_ = false;
+    }
+    frozen_remaining_.reset();
+  }
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(queue_.back());
+    queue_.pop_back();
+  }
+  stats_.tasks_extracted += take;
+  record_queue();
+  return out;
+}
+
+void ComputeElement::maybe_start_service() {
+  if (!up_ || serving_ || queue_.empty()) return;
+  if (frozen_remaining_.has_value()) {
+    current_service_duration_ = *frozen_remaining_;
+    frozen_remaining_.reset();
+  } else {
+    current_service_duration_ = service_time_(queue_.front(), rng_);
+    LBSIM_CHECK(current_service_duration_ >= 0.0, "negative service time");
+  }
+  serving_ = true;
+  service_started_at_ = sim_.now();
+  service_event_ = sim_.schedule_in(current_service_duration_, [this] { finish_current_task(); });
+}
+
+void ComputeElement::finish_current_task() {
+  LBSIM_CHECK(serving_ && !queue_.empty(), "completion without a task in service");
+  serving_ = false;
+  const Task done = queue_.front();
+  queue_.pop_front();
+  ++stats_.tasks_completed;
+  stats_.service_time_done += current_service_duration_;
+  record_queue();
+  if (on_complete_) on_complete_(done);
+  maybe_start_service();
+}
+
+void ComputeElement::fail() {
+  if (!up_) return;
+  up_ = false;
+  ++stats_.failures;
+  went_down_at_ = sim_.now();
+  if (serving_) {
+    sim_.cancel(service_event_);
+    serving_ = false;
+    const double elapsed = sim_.now() - service_started_at_;
+    frozen_remaining_ = std::max(0.0, current_service_duration_ - elapsed);
+  }
+}
+
+void ComputeElement::recover() {
+  if (up_) return;
+  up_ = true;
+  ++stats_.recoveries;
+  stats_.down_time += sim_.now() - went_down_at_;
+  maybe_start_service();
+}
+
+}  // namespace lbsim::node

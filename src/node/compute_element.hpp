@@ -1,0 +1,106 @@
+#pragma once
+/// \file compute_element.hpp
+/// A computational element (CE): FIFO task queue + service process + up/down
+/// state machine with checkpoint-resume.
+///
+/// Semantics follow Section 3 of the paper: every CE carries a backup system
+/// saving the context of the running application, so a failure freezes the
+/// in-service task (no work lost) and recovery resumes it. Under exponential
+/// service times this coupling is distributionally identical to resampling,
+/// which is what the regeneration analysis assumes; under the testbed's
+/// size-based service times it models checkpoint-resume faithfully.
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "node/task.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "stochastic/rng.hpp"
+
+namespace lbsim::node {
+
+/// Per-CE counters exposed for tests and reports.
+struct CeStats {
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t tasks_received = 0;
+  std::uint64_t tasks_extracted = 0;
+  double down_time = 0.0;       ///< total time spent in the down state
+  double service_time_done = 0.0;  ///< sum of service durations of completed tasks
+};
+
+class ComputeElement {
+ public:
+  /// Samples the service duration of `task` (seconds). Supplied by the scenario:
+  /// the abstract model ignores the task and draws Exp(lambda_d); the testbed
+  /// derives it from task.size and the node speed.
+  using ServiceTimeFn = std::function<double(const Task&, stoch::RngStream&)>;
+  using CompletionHandler = std::function<void(const Task&)>;
+  using Handle = std::function<void(int node_id)>;
+
+  /// The CE references the kernel and its private RNG stream; both must outlive it.
+  ComputeElement(des::Simulator& sim, int id, ServiceTimeFn service_time,
+                 stoch::RngStream& rng);
+
+  ComputeElement(const ComputeElement&) = delete;
+  ComputeElement& operator=(const ComputeElement&) = delete;
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] bool is_up() const noexcept { return up_; }
+
+  /// Tasks pending, including the one in service.
+  [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
+
+  /// Appends tasks and starts service if possible. Works while down (tasks wait).
+  void enqueue(Task task);
+  void enqueue_batch(TaskBatch batch);
+
+  /// Removes up to `count` tasks from the *back* of the queue (most recently
+  /// queued work leaves first; the in-service task is only taken if the request
+  /// drains the whole queue, in which case the service is aborted).
+  [[nodiscard]] TaskBatch extract_tasks(std::size_t count);
+
+  /// Transitions to the down state, freezing any in-service task. No-op if down.
+  void fail();
+
+  /// Transitions to the up state, resuming the frozen task if any. No-op if up.
+  void recover();
+
+  /// Invoked after each task completion (after stats are updated).
+  void set_completion_handler(CompletionHandler handler) { on_complete_ = std::move(handler); }
+
+  /// Optional queue-length trace (records on every change); pass nullptr to stop.
+  void set_queue_trace(des::TimeSeries* trace);
+
+  [[nodiscard]] const CeStats& stats() const noexcept { return stats_; }
+
+ private:
+  void maybe_start_service();
+  void finish_current_task();
+  void record_queue() const;
+
+  des::Simulator& sim_;
+  int id_;
+  ServiceTimeFn service_time_;
+  stoch::RngStream& rng_;
+
+  std::deque<Task> queue_;
+  bool up_ = true;
+  bool serving_ = false;
+  des::EventId service_event_;
+  double service_started_at_ = 0.0;
+  double current_service_duration_ = 0.0;
+  /// Remaining service time of the frozen head-of-queue task, if a failure
+  /// interrupted it.
+  std::optional<double> frozen_remaining_;
+  double went_down_at_ = 0.0;
+
+  CompletionHandler on_complete_;
+  des::TimeSeries* queue_trace_ = nullptr;
+  CeStats stats_;
+};
+
+}  // namespace lbsim::node

@@ -1,0 +1,63 @@
+#include "node/failure_process.hpp"
+
+#include "node/compute_element.hpp"
+#include "util/error.hpp"
+
+namespace lbsim::node {
+
+FailureProcess::FailureProcess(des::Simulator& sim, ComputeElement& ce,
+                               stoch::DistributionPtr time_to_failure,
+                               stoch::DistributionPtr time_to_recovery,
+                               stoch::RngStream& rng)
+    : sim_(sim),
+      ce_(ce),
+      ttf_(std::move(time_to_failure)),
+      ttr_(std::move(time_to_recovery)),
+      rng_(rng) {
+  LBSIM_REQUIRE(ttf_ == nullptr || ttr_ != nullptr,
+                "a node that can fail needs a recovery law");
+}
+
+void FailureProcess::start(bool initially_down) {
+  LBSIM_REQUIRE(!running_, "failure process already started");
+  running_ = true;
+  if (initially_down) {
+    LBSIM_REQUIRE(ttr_ != nullptr, "initially-down node needs a recovery law");
+    ce_.fail();
+    if (on_failure_) on_failure_(ce_.id());
+    arm_recovery();
+  } else {
+    arm_failure();
+  }
+}
+
+void FailureProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+}
+
+void FailureProcess::arm_failure() {
+  if (ttf_ == nullptr) return;  // perfectly reliable node
+  pending_ = sim_.schedule_in(ttf_->sample(rng_), [this] { fire_failure(); });
+}
+
+void FailureProcess::arm_recovery() {
+  pending_ = sim_.schedule_in(ttr_->sample(rng_), [this] { fire_recovery(); });
+}
+
+void FailureProcess::fire_failure() {
+  if (!running_) return;
+  ce_.fail();
+  if (on_failure_) on_failure_(ce_.id());
+  arm_recovery();
+}
+
+void FailureProcess::fire_recovery() {
+  if (!running_) return;
+  ce_.recover();
+  if (on_recovery_) on_recovery_(ce_.id());
+  arm_failure();
+}
+
+}  // namespace lbsim::node

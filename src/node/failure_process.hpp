@@ -1,0 +1,63 @@
+#pragma once
+/// \file failure_process.hpp
+/// Alternating-renewal failure/recovery driver for one CE.
+///
+/// While the node is up, a failure fires after a time drawn from the
+/// time-to-failure law (Exp(lambda_f) in the paper); while down, a recovery
+/// fires after a time-to-recovery draw (Exp(lambda_r)). Mirrors the paper's
+/// failure-injection process that signals the application layer to stop and
+/// later resume execution.
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "stochastic/distributions.hpp"
+#include "stochastic/rng.hpp"
+
+namespace lbsim::node {
+
+class ComputeElement;
+
+class FailureProcess {
+ public:
+  /// Called at each failure/recovery instant (after the CE state change), e.g.
+  /// by LBP-2 to trigger the backup transfer.
+  using ChurnHandler = std::function<void(int node_id)>;
+
+  /// Distributions may be null, meaning "never": a null time-to-failure makes
+  /// the node perfectly reliable (the paper's no-failure case).
+  FailureProcess(des::Simulator& sim, ComputeElement& ce,
+                 stoch::DistributionPtr time_to_failure,
+                 stoch::DistributionPtr time_to_recovery, stoch::RngStream& rng);
+
+  FailureProcess(const FailureProcess&) = delete;
+  FailureProcess& operator=(const FailureProcess&) = delete;
+
+  /// Arms the first failure timer (node assumed up) or, when `initially_down`,
+  /// fails the CE immediately at the current time and arms a recovery timer.
+  void start(bool initially_down = false);
+
+  /// Stops scheduling further churn events (pending timer cancelled).
+  void stop();
+
+  void set_failure_handler(ChurnHandler handler) { on_failure_ = std::move(handler); }
+  void set_recovery_handler(ChurnHandler handler) { on_recovery_ = std::move(handler); }
+
+ private:
+  void arm_failure();
+  void arm_recovery();
+  void fire_failure();
+  void fire_recovery();
+
+  des::Simulator& sim_;
+  ComputeElement& ce_;
+  stoch::DistributionPtr ttf_;
+  stoch::DistributionPtr ttr_;
+  stoch::RngStream& rng_;
+  des::EventId pending_;
+  bool running_ = false;
+  ChurnHandler on_failure_;
+  ChurnHandler on_recovery_;
+};
+
+}  // namespace lbsim::node

@@ -1,0 +1,14 @@
+#include "node/task.hpp"
+
+namespace lbsim::node {
+
+TaskBatch make_unit_tasks(std::size_t count, int origin, std::uint64_t first_id) {
+  TaskBatch batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back(Task{first_id + i, 1.0, origin});
+  }
+  return batch;
+}
+
+}  // namespace lbsim::node

@@ -1,0 +1,53 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lbsim::des {
+
+EventId EventQueue::push(double time, Callback cb) {
+  LBSIM_REQUIRE(std::isfinite(time) && time >= 0.0, "event time " << time);
+  LBSIM_REQUIRE(cb != nullptr, "null event callback");
+  const std::uint64_t serial = next_serial_++;
+  heap_.push_back(Entry{time, serial, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  pending_.insert(serial);
+  return EventId{serial};
+}
+
+bool EventQueue::cancel(EventId id) noexcept {
+  if (!id.valid()) return false;
+  return pending_.erase(id.serial_) > 0;
+}
+
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty() && pending_.count(heap_.front().serial) == 0) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+}
+
+double EventQueue::next_time() {
+  LBSIM_REQUIRE(!empty(), "next_time on empty queue");
+  drop_dead_top();
+  return heap_.front().time;
+}
+
+EventQueue::Entry EventQueue::pop() {
+  LBSIM_REQUIRE(!empty(), "pop on empty queue");
+  drop_dead_top();
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Entry out = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(out.serial);
+  return out;
+}
+
+void EventQueue::clear() noexcept {
+  heap_.clear();
+  pending_.clear();
+}
+
+}  // namespace lbsim::des

@@ -1,0 +1,74 @@
+#pragma once
+/// \file event_queue.hpp
+/// Cancellable priority queue of timestamped events with deterministic FIFO
+/// tie-breaking: events at equal times fire in scheduling order, so simulations
+/// are bit-reproducible given the same RNG streams.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+namespace lbsim::des {
+
+/// Opaque handle for cancelling a scheduled event. Default-constructed handles
+/// are invalid and safe to cancel (no-op).
+class EventId {
+ public:
+  EventId() = default;
+  [[nodiscard]] bool valid() const noexcept { return serial_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventId(std::uint64_t serial) noexcept : serial_(serial) {}
+  std::uint64_t serial_ = 0;
+};
+
+/// Binary min-heap on (time, serial). Cancellation is lazy: cancelled entries
+/// stay in the heap and are skipped on pop, so cancel is O(1) and pop stays
+/// O(log n) amortised.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  struct Entry {
+    double time = 0.0;
+    std::uint64_t serial = 0;
+    Callback callback;
+  };
+
+  /// Schedules `cb` at absolute time `time` (finite, >= 0).
+  EventId push(double time, Callback cb);
+
+  /// Cancels a pending event; returns false if already fired/cancelled/invalid.
+  bool cancel(EventId id) noexcept;
+
+  /// True when no live (non-cancelled) event remains.
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+
+  /// Time of the earliest live event; queue must not be empty.
+  [[nodiscard]] double next_time();
+
+  /// Removes and returns the earliest live event; queue must not be empty.
+  Entry pop();
+
+  /// Drops everything (live and cancelled).
+  void clear() noexcept;
+
+ private:
+  static bool later(const Entry& a, const Entry& b) noexcept {
+    return a.time > b.time || (a.time == b.time && a.serial > b.serial);
+  }
+
+  /// Pops cancelled entries off the heap top.
+  void drop_dead_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace lbsim::des

@@ -1,0 +1,48 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace lbsim::des {
+
+void TimeSeries::record(double time, double value) {
+  LBSIM_REQUIRE(points_.empty() || time >= points_.back().time,
+                "time series must be nondecreasing: " << time << " after "
+                                                      << points_.back().time);
+  points_.push_back(Point{time, value});
+}
+
+double TimeSeries::value_at(double time) const {
+  LBSIM_REQUIRE(!points_.empty() && points_.front().time <= time,
+                "no sample at or before t=" << time);
+  // Last point with point.time <= time.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), time,
+      [](double t, const Point& p) { return t < p.time; });
+  return (it - 1)->value;
+}
+
+std::vector<TimeSeries::Point> TimeSeries::resample(double t0, double t1,
+                                                    std::size_t count) const {
+  LBSIM_REQUIRE(t1 >= t0, "bad window [" << t0 << ", " << t1 << "]");
+  std::vector<Point> out;
+  out.reserve(count);
+  for (const double t : util::linspace(t0, t1, count)) {
+    out.push_back(Point{t, value_at(t)});
+  }
+  return out;
+}
+
+void EventLog::log(double time, std::string tag, std::string detail) {
+  records_.push_back(Record{time, std::move(tag), std::move(detail)});
+}
+
+std::size_t EventLog::count_tag(const std::string& tag) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [&](const Record& r) { return r.tag == tag; }));
+}
+
+}  // namespace lbsim::des

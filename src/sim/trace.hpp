@@ -1,0 +1,55 @@
+#pragma once
+/// \file trace.hpp
+/// Step-function time series recorder (queue lengths over time, Fig. 4) and a
+/// tagged event log for debugging simulations.
+
+#include <string>
+#include <vector>
+
+namespace lbsim::des {
+
+/// Piecewise-constant time series: record (t, value) on every change.
+class TimeSeries {
+ public:
+  struct Point {
+    double time;
+    double value;
+  };
+
+  /// Records a new value at `time`; times must be nondecreasing.
+  void record(double time, double value);
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] const std::vector<Point>& points() const noexcept { return points_; }
+
+  /// Value of the step function at `time` (last recorded value with t <= time);
+  /// requires at least one point at or before `time`.
+  [[nodiscard]] double value_at(double time) const;
+
+  /// Resamples onto a uniform grid of `count` points spanning [t0, t1], holding
+  /// the last value. Used for compact text plots of Fig. 4.
+  [[nodiscard]] std::vector<Point> resample(double t0, double t1, std::size_t count) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Append-only log of (time, tag, detail) records.
+class EventLog {
+ public:
+  struct Record {
+    double time;
+    std::string tag;
+    std::string detail;
+  };
+
+  void log(double time, std::string tag, std::string detail);
+  [[nodiscard]] const std::vector<Record>& records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t count_tag(const std::string& tag) const noexcept;
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace lbsim::des

@@ -1,0 +1,79 @@
+#include "stochastic/estimate.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace lbsim::stoch {
+
+void ExponentialRateEstimator::observe(double duration) {
+  LBSIM_REQUIRE(duration >= 0.0, "duration=" << duration);
+  ++count_;
+  total_ += duration;
+}
+
+std::optional<double> ExponentialRateEstimator::rate() const {
+  if (count_ == 0 || total_ <= 0.0) return std::nullopt;
+  return static_cast<double>(count_) / total_;
+}
+
+std::optional<std::pair<double, double>> ExponentialRateEstimator::rate_ci95() const {
+  const auto r = rate();
+  if (!r) return std::nullopt;
+  const double rel = 1.96 / std::sqrt(static_cast<double>(count_));
+  return std::make_pair(*r * std::max(0.0, 1.0 - rel), *r * (1.0 + rel));
+}
+
+double ExponentialRateEstimator::relative_error() const {
+  if (count_ == 0) return std::numeric_limits<double>::infinity();
+  return 1.96 / std::sqrt(static_cast<double>(count_));
+}
+
+void ExponentialRateEstimator::merge(const ExponentialRateEstimator& other) noexcept {
+  count_ += other.count_;
+  total_ += other.total_;
+}
+
+ChurnObserver::ChurnObserver(double start_time)
+    : start_time_(start_time), last_transition_(start_time) {}
+
+void ChurnObserver::observe_failure(double t) {
+  LBSIM_REQUIRE(up_, "observe_failure while already down");
+  LBSIM_REQUIRE(t >= last_transition_, "failure at t=" << t << " is in the past");
+  up_times_.observe(t - last_transition_);
+  up_accumulated_ += t - last_transition_;
+  last_transition_ = t;
+  up_ = false;
+}
+
+void ChurnObserver::observe_recovery(double t) {
+  LBSIM_REQUIRE(!up_, "observe_recovery while already up");
+  LBSIM_REQUIRE(t >= last_transition_, "recovery at t=" << t << " is in the past");
+  down_times_.observe(t - last_transition_);
+  last_transition_ = t;
+  up_ = true;
+}
+
+markov::NodeParams ChurnObserver::estimate(double now, double lambda_d) const {
+  LBSIM_REQUIRE(now >= last_transition_, "now=" << now << " precedes last transition");
+  markov::NodeParams params;
+  params.lambda_d = lambda_d;
+  const auto lf = failure_rate();
+  const auto lr = recovery_rate();
+  if (lf && lr) {
+    params.lambda_f = *lf;
+    params.lambda_r = *lr;
+  }  // else: not enough evidence of churn -> report a reliable node
+  return params;
+}
+
+double ChurnObserver::empirical_availability(double now) const {
+  LBSIM_REQUIRE(now >= last_transition_, "now=" << now << " precedes last transition");
+  const double horizon = now - start_time_;
+  if (horizon <= 0.0) return 1.0;
+  const double up_time = up_accumulated_ + (up_ ? now - last_transition_ : 0.0);
+  return up_time / horizon;
+}
+
+}  // namespace lbsim::stoch

@@ -1,0 +1,79 @@
+#pragma once
+/// \file estimate.hpp
+/// Online parameter estimation. The paper assumes the service, failure and
+/// recovery rates are known; a deployed balancer has to learn them from its
+/// own event history. These estimators feed the policies' NodeParams with
+/// maximum-likelihood rates and expose confidence information so callers can
+/// tell "estimated" from "known".
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "markov/params.hpp"
+
+namespace lbsim::stoch {
+
+/// MLE for the rate of an exponential law from observed iid durations:
+/// rate-hat = n / sum(x). Streaming, mergeable, O(1) memory.
+class ExponentialRateEstimator {
+ public:
+  /// Records one duration (>= 0; zero-length observations are legal and keep
+  /// the estimate finite because the estimator requires sum > 0 to report).
+  void observe(double duration);
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// MLE of the rate; empty until at least one strictly positive duration.
+  [[nodiscard]] std::optional<double> rate() const;
+
+  /// Large-sample 95% interval for the rate: rate * (1 -+ 1.96/sqrt(n)).
+  /// Empty until rate() is available.
+  [[nodiscard]] std::optional<std::pair<double, double>> rate_ci95() const;
+
+  /// Relative half-width of the CI (1.96/sqrt(n)); +inf with no data.
+  [[nodiscard]] double relative_error() const;
+
+  void merge(const ExponentialRateEstimator& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double total_ = 0.0;
+};
+
+/// Watches one node's up/down transitions and maintains MLE failure and
+/// recovery rates plus the empirical availability. Feed it the node's state
+/// changes in time order (same convention as FailureProcess handlers).
+class ChurnObserver {
+ public:
+  /// The node is assumed up at t = start_time.
+  explicit ChurnObserver(double start_time = 0.0);
+
+  void observe_failure(double t);
+  void observe_recovery(double t);
+
+  /// Closes the current sojourn at time t without a transition (end of the
+  /// observation window) and returns the estimates so far. Can be called
+  /// repeatedly; it never records a transition.
+  [[nodiscard]] markov::NodeParams estimate(double now, double lambda_d) const;
+
+  /// MLE churn rates; empty before the first complete up (resp. down) sojourn.
+  [[nodiscard]] std::optional<double> failure_rate() const { return up_times_.rate(); }
+  [[nodiscard]] std::optional<double> recovery_rate() const { return down_times_.rate(); }
+
+  /// Fraction of [start, now] spent up (counts the open sojourn).
+  [[nodiscard]] double empirical_availability(double now) const;
+
+  [[nodiscard]] std::size_t failures_seen() const noexcept { return up_times_.count(); }
+
+ private:
+  double start_time_;
+  double last_transition_;
+  bool up_ = true;
+  double up_accumulated_ = 0.0;
+  ExponentialRateEstimator up_times_;    // completed up sojourns -> lambda_f
+  ExponentialRateEstimator down_times_;  // completed down sojourns -> lambda_r
+};
+
+}  // namespace lbsim::stoch

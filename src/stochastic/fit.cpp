@@ -1,0 +1,64 @@
+#include "stochastic/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace lbsim::stoch {
+
+ExponentialFit fit_exponential(const std::vector<double>& samples) {
+  LBSIM_REQUIRE(!samples.empty(), "fit on empty sample");
+  util::KahanSum sum;
+  for (const double s : samples) {
+    LBSIM_REQUIRE(s >= 0.0, "exponential samples must be nonnegative, got " << s);
+    sum.add(s);
+  }
+  ExponentialFit fit;
+  fit.mean = sum.value() / static_cast<double>(samples.size());
+  LBSIM_REQUIRE(fit.mean > 0.0, "all samples are zero");
+  fit.rate = 1.0 / fit.mean;
+  fit.log_likelihood =
+      static_cast<double>(samples.size()) * (std::log(fit.rate) - 1.0);
+  return fit;
+}
+
+ExponentialFit fit_shifted_exponential(const std::vector<double>& samples, double* shift_out) {
+  LBSIM_REQUIRE(samples.size() >= 2, "shifted fit needs >= 2 samples");
+  const double shift = *std::min_element(samples.begin(), samples.end());
+  std::vector<double> residual;
+  residual.reserve(samples.size());
+  for (const double s : samples) residual.push_back(s - shift);
+  ExponentialFit fit = fit_exponential(residual);
+  fit.mean += shift;
+  if (shift_out != nullptr) *shift_out = shift;
+  return fit;
+}
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  LBSIM_REQUIRE(x.size() == y.size(), "x/y size mismatch");
+  LBSIM_REQUIRE(x.size() >= 2, "linear fit needs >= 2 points");
+  const double n = static_cast<double>(x.size());
+  util::KahanSum sx, sy, sxx, sxy, syy;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx.add(x[i]);
+    sy.add(y[i]);
+    sxx.add(x[i] * x[i]);
+    sxy.add(x[i] * y[i]);
+    syy.add(y[i] * y[i]);
+  }
+  const double mean_x = sx.value() / n;
+  const double mean_y = sy.value() / n;
+  const double var_x = sxx.value() / n - mean_x * mean_x;
+  const double cov_xy = sxy.value() / n - mean_x * mean_y;
+  const double var_y = syy.value() / n - mean_y * mean_y;
+  LBSIM_REQUIRE(var_x > 0.0, "all x identical");
+  LinearFit fit;
+  fit.slope = cov_xy / var_x;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = var_y <= 0.0 ? 1.0 : (cov_xy * cov_xy) / (var_x * var_y);
+  return fit;
+}
+
+}  // namespace lbsim::stoch

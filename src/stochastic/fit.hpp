@@ -1,0 +1,32 @@
+#pragma once
+/// \file fit.hpp
+/// Parameter fits used when reproducing the measurement figures: exponential MLE
+/// (Fig. 1, Fig. 2 top) and least-squares lines (Fig. 2 bottom).
+
+#include <vector>
+
+namespace lbsim::stoch {
+
+struct ExponentialFit {
+  double rate = 0.0;      ///< MLE rate = 1 / sample mean.
+  double mean = 0.0;      ///< Sample mean.
+  double log_likelihood = 0.0;
+};
+
+/// MLE of an exponential law from iid samples (all >= 0, at least one > 0).
+[[nodiscard]] ExponentialFit fit_exponential(const std::vector<double>& samples);
+
+/// MLE of a shifted exponential: shift = min(sample), rate = 1/(mean - shift).
+[[nodiscard]] ExponentialFit fit_shifted_exponential(const std::vector<double>& samples,
+                                                     double* shift_out);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares y = slope*x + intercept; needs >= 2 distinct x.
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace lbsim::stoch

@@ -1,0 +1,101 @@
+#include "stochastic/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lbsim::stoch {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state is a fixed point of xoshiro; splitmix cannot produce four zero
+  // outputs from any seed, but keep the guard explicit.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x1ULL;
+}
+
+Xoshiro256pp::result_type Xoshiro256pp::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256pp::long_jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+                                            0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+RngStream::RngStream(std::uint64_t seed, std::uint64_t stream) noexcept
+    // Mix the stream id through splitmix so that (seed, 0) and (seed, 1) start in
+    // unrelated regions of the state space even before the long jumps.
+    : engine_([&] {
+        std::uint64_t sm = stream + 0x632be59bd9b4e019ULL;
+        return Xoshiro256pp(seed ^ splitmix64(sm));
+      }()) {
+  const std::uint64_t jumps = stream % 8;  // extra decorrelation, bounded cost
+  for (std::uint64_t i = 0; i < jumps; ++i) engine_.long_jump();
+}
+
+double RngStream::uniform01() noexcept {
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double RngStream::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+double RngStream::exponential(double rate) {
+  LBSIM_REQUIRE(rate > 0.0, "exponential rate must be positive, got " << rate);
+  // Inverse CDF on (0,1]: -log(1-U) avoids log(0) because uniform01() < 1.
+  return -std::log1p(-uniform01()) / rate;
+}
+
+std::uint64_t RngStream::uniform_index(std::uint64_t bound) {
+  LBSIM_REQUIRE(bound >= 1, "uniform_index bound must be >= 1");
+  // Lemire multiply-shift with rejection for exact uniformity.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  while (true) {
+    const std::uint64_t x = engine_();
+    const __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    if (static_cast<std::uint64_t>(m) >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+}  // namespace lbsim::stoch

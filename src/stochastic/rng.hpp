@@ -1,0 +1,70 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, stream-splittable random number generation.
+///
+/// We implement xoshiro256++ seeded through splitmix64 rather than relying on
+/// std::mt19937_64 + std::*_distribution, because (a) the standard distributions are
+/// implementation-defined (results would differ across libstdc++/libc++ and break
+/// golden tests) and (b) Monte-Carlo replications need cheap independent streams.
+/// `RngStream(seed, stream)` yields streams that are independent for distinct
+/// (seed, stream) pairs; replication r of experiment e uses stream id (e, r).
+
+#include <cstdint>
+#include <limits>
+
+namespace lbsim::stoch {
+
+/// splitmix64 step; used for seeding and for hashing stream ids.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ engine (public-domain algorithm by Blackman & Vigna).
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state from `seed` via splitmix64 (never all-zero).
+  explicit Xoshiro256pp(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Equivalent to 2^128 calls of operator(); used to derive parallel streams.
+  void long_jump() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// A named random stream: engine plus convenience variate generators.
+/// Distinct (seed, stream) pairs produce statistically independent sequences.
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Exponential variate with the given rate (mean 1/rate); rate must be > 0.
+  [[nodiscard]] double exponential(double rate);
+
+  /// Uniform integer in [0, bound) via rejection-free Lemire reduction; bound >= 1.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t bound);
+
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t next_u64() noexcept { return engine_(); }
+
+  [[nodiscard]] Xoshiro256pp& engine() noexcept { return engine_; }
+
+ private:
+  Xoshiro256pp engine_;
+};
+
+}  // namespace lbsim::stoch

@@ -1,0 +1,94 @@
+#include "stochastic/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lbsim::stoch {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::std_error() const noexcept {
+  return count_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double ci_half_width(const RunningStats& stats, double z) noexcept {
+  return z * stats.std_error();
+}
+
+double quantile(std::vector<double> data, double q) {
+  LBSIM_REQUIRE(!data.empty(), "quantile of empty sample");
+  LBSIM_REQUIRE(q >= 0.0 && q <= 1.0, "q=" << q);
+  std::sort(data.begin(), data.end());
+  if (data.size() == 1) return data[0];
+  const double pos = q * static_cast<double>(data.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, data.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  LBSIM_REQUIRE(!sorted_.empty(), "ECDF of empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double ks_distance_to_curve(const Ecdf& ecdf, const std::vector<double>& grid,
+                            const std::vector<double>& reference) {
+  LBSIM_REQUIRE(grid.size() == reference.size(), "grid/reference size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    worst = std::max(worst, std::fabs(ecdf(grid[i]) - reference[i]));
+  }
+  return worst;
+}
+
+double ks_distance(const Ecdf& a, const Ecdf& b) {
+  double worst = 0.0;
+  for (const double x : a.sorted_samples()) worst = std::max(worst, std::fabs(a(x) - b(x)));
+  for (const double x : b.sorted_samples()) worst = std::max(worst, std::fabs(a(x) - b(x)));
+  return worst;
+}
+
+}  // namespace lbsim::stoch

@@ -1,0 +1,66 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming summary statistics, confidence intervals, quantiles, and ECDF/KS
+/// utilities used by the Monte-Carlo engine and the validation tests.
+
+#include <cstddef>
+#include <vector>
+
+namespace lbsim::stoch {
+
+/// Welford streaming mean/variance accumulator. Regular value type.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction), Chan et al. update.
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when count < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 when count < 2.
+  [[nodiscard]] double std_error() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Normal-approximation confidence half-width: z * stderr (z = 1.96 for 95%).
+[[nodiscard]] double ci_half_width(const RunningStats& stats, double z = 1.96) noexcept;
+
+/// Linear-interpolation sample quantile (type 7); q in [0,1]; data need not be sorted.
+[[nodiscard]] double quantile(std::vector<double> data, double q);
+
+/// Empirical CDF over a fixed sample. Construction sorts a copy.
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> samples);
+
+  /// P(X <= x) under the empirical measure.
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Kolmogorov–Smirnov distance between an ECDF and a reference CDF sampled on a
+/// grid: max_i |ecdf(grid[i]) - reference[i]|. Grid and reference must align.
+[[nodiscard]] double ks_distance_to_curve(const Ecdf& ecdf, const std::vector<double>& grid,
+                                          const std::vector<double>& reference);
+
+/// Two-sample Kolmogorov–Smirnov statistic.
+[[nodiscard]] double ks_distance(const Ecdf& a, const Ecdf& b);
+
+}  // namespace lbsim::stoch

@@ -1,0 +1,43 @@
+#include "testbed/config.hpp"
+
+#include "util/error.hpp"
+
+namespace lbsim::testbed {
+
+TestbedConfig TestbedConfig::clone() const {
+  TestbedConfig copy;
+  copy.params = params;
+  copy.workloads = workloads;
+  copy.policy = policy ? policy->clone() : nullptr;
+  copy.transfer_setup_shift = transfer_setup_shift;
+  copy.state_broadcast_period = state_broadcast_period;
+  copy.state_latency = state_latency;
+  copy.state_loss_probability = state_loss_probability;
+  copy.churn_enabled = churn_enabled;
+  return copy;
+}
+
+TestbedConfig paper_testbed(std::size_t m0, std::size_t m1, core::PolicyPtr policy) {
+  const markov::TwoNodeParams two = markov::ipdps2006_params();
+  TestbedConfig config;
+  config.params.nodes = {two.nodes[0], two.nodes[1]};
+  config.params.per_task_delay_mean = two.per_task_delay_mean;
+  config.workloads = {m0, m1};
+  config.policy = std::move(policy);
+  return config;
+}
+
+void validate(const TestbedConfig& config) {
+  markov::validate(config.params);
+  LBSIM_REQUIRE(config.params.nodes.size() >= 2, "testbed needs >= 2 nodes");
+  LBSIM_REQUIRE(config.workloads.size() == config.params.nodes.size(),
+                "workloads/nodes size mismatch");
+  LBSIM_REQUIRE(config.policy != nullptr, "testbed needs a policy");
+  LBSIM_REQUIRE(config.transfer_setup_shift >= 0.0, "setup shift");
+  LBSIM_REQUIRE(config.state_broadcast_period > 0.0, "broadcast period");
+  LBSIM_REQUIRE(config.state_latency >= 0.0, "state latency");
+  LBSIM_REQUIRE(config.state_loss_probability >= 0.0 && config.state_loss_probability < 1.0,
+                "state loss");
+}
+
+}  // namespace lbsim::testbed

@@ -1,0 +1,43 @@
+#pragma once
+/// \file config.hpp
+/// Configuration of the emulated wireless-LAN testbed (paper Section 3).
+///
+/// The real experiments ran matrix-multiplication on two laptops over IEEE
+/// 802.11b/g; we reproduce the system at the level the paper itself models it:
+/// task sizes are random (exponential), service time is size / node-speed
+/// (hence Exp(lambda_d) per task, Fig. 1), data bundles suffer a per-task
+/// exponential delay plus a small connection-setup shift (Fig. 2), and state
+/// information is exchanged in small UDP packets that can be lost.
+
+#include <cstdint>
+
+#include "core/policy.hpp"
+#include "markov/params.hpp"
+
+namespace lbsim::testbed {
+
+struct TestbedConfig {
+  markov::MultiNodeParams params;        ///< calibrated rates (Fig. 1 fits)
+  std::vector<std::size_t> workloads;    ///< initial tasks per node
+  core::PolicyPtr policy;
+
+  /// Communication layer.
+  double transfer_setup_shift = 0.005;   ///< TCP setup; the Fig. 2 pdf shift (s)
+  double state_broadcast_period = 1.0;   ///< UDP sync period (s)
+  double state_latency = 1e-3;           ///< one-way state-packet latency (s)
+  double state_loss_probability = 0.0;   ///< UDP loss
+
+  /// When true, churn is injected (failure injector of Section 3).
+  bool churn_enabled = true;
+
+  [[nodiscard]] TestbedConfig clone() const;
+};
+
+/// Two-node testbed preset with the paper's measured parameters and the given
+/// initial workloads; the policy is supplied by the caller.
+[[nodiscard]] TestbedConfig paper_testbed(std::size_t m0, std::size_t m1,
+                                          core::PolicyPtr policy);
+
+void validate(const TestbedConfig& config);
+
+}  // namespace lbsim::testbed

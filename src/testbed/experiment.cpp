@@ -1,0 +1,233 @@
+#include "testbed/experiment.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "app/workload.hpp"
+#include "node/failure_process.hpp"
+#include "testbed/state_exchange.hpp"
+#include "util/error.hpp"
+
+namespace lbsim::testbed {
+
+mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
+                              std::uint64_t replication, mc::RunTrace* trace) {
+  validate(config);
+  const std::size_t n = config.params.nodes.size();
+
+  // Streams: sizes per node, churn per node, network data, state plane.
+  const std::uint64_t streams_per_run = 2 * static_cast<std::uint64_t>(n) + 2;
+  const std::uint64_t base = replication * streams_per_run;
+  std::vector<stoch::RngStream> size_rngs;
+  std::vector<stoch::RngStream> churn_rngs;
+  for (std::size_t i = 0; i < n; ++i) {
+    size_rngs.emplace_back(seed, base + i);
+    churn_rngs.emplace_back(seed, base + n + i);
+  }
+  stoch::RngStream net_rng(seed, base + 2 * n);
+
+  des::Simulator sim;
+
+  // --- application layer: CEs with size-proportional service ---
+  std::vector<std::unique_ptr<node::ComputeElement>> ces;
+  ces.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ces.push_back(std::make_unique<node::ComputeElement>(
+        sim, static_cast<int>(i),
+        app::calibrated_service(config.params.nodes[i].lambda_d), size_rngs[i]));
+  }
+  if (trace != nullptr) {
+    trace->queue_lengths.assign(n, des::TimeSeries{});
+    for (std::size_t i = 0; i < n; ++i) ces[i]->set_queue_trace(&trace->queue_lengths[i]);
+  }
+
+  // --- communication layer ---
+  net::Network::Config net_config;
+  net_config.data_delay = std::make_unique<net::ErlangPerTaskDelay>(
+      config.params.per_task_delay_mean, config.transfer_setup_shift);
+  net_config.state_latency = config.state_latency;
+  net_config.state_loss_probability = config.state_loss_probability;
+  net::Network network(sim, n, std::move(net_config), net_rng);
+
+  StateBoard board(n);
+  StateBroadcaster broadcaster(sim, network, board, ces, config.params,
+                               config.state_broadcast_period);
+
+  // --- workload injection (random task sizes -> Exp service times, Fig. 1) ---
+  std::size_t remaining = 0;
+  double completion_time = 0.0;
+  bool done = true;
+  for (const std::size_t m : config.workloads) remaining += m;
+  done = remaining == 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ces[i]->set_completion_handler([&](const node::Task&) {
+      LBSIM_CHECK(remaining > 0, "completed more tasks than injected");
+      if (--remaining == 0) {
+        done = true;
+        completion_time = sim.now();
+      }
+    });
+  }
+  app::WorkloadGenerator generator;
+  for (std::size_t i = 0; i < n; ++i) {
+    ces[i]->enqueue_batch(
+        generator.generate(config.workloads[i], static_cast<int>(i), size_rngs[i]));
+  }
+
+  // --- LB / failure layer ---
+  mc::RunResult result;
+  core::LoadBalancingPolicy& policy = *config.policy;
+  const auto execute = [&](const std::vector<core::TransferDirective>& directives,
+                           int acting_node) {
+    for (const core::TransferDirective& d : directives) {
+      // A node-local decision may only ship that node's own tasks.
+      LBSIM_REQUIRE(acting_node < 0 || d.from == acting_node,
+                    "node " << acting_node << " directed a transfer from " << d.from);
+      if (d.count == 0) continue;
+      node::TaskBatch batch = ces.at(static_cast<std::size_t>(d.from))
+                                  ->extract_tasks(d.count);
+      if (batch.empty()) continue;
+      result.bundles_sent += 1;
+      result.tasks_moved += batch.size();
+      if (trace != nullptr) {
+        std::ostringstream os;
+        os << d.from << "->" << d.to << " x" << batch.size();
+        trace->events.log(sim.now(), "transfer", os.str());
+      }
+      network.transfer(d.from, d.to, std::move(batch), [&](net::DataTransfer&& xfer) {
+        if (trace != nullptr) {
+          std::ostringstream os;
+          os << xfer.from << "->" << xfer.to << " x" << xfer.tasks.size();
+          trace->events.log(sim.now(), "arrival", os.str());
+        }
+        ces.at(static_cast<std::size_t>(xfer.to))->enqueue_batch(std::move(xfer.tasks));
+      });
+    }
+  };
+
+  // t = 0: each node runs the policy against its local (here: exact) view and
+  // executes only its own outgoing transfers — the distributed decision of
+  // Section 3 where every node computes the same schedule from synced state.
+  std::vector<NodeLocalView> views;
+  views.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    views.emplace_back(static_cast<int>(i), config.params, ces, board);
+  }
+  {
+    // All nodes know the exact initial workloads (paper assumption): seed the
+    // state board with true t = 0 packets before any decision runs.
+    for (std::size_t sender = 0; sender < n; ++sender) {
+      net::StateInfoPacket packet;
+      packet.sender = static_cast<int>(sender);
+      packet.timestamp = 0.0;
+      packet.queue_size = static_cast<std::uint32_t>(ces[sender]->queue_length());
+      packet.processing_rate = config.params.nodes[sender].lambda_d;
+      packet.node_up = true;
+      for (std::size_t observer = 0; observer < n; ++observer) {
+        if (observer == sender) continue;
+        board.store(static_cast<int>(observer), packet);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<core::TransferDirective> mine;
+      for (const core::TransferDirective& d : policy.on_start(views[i])) {
+        if (d.from == static_cast<int>(i)) mine.push_back(d);
+      }
+      execute(mine, static_cast<int>(i));
+    }
+  }
+
+  // Failure injector + backup agent.
+  std::vector<std::unique_ptr<node::FailureProcess>> churn;
+  churn.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const markov::NodeParams& np = config.params.nodes[i];
+    stoch::DistributionPtr ttf;
+    stoch::DistributionPtr ttr;
+    if (config.churn_enabled && np.lambda_f > 0.0) {
+      ttf = std::make_unique<stoch::Exponential>(np.lambda_f);
+      ttr = std::make_unique<stoch::Exponential>(np.lambda_r);
+    }
+    auto process = std::make_unique<node::FailureProcess>(sim, *ces[i], std::move(ttf),
+                                                          std::move(ttr), churn_rngs[i]);
+    process->set_failure_handler([&, i](int node_id) {
+      ++result.failures;
+      if (trace != nullptr) trace->events.log(sim.now(), "fail", std::to_string(node_id));
+      // The backup agent of the failing node reacts with its local view.
+      execute(policy.on_failure(node_id, views[i]), node_id);
+    });
+    process->set_recovery_handler([&, i](int node_id) {
+      ++result.recoveries;
+      if (trace != nullptr) {
+        trace->events.log(sim.now(), "recover", std::to_string(node_id));
+      }
+      execute(policy.on_recovery(node_id, views[i]), node_id);
+    });
+    churn.push_back(std::move(process));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (config.churn_enabled && config.params.nodes[i].lambda_f > 0.0) churn[i]->start();
+  }
+  broadcaster.start();
+
+  sim.run_while_pending([&] { return done; });
+  LBSIM_CHECK(done, "testbed drained its event queue with " << remaining
+                                                            << " tasks outstanding");
+  broadcaster.stop();
+
+  result.completion_time = completion_time;
+  for (const auto& ce : ces) result.tasks_completed += ce->stats().tasks_completed;
+  return result;
+}
+
+ExperimentSummary run_experiment(const TestbedConfig& config, std::size_t realizations,
+                                 std::uint64_t seed, unsigned threads) {
+  LBSIM_REQUIRE(realizations >= 1, "realizations=" << realizations);
+  unsigned workers = threads == 0 ? std::thread::hardware_concurrency() : threads;
+  workers = std::max(1u, std::min<unsigned>(workers, static_cast<unsigned>(realizations)));
+
+  struct Partial {
+    stoch::RunningStats completion;
+    double failures = 0.0;
+    double moved = 0.0;
+    std::vector<double> samples;
+  };
+  std::vector<Partial> partials(workers);
+
+  const auto worker = [&](unsigned tid) {
+    const TestbedConfig local = config.clone();
+    Partial& out = partials[tid];
+    for (std::size_t rep = tid; rep < realizations; rep += workers) {
+      const mc::RunResult run = run_realization(local, seed, rep);
+      out.completion.add(run.completion_time);
+      out.failures += static_cast<double>(run.failures);
+      out.moved += static_cast<double>(run.tasks_moved);
+      out.samples.push_back(run.completion_time);
+    }
+  };
+
+  if (workers == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker, t);
+    for (auto& th : pool) th.join();
+  }
+
+  ExperimentSummary summary;
+  double failures = 0.0;
+  double moved = 0.0;
+  for (Partial& p : partials) {
+    summary.completion.merge(p.completion);
+    failures += p.failures;
+    moved += p.moved;
+    summary.samples.insert(summary.samples.end(), p.samples.begin(), p.samples.end());
+  }
+  summary.mean_failures = failures / static_cast<double>(realizations);
+  summary.mean_tasks_moved = moved / static_cast<double>(realizations);
+  std::sort(summary.samples.begin(), summary.samples.end());
+  return summary;
+}
+
+}  // namespace lbsim::testbed

@@ -1,0 +1,41 @@
+#pragma once
+/// \file experiment.hpp
+/// The emulated end-to-end experiment: application layer (random-size
+/// matrix-row tasks, size-proportional execution), communication layer
+/// (Erlang per-task bundle delays with setup shift; periodic lossy UDP state
+/// exchange), and LB/failure layer (policy + failure injector + backup agent).
+/// This produces the "Experimental Result" columns of Tables 1-2 and the
+/// queue realisations of Fig. 4.
+
+#include <cstdint>
+
+#include "mc/scenario.hpp"
+#include "stochastic/stats.hpp"
+#include "testbed/config.hpp"
+
+namespace lbsim::testbed {
+
+/// One emulated realisation; same result/trace types as the abstract MC so
+/// that benches can tabulate them side by side.
+[[nodiscard]] mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
+                                            std::uint64_t replication,
+                                            mc::RunTrace* trace = nullptr);
+
+struct ExperimentSummary {
+  stoch::RunningStats completion;
+  double mean_failures = 0.0;
+  double mean_tasks_moved = 0.0;
+  std::vector<double> samples;
+
+  [[nodiscard]] double mean() const noexcept { return completion.mean(); }
+  [[nodiscard]] double ci95() const noexcept { return stoch::ci_half_width(completion); }
+};
+
+/// Runs `realizations` independent emulated experiments (the paper uses
+/// 20-60 per configuration) on `threads` threads (0 = hardware concurrency).
+[[nodiscard]] ExperimentSummary run_experiment(const TestbedConfig& config,
+                                               std::size_t realizations,
+                                               std::uint64_t seed = 0xbed2006,
+                                               unsigned threads = 0);
+
+}  // namespace lbsim::testbed

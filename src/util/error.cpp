@@ -1,0 +1,23 @@
+#include "util/error.hpp"
+
+namespace lbsim::util {
+
+std::string contract_message(const char* cond, const char* file, int line,
+                             const std::string& detail) {
+  std::ostringstream os;
+  os << cond << " failed at " << file << ':' << line;
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+void throw_invalid_argument(const char* cond, const char* file, int line,
+                            const std::string& detail) {
+  throw std::invalid_argument(contract_message(cond, file, line, detail));
+}
+
+void throw_logic_error(const char* cond, const char* file, int line,
+                       const std::string& detail) {
+  throw std::logic_error(contract_message(cond, file, line, detail));
+}
+
+}  // namespace lbsim::util

@@ -1,0 +1,41 @@
+#pragma once
+/// \file error.hpp
+/// Contract-checking macros used across the library.
+///
+/// LBSIM_REQUIRE  — precondition on public API arguments; throws std::invalid_argument.
+/// LBSIM_CHECK    — internal invariant; throws std::logic_error.
+/// Both stay enabled in release builds: the library is a research instrument and a
+/// silently-wrong number is worse than a throw.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lbsim::util {
+
+/// Builds the exception message "<cond> failed at <file>:<line>: <detail>".
+[[nodiscard]] std::string contract_message(const char* cond, const char* file, int line,
+                                           const std::string& detail);
+
+[[noreturn]] void throw_invalid_argument(const char* cond, const char* file, int line,
+                                         const std::string& detail);
+[[noreturn]] void throw_logic_error(const char* cond, const char* file, int line,
+                                    const std::string& detail);
+
+}  // namespace lbsim::util
+
+#define LBSIM_REQUIRE(cond, detail)                                                  \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      ::lbsim::util::throw_invalid_argument(#cond, __FILE__, __LINE__,               \
+                                            (std::ostringstream{} << detail).str()); \
+    }                                                                                \
+  } while (false)
+
+#define LBSIM_CHECK(cond, detail)                                                \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::lbsim::util::throw_logic_error(#cond, __FILE__, __LINE__,                \
+                                       (std::ostringstream{} << detail).str()); \
+    }                                                                            \
+  } while (false)

@@ -1,0 +1,38 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. Global level defaults to `warn` so library code may log
+/// diagnostics without polluting test or bench output.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lbsim::util {
+
+enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+/// Process-wide log level. Not thread-safe to mutate while worker threads log;
+/// set it once at start-up.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "trace|debug|info|warn|error|off"; throws std::invalid_argument otherwise.
+LogLevel parse_log_level(const std::string& name);
+
+/// Writes one formatted record to stderr if `level` passes the global threshold.
+void log_record(LogLevel level, const std::string& component, const std::string& message);
+
+}  // namespace lbsim::util
+
+#define LBSIM_LOG(level, component, expr)                                      \
+  do {                                                                         \
+    if (static_cast<int>(level) >= static_cast<int>(::lbsim::util::log_level())) { \
+      std::ostringstream lbsim_log_os;                                         \
+      lbsim_log_os << expr;                                                    \
+      ::lbsim::util::log_record(level, component, lbsim_log_os.str());         \
+    }                                                                          \
+  } while (false)
+
+#define LBSIM_DEBUG(component, expr) LBSIM_LOG(::lbsim::util::LogLevel::debug, component, expr)
+#define LBSIM_INFO(component, expr) LBSIM_LOG(::lbsim::util::LogLevel::info, component, expr)
+#define LBSIM_WARN(component, expr) LBSIM_LOG(::lbsim::util::LogLevel::warn, component, expr)

@@ -1,0 +1,34 @@
+#pragma once
+/// \file math.hpp
+/// Small numeric helpers shared by the solvers and statistics code.
+
+#include <cstddef>
+#include <vector>
+
+namespace lbsim::util {
+
+/// `count` evenly spaced values from `lo` to `hi` inclusive (count >= 2), or {lo} if count==1.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+/// Compensated (Kahan) summation; exact enough for long Monte-Carlo accumulations.
+class KahanSum {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] double value() const noexcept { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double carry_ = 0.0;
+};
+
+/// Relative difference |a-b| / max(|a|,|b|,floor); 0 when both are ~0.
+[[nodiscard]] double relative_difference(double a, double b, double floor = 1e-12) noexcept;
+
+/// Trapezoidal integral of samples y on a uniform grid with spacing dx.
+[[nodiscard]] double trapezoid(const std::vector<double>& y, double dx);
+
+/// Binomial coefficient as double (exact for the small arguments used by the
+/// Erlang-race oracle; returns +inf on overflow of double).
+[[nodiscard]] double binomial_coefficient(unsigned n, unsigned k) noexcept;
+
+}  // namespace lbsim::util

@@ -1,0 +1,130 @@
+// Tests for the gain optimiser: published optima (Table 1 / Table 2), exact vs
+// grid consistency, sender selection, and the paper's monotonicity claim that
+// churn reduces the optimal gain.
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "markov/params.hpp"
+
+namespace lbsim::core {
+namespace {
+
+TEST(OptimizerTest, Fig3GridOptimum) {
+  const auto opt = optimize_lbp1_grid(markov::ipdps2006_params(), 100, 60, 0.05);
+  EXPECT_EQ(opt.sender, 0);
+  EXPECT_NEAR(opt.gain, 0.35, 1e-9);
+  EXPECT_EQ(opt.transfer, 35u);
+  EXPECT_NEAR(opt.expected_completion, 117.0, 2.0);
+}
+
+TEST(OptimizerTest, Fig3NoFailureGridOptimum) {
+  const auto opt =
+      optimize_lbp1_grid(markov::without_failures(markov::ipdps2006_params()), 100, 60, 0.05);
+  EXPECT_EQ(opt.sender, 0);
+  EXPECT_NEAR(opt.gain, 0.45, 1e-9);
+}
+
+TEST(OptimizerTest, Table1OptimalGainsOnPaperGrid) {
+  // Paper Table 1: optimal gains 0.15, 0.35, 0.15, 0.5, 0.25 for the five
+  // workloads (grid step 0.05); senders follow "the larger load sends".
+  const markov::TwoNodeParams p = markov::ipdps2006_params();
+  struct Row {
+    std::size_t m0, m1;
+    int sender;
+    double gain;
+  };
+  for (const Row& row : {Row{200, 200, 0, 0.15}, Row{200, 100, 0, 0.35},
+                         Row{100, 200, 1, 0.15}, Row{200, 50, 0, 0.50},
+                         Row{50, 200, 1, 0.25}}) {
+    const auto opt = optimize_lbp1_grid(p, row.m0, row.m1, 0.05);
+    EXPECT_EQ(opt.sender, row.sender) << row.m0 << "," << row.m1;
+    EXPECT_NEAR(opt.gain, row.gain, 0.05 + 1e-9) << row.m0 << "," << row.m1;
+  }
+}
+
+TEST(OptimizerTest, ExactNeverWorseThanGrid) {
+  const markov::TwoNodeParams p = markov::ipdps2006_params();
+  const auto exact = optimize_lbp1_exact(p, 100, 60);
+  const auto grid = optimize_lbp1_grid(p, 100, 60, 0.05);
+  EXPECT_LE(exact.expected_completion, grid.expected_completion + 1e-12);
+  // And they agree to within one grid cell's worth of tasks.
+  EXPECT_EQ(exact.sender, grid.sender);
+  EXPECT_NEAR(static_cast<double>(exact.transfer), static_cast<double>(grid.transfer), 5.0);
+}
+
+TEST(OptimizerTest, SenderIsTheLargerLoad) {
+  const markov::TwoNodeParams p = markov::ipdps2006_params();
+  EXPECT_EQ(optimize_lbp1_exact(p, 200, 50).sender, 0);
+  EXPECT_EQ(optimize_lbp1_exact(p, 50, 200).sender, 1);
+}
+
+TEST(OptimizerTest, SymmetricWorkloadSendsTowardFasterNode) {
+  // (200,200): node 1 is faster, so node 0 sends.
+  EXPECT_EQ(optimize_lbp1_exact(markov::ipdps2006_params(), 200, 200).sender, 0);
+}
+
+TEST(OptimizerTest, ChurnReducesOptimalGain) {
+  // The paper's conclusion: "the presence of node failure and recovery
+  // warrants the use of a reduced load-balancing gain K".
+  const markov::TwoNodeParams p = markov::ipdps2006_params();
+  const auto churny = optimize_lbp1_exact(p, 100, 60);
+  const auto clean = optimize_lbp1_exact(markov::without_failures(p), 100, 60);
+  EXPECT_LT(churny.transfer, clean.transfer);
+}
+
+TEST(OptimizerTest, GainStepValidation) {
+  EXPECT_THROW((void)optimize_lbp1_grid(markov::ipdps2006_params(), 10, 10, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)optimize_lbp1_grid(markov::ipdps2006_params(), 10, 10, 1.5),
+               std::invalid_argument);
+}
+
+TEST(OptimizerTest, ZeroWorkloadOnOneSide) {
+  // (50, 0): node 0 must send toward the idle fast node.
+  const auto opt = optimize_lbp1_exact(markov::ipdps2006_params(), 50, 0);
+  EXPECT_EQ(opt.sender, 0);
+  EXPECT_GT(opt.transfer, 0u);
+}
+
+TEST(OptimizerTest, Lbp2InitialGainsMatchTable2Closely) {
+  // Paper Table 2 initial gains: 1.0, 1.0, 0.8, 1.0, 0.95. Our no-failure
+  // optimum reproduces the saturated rows exactly and the interior rows within
+  // the flat region around the optimum (0.15 tolerance).
+  const markov::TwoNodeParams p = markov::ipdps2006_params();
+  // Saturated rows reach 1 only up to the integer rounding of the excess
+  // (L = floor-ish of a fractional excess), hence the 0.01 slack.
+  EXPECT_NEAR(optimize_lbp2_initial_gain(p, 200, 200).gain, 1.00, 0.15);
+  EXPECT_NEAR(optimize_lbp2_initial_gain(p, 200, 100).gain, 1.00, 0.01);
+  EXPECT_NEAR(optimize_lbp2_initial_gain(p, 100, 200).gain, 0.80, 0.15);
+  EXPECT_NEAR(optimize_lbp2_initial_gain(p, 200, 50).gain, 1.00, 0.01);
+  EXPECT_NEAR(optimize_lbp2_initial_gain(p, 50, 200).gain, 0.95, 0.15);
+}
+
+TEST(OptimizerTest, Lbp2InitialGainIdentifiesOverloadedSender) {
+  const markov::TwoNodeParams p = markov::ipdps2006_params();
+  EXPECT_EQ(optimize_lbp2_initial_gain(p, 200, 50).sender, 0);
+  EXPECT_EQ(optimize_lbp2_initial_gain(p, 50, 200).sender, 1);
+}
+
+TEST(OptimizerTest, Lbp2InitialGainBalancedSystem) {
+  // Rates (1, 1), equal loads: no excess anywhere.
+  markov::TwoNodeParams p;
+  p.nodes[0] = markov::NodeParams{1.0, 0.0, 0.0};
+  p.nodes[1] = markov::NodeParams{1.0, 0.0, 0.0};
+  p.per_task_delay_mean = 0.02;
+  const auto opt = optimize_lbp2_initial_gain(p, 30, 30);
+  EXPECT_EQ(opt.sender, -1);
+  EXPECT_EQ(opt.transfer, 0u);
+}
+
+TEST(OptimizerTest, NoFailureExpectedTimeMatchesTable1Column) {
+  const markov::TwoNodeParams p = markov::ipdps2006_params();
+  EXPECT_NEAR(optimize_lbp2_initial_gain(p, 200, 100).expected_completion, 106.93,
+              0.01 * 106.93);
+  EXPECT_NEAR(optimize_lbp2_initial_gain(p, 200, 200).expected_completion, 141.94,
+              0.01 * 141.94);
+}
+
+}  // namespace
+}  // namespace lbsim::core

@@ -1,0 +1,268 @@
+// Tests for the policy layer: excess-load arithmetic (eqs. (6)-(8)) and the
+// LBP-1 / LBP-2 / baseline directive generation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/baseline.hpp"
+#include "core/excess.hpp"
+#include "core/lbp1.hpp"
+#include "core/lbp2.hpp"
+
+namespace lbsim::core {
+namespace {
+
+/// A canned SystemView for policy unit tests.
+class FakeView final : public SystemView {
+ public:
+  FakeView(std::vector<markov::NodeParams> nodes, std::vector<std::size_t> queues,
+           double d = 0.02)
+      : nodes_(std::move(nodes)), queues_(std::move(queues)), d_(d),
+        up_(nodes_.size(), true) {}
+
+  [[nodiscard]] std::size_t node_count() const override { return nodes_.size(); }
+  [[nodiscard]] std::size_t queue_length(int n) const override {
+    return queues_.at(static_cast<std::size_t>(n));
+  }
+  [[nodiscard]] bool is_up(int n) const override {
+    return up_.at(static_cast<std::size_t>(n));
+  }
+  [[nodiscard]] markov::NodeParams node_params(int n) const override {
+    return nodes_.at(static_cast<std::size_t>(n));
+  }
+  [[nodiscard]] double per_task_delay_mean() const override { return d_; }
+
+  void set_down(int n) { up_.at(static_cast<std::size_t>(n)) = false; }
+
+ private:
+  std::vector<markov::NodeParams> nodes_;
+  std::vector<std::size_t> queues_;
+  double d_;
+  std::vector<bool> up_;
+};
+
+std::vector<markov::NodeParams> paper_nodes() {
+  return {markov::NodeParams{1.08, 0.05, 0.1}, markov::NodeParams{1.86, 0.05, 0.05}};
+}
+
+// ---------- excess-load arithmetic ----------
+
+TEST(ExcessTest, FairShareProportionalToSpeed) {
+  // (100, 200) with rates (1.08, 1.86): fair shares 110.2 / 189.8, so node 1
+  // holds ~10.2 excess and node 0 none (worked example from Section 4 data).
+  const std::vector<double> rates{1.08, 1.86};
+  const std::vector<std::size_t> loads{100, 200};
+  EXPECT_DOUBLE_EQ(excess_load(rates, loads, 0), 0.0);
+  EXPECT_NEAR(excess_load(rates, loads, 1), 200.0 - (1.86 / 2.94) * 300.0, 1e-9);
+}
+
+TEST(ExcessTest, BalancedSystemHasNoExcess) {
+  const std::vector<double> rates{1.0, 1.0};
+  const std::vector<std::size_t> loads{50, 50};
+  EXPECT_DOUBLE_EQ(excess_load(rates, loads, 0), 0.0);
+  EXPECT_DOUBLE_EQ(excess_load(rates, loads, 1), 0.0);
+}
+
+TEST(ExcessTest, TwoNodePartitionIsEverything) {
+  const std::vector<double> rates{1.08, 1.86};
+  const std::vector<std::size_t> loads{100, 200};
+  EXPECT_DOUBLE_EQ(partition_fraction(rates, loads, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(partition_fraction(rates, loads, 1, 1), 0.0);  // p_jj = 0
+}
+
+TEST(ExcessTest, PartitionFractionsSumToOne) {
+  const std::vector<double> rates{1.0, 2.0, 4.0, 0.5};
+  const std::vector<std::size_t> loads{40, 10, 5, 20};
+  for (std::size_t j = 0; j < 4; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) sum += partition_fraction(rates, loads, i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "j=" << j;
+  }
+}
+
+TEST(ExcessTest, SmallerNormalisedLoadGetsBiggerFraction) {
+  const std::vector<double> rates{1.0, 1.0, 1.0};
+  const std::vector<std::size_t> loads{90, 10, 30};  // node 0 is overloaded
+  const double to_light = partition_fraction(rates, loads, 1, 0);
+  const double to_heavy = partition_fraction(rates, loads, 2, 0);
+  EXPECT_GT(to_light, to_heavy);
+}
+
+TEST(ExcessTest, PaperLfConstants) {
+  // With the Section 4 parameters: node 0 fails -> 3 tasks to node 1; node 1
+  // fails -> 9 tasks to node 0 (worked out from eq. (8)).
+  const auto nodes = paper_nodes();
+  EXPECT_EQ(lbp2_failure_transfer(nodes, 1, 0), 3u);
+  EXPECT_EQ(lbp2_failure_transfer(nodes, 0, 1), 9u);
+}
+
+TEST(ExcessTest, LfRequiresRecoveryLaw) {
+  auto nodes = paper_nodes();
+  nodes[1].lambda_f = 0.0;
+  nodes[1].lambda_r = 0.0;
+  EXPECT_THROW((void)lbp2_failure_transfer(nodes, 0, 1), std::invalid_argument);
+}
+
+TEST(ExcessTest, InitialBalanceTransfersMatchHandComputation) {
+  // (100, 200), rates (1.08, 1.86), K = 0.8: node 1 sends round(0.8 * 10.2) = 8.
+  const auto transfers =
+      initial_balance_transfers({1.08, 1.86}, {100, 200}, 0.8);
+  ASSERT_EQ(transfers.size(), 1u);
+  EXPECT_EQ(transfers[0].from, 1u);
+  EXPECT_EQ(transfers[0].to, 0u);
+  EXPECT_EQ(transfers[0].count, 8u);
+}
+
+TEST(ExcessTest, InitialBalanceZeroGainMovesNothing) {
+  EXPECT_TRUE(initial_balance_transfers({1.08, 1.86}, {100, 200}, 0.0).empty());
+}
+
+TEST(ExcessTest, InitialBalanceThreeNodes) {
+  const std::vector<double> rates{1.0, 1.0, 1.0};
+  const std::vector<std::size_t> loads{90, 0, 0};
+  const auto transfers = initial_balance_transfers(rates, loads, 1.0);
+  ASSERT_EQ(transfers.size(), 2u);
+  std::size_t total = 0;
+  for (const auto& t : transfers) {
+    EXPECT_EQ(t.from, 0u);
+    total += t.count;
+  }
+  EXPECT_EQ(total, 60u);  // excess = 90 - 30 = 60, split 30/30
+}
+
+// ---------- LBP-1 ----------
+
+TEST(Lbp1Test, TwoNodeDirective) {
+  Lbp1Policy policy(0, 0.35);
+  FakeView view(paper_nodes(), {100, 60});
+  const auto directives = policy.on_start(view);
+  ASSERT_EQ(directives.size(), 1u);
+  EXPECT_EQ(directives[0].from, 0);
+  EXPECT_EQ(directives[0].to, 1);
+  EXPECT_EQ(directives[0].count, 35u);
+}
+
+TEST(Lbp1Test, ZeroGainNoDirective) {
+  Lbp1Policy policy(1, 0.0);
+  FakeView view(paper_nodes(), {100, 60});
+  EXPECT_TRUE(policy.on_start(view).empty());
+}
+
+TEST(Lbp1Test, NoActionOnFailureOrRecovery) {
+  Lbp1Policy policy(0, 0.35);
+  FakeView view(paper_nodes(), {100, 60});
+  EXPECT_TRUE(policy.on_failure(0, view).empty());
+  EXPECT_TRUE(policy.on_recovery(1, view).empty());
+}
+
+TEST(Lbp1Test, MultiNodeFormUsesExcessPartition) {
+  Lbp1Policy policy(1.0);
+  FakeView view({markov::NodeParams{1.0, 0.0, 0.0}, markov::NodeParams{1.0, 0.0, 0.0},
+                 markov::NodeParams{1.0, 0.0, 0.0}},
+                {90, 0, 0});
+  const auto directives = policy.on_start(view);
+  ASSERT_EQ(directives.size(), 2u);
+  EXPECT_EQ(directives[0].from, 0);
+}
+
+TEST(Lbp1Test, ExplicitSenderRequiresTwoNodes) {
+  Lbp1Policy policy(0, 0.5);
+  FakeView view({markov::NodeParams{1.0, 0.0, 0.0}, markov::NodeParams{1.0, 0.0, 0.0},
+                 markov::NodeParams{1.0, 0.0, 0.0}},
+                {10, 10, 10});
+  EXPECT_THROW((void)policy.on_start(view), std::invalid_argument);
+}
+
+TEST(Lbp1Test, ValidatesConstructionAndClones) {
+  EXPECT_THROW(Lbp1Policy(2, 0.5), std::invalid_argument);
+  EXPECT_THROW(Lbp1Policy(0, 1.5), std::invalid_argument);
+  Lbp1Policy policy(1, 0.25);
+  const PolicyPtr copy = policy.clone();
+  EXPECT_EQ(copy->name(), policy.name());
+}
+
+// ---------- LBP-2 ----------
+
+TEST(Lbp2Test, InitialBalanceDirective) {
+  Lbp2Policy policy(0.8);
+  FakeView view(paper_nodes(), {100, 200});
+  const auto directives = policy.on_start(view);
+  ASSERT_EQ(directives.size(), 1u);
+  EXPECT_EQ(directives[0].from, 1);
+  EXPECT_EQ(directives[0].to, 0);
+  EXPECT_EQ(directives[0].count, 8u);
+}
+
+TEST(Lbp2Test, FailureTransferUsesLfConstants) {
+  Lbp2Policy policy(1.0);
+  FakeView view(paper_nodes(), {50, 50});
+  view.set_down(1);
+  const auto directives = policy.on_failure(1, view);
+  ASSERT_EQ(directives.size(), 1u);
+  EXPECT_EQ(directives[0].from, 1);
+  EXPECT_EQ(directives[0].to, 0);
+  EXPECT_EQ(directives[0].count, 9u);
+}
+
+TEST(Lbp2Test, FailureTransferCappedByQueue) {
+  Lbp2Policy policy(1.0);
+  FakeView view(paper_nodes(), {50, 4});  // node 1 only holds 4 tasks
+  const auto directives = policy.on_failure(1, view);
+  ASSERT_EQ(directives.size(), 1u);
+  EXPECT_EQ(directives[0].count, 4u);
+}
+
+TEST(Lbp2Test, FailureOfEmptyNodeSendsNothing) {
+  Lbp2Policy policy(1.0);
+  FakeView view(paper_nodes(), {50, 0});
+  EXPECT_TRUE(policy.on_failure(1, view).empty());
+}
+
+TEST(Lbp2Test, NoActionOnRecovery) {
+  Lbp2Policy policy(1.0);
+  FakeView view(paper_nodes(), {50, 50});
+  EXPECT_TRUE(policy.on_recovery(0, view).empty());
+}
+
+TEST(Lbp2Test, ThreeNodeFailureSplitsAcrossPeers) {
+  std::vector<markov::NodeParams> nodes{
+      markov::NodeParams{1.0, 0.05, 0.1},
+      markov::NodeParams{1.0, 0.05, 0.1},
+      markov::NodeParams{2.0, 0.05, 0.1},
+  };
+  Lbp2Policy policy(1.0);
+  FakeView view(nodes, {30, 30, 30});
+  const auto directives = policy.on_failure(0, view);
+  ASSERT_EQ(directives.size(), 2u);
+  std::map<int, std::size_t> by_to;
+  for (const auto& d : directives) by_to[d.to] = d.count;
+  // Faster peer (node 2) receives more (eq. (8) scales with lambda_di).
+  EXPECT_GT(by_to[2], by_to[1]);
+}
+
+TEST(Lbp2Test, NameCarriesGain) {
+  EXPECT_NE(Lbp2Policy(0.8).name().find("0.8"), std::string::npos);
+}
+
+// ---------- baselines ----------
+
+TEST(BaselineTest, NoBalancingDoesNothingEver) {
+  NoBalancingPolicy policy;
+  FakeView view(paper_nodes(), {100, 0});
+  EXPECT_TRUE(policy.on_start(view).empty());
+  EXPECT_TRUE(policy.on_failure(0, view).empty());
+}
+
+TEST(BaselineTest, ProportionalOnceFullyBalances) {
+  ProportionalOncePolicy policy;
+  FakeView view(paper_nodes(), {100, 200});
+  const auto directives = policy.on_start(view);
+  ASSERT_EQ(directives.size(), 1u);
+  // Full excess of node 1: round(10.2) = 10.
+  EXPECT_EQ(directives[0].count, 10u);
+  EXPECT_TRUE(policy.on_failure(1, view).empty());
+}
+
+}  // namespace
+}  // namespace lbsim::core

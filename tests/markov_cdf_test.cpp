@@ -1,0 +1,166 @@
+// Tests for the completion-time CDF solver (paper eq. (5), Fig. 5): closed
+// forms, shape properties, consistency with the mean solver, and dominance
+// relations between the failure and no-failure curves.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/oracle.hpp"
+#include "markov/two_node_cdf.hpp"
+#include "markov/two_node_mean.hpp"
+
+namespace lbsim::markov {
+namespace {
+
+TwoNodeParams reliable_params(double r0, double r1, double d = 0.02) {
+  TwoNodeParams p;
+  p.nodes[0] = NodeParams{r0, 0.0, 0.0};
+  p.nodes[1] = NodeParams{r1, 0.0, 0.0};
+  p.per_task_delay_mean = d;
+  return p;
+}
+
+TwoNodeCdfSolver::Config fast_config(double horizon = 60.0, double dt = 0.02) {
+  TwoNodeCdfSolver::Config config;
+  config.horizon = horizon;
+  config.dt = dt;
+  return config;
+}
+
+TEST(CdfSolverTest, EmptySystemIsDoneAtZero) {
+  const TwoNodeCdfSolver solver(ipdps2006_params(), fast_config(5.0));
+  const CdfCurve curve = solver.cdf_no_transit(0, 0);
+  for (const double v : curve.values) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_DOUBLE_EQ(curve.mean_estimate(), 0.0);
+}
+
+TEST(CdfSolverTest, SingleTaskSingleNodeIsExponentialCdf) {
+  const TwoNodeCdfSolver solver(reliable_params(1.0, 1.0), fast_config(30.0, 0.01));
+  const CdfCurve curve = solver.cdf_no_transit(1, 0);
+  for (std::size_t k = 0; k < curve.grid.size(); k += 100) {
+    const double expected = 1.0 - std::exp(-curve.grid[k]);
+    EXPECT_NEAR(curve.values[k], expected, 1e-4) << "t=" << curve.grid[k];
+  }
+}
+
+TEST(CdfSolverTest, MonotoneNondecreasingAndBounded) {
+  const TwoNodeCdfSolver solver(ipdps2006_params(), fast_config(120.0));
+  const CdfCurve curve = solver.cdf_with_transit(10, 5, 5, 1);
+  double prev = -1e-12;
+  for (const double v : curve.values) {
+    EXPECT_GE(v, prev - 1e-9);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+}
+
+TEST(CdfSolverTest, ReachesOneWithinGenerousHorizon) {
+  const TwoNodeCdfSolver solver(ipdps2006_params(), fast_config(400.0, 0.05));
+  const CdfCurve curve = solver.cdf_no_transit(10, 10);
+  EXPECT_LT(curve.tail_mass(), 1e-3);
+}
+
+TEST(CdfSolverTest, MeanFromCdfMatchesMeanSolverNoChurn) {
+  const TwoNodeParams p = reliable_params(1.08, 1.86);
+  const TwoNodeCdfSolver cdf_solver(p, fast_config(80.0, 0.01));
+  TwoNodeMeanSolver mean_solver(p);
+  const CdfCurve curve = cdf_solver.cdf_no_transit(12, 8);
+  EXPECT_NEAR(curve.mean_estimate(), mean_solver.mean_no_transit(12, 8), 0.05);
+}
+
+TEST(CdfSolverTest, MeanFromCdfMatchesMeanSolverWithChurnAndTransit) {
+  const TwoNodeParams p = ipdps2006_params();
+  const TwoNodeCdfSolver cdf_solver(p, fast_config(500.0, 0.02));
+  TwoNodeMeanSolver mean_solver(p);
+  const CdfCurve curve = cdf_solver.cdf_with_transit(7, 4, 4, 1);
+  EXPECT_NEAR(curve.mean_estimate(), mean_solver.mean_with_transit(7, 4, 4, 1), 0.25);
+}
+
+TEST(CdfSolverTest, FailureCurveStochasticallyDominated) {
+  // P{T <= t} with churn <= P{T <= t} without churn, for every t (Fig. 5).
+  const TwoNodeCdfSolver churny(ipdps2006_params(), fast_config(150.0));
+  const TwoNodeCdfSolver clean(without_failures(ipdps2006_params()), fast_config(150.0));
+  const CdfCurve with_fail = churny.cdf_no_transit(25, 25);
+  const CdfCurve no_fail = clean.cdf_no_transit(25, 25);
+  ASSERT_EQ(with_fail.values.size(), no_fail.values.size());
+  for (std::size_t k = 0; k < with_fail.values.size(); ++k) {
+    EXPECT_LE(with_fail.values[k], no_fail.values[k] + 1e-6);
+  }
+}
+
+TEST(CdfSolverTest, TransitDirectionSymmetry) {
+  // Shipping L toward node 1 in params P == shipping L toward node 0 in
+  // swapped params with swapped queues.
+  const TwoNodeParams p = ipdps2006_params();
+  const TwoNodeCdfSolver solver(p, fast_config(100.0));
+  const TwoNodeCdfSolver swapped(swap_nodes(p), fast_config(100.0));
+  const CdfCurve a = solver.cdf_with_transit(6, 3, 4, 1);
+  const CdfCurve b = swapped.cdf_with_transit(3, 6, 4, 0);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t k = 0; k < a.values.size(); k += 50) {
+    EXPECT_NEAR(a.values[k], b.values[k], 1e-9);
+  }
+}
+
+TEST(CdfSolverTest, SwapHelpers) {
+  EXPECT_EQ(swap_state_bits(0b01), 0b10u);
+  EXPECT_EQ(swap_state_bits(0b10), 0b01u);
+  EXPECT_EQ(swap_state_bits(0b11), 0b11u);
+  EXPECT_EQ(swap_state_bits(0b00), 0b00u);
+  const TwoNodeParams p = ipdps2006_params();
+  const TwoNodeParams s = swap_nodes(p);
+  EXPECT_DOUBLE_EQ(s.nodes[0].lambda_d, p.nodes[1].lambda_d);
+  EXPECT_DOUBLE_EQ(s.nodes[1].lambda_r, p.nodes[0].lambda_r);
+}
+
+TEST(CdfSolverTest, QuantileAndTail) {
+  const TwoNodeCdfSolver solver(reliable_params(1.0, 1.0), fast_config(50.0, 0.01));
+  const CdfCurve curve = solver.cdf_no_transit(1, 0);  // Exp(1)
+  EXPECT_NEAR(curve.quantile(0.5), std::log(2.0), 0.02);
+  EXPECT_NEAR(curve.quantile(0.95), -std::log(0.05), 0.05);
+  EXPECT_THROW((void)curve.quantile(0.0), std::invalid_argument);
+}
+
+TEST(CdfSolverTest, MoreWorkShiftsCurveRight) {
+  const TwoNodeCdfSolver solver(ipdps2006_params(), fast_config(200.0));
+  const CdfCurve small = solver.cdf_no_transit(5, 5);
+  const CdfCurve big = solver.cdf_no_transit(20, 20);
+  for (std::size_t k = 0; k < small.values.size(); k += 100) {
+    EXPECT_GE(small.values[k], big.values[k] - 1e-9);
+  }
+}
+
+TEST(CdfSolverTest, StiffSmallBundleStaysStable) {
+  // L = 1 gives an arrival rate of 50/s; substepping must keep RK4 stable.
+  const TwoNodeCdfSolver solver(ipdps2006_params(), fast_config(60.0, 0.05));
+  const CdfCurve curve = solver.cdf_with_transit(2, 2, 1, 1);
+  for (const double v : curve.values) {
+    EXPECT_GE(v, -1e-9);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+  EXPECT_LT(curve.tail_mass(), 0.05);
+}
+
+TEST(CdfSolverTest, Lbp1EntryPointConsistentWithTransit) {
+  const TwoNodeCdfSolver solver(ipdps2006_params(), fast_config(100.0));
+  const CdfCurve via_lbp1 = solver.lbp1_cdf(10, 6, 0, 0.4);  // L = 4
+  const CdfCurve direct = solver.cdf_with_transit(6, 6, 4, 1);
+  ASSERT_EQ(via_lbp1.values.size(), direct.values.size());
+  for (std::size_t k = 0; k < direct.values.size(); k += 100) {
+    EXPECT_NEAR(via_lbp1.values[k], direct.values[k], 1e-12);
+  }
+}
+
+TEST(CdfSolverTest, ConfigValidation) {
+  EXPECT_THROW(TwoNodeCdfSolver(ipdps2006_params(), {0.0, 0.05, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(TwoNodeCdfSolver(ipdps2006_params(), {10.0, 0.0, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(TwoNodeCdfSolver(ipdps2006_params(), {10.0, 0.05, 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lbsim::markov

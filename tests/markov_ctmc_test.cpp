@@ -1,0 +1,143 @@
+// Cross-validation of the lattice solvers against an independent brute-force
+// implementation: the full reachable-state CTMC with direct first-passage
+// solves (mean) and uniformisation (CDF). The two implementations share no
+// code beyond the dense linear solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/ctmc.hpp"
+#include "markov/two_node_cdf.hpp"
+#include "markov/two_node_mean.hpp"
+
+namespace lbsim::markov {
+namespace {
+
+TEST(CtmcTest, TwoStateChainHandComputed) {
+  // 0 --(2)--> 1 (absorbing): mean = 0.5; CDF(t) = 1 - exp(-2t).
+  AbsorbingCtmc chain(2, [](std::size_t s) -> std::vector<AbsorbingCtmc::Transition> {
+    if (s == 0) return {{1, 2.0}};
+    return {};
+  });
+  EXPECT_FALSE(chain.is_absorbing(0));
+  EXPECT_TRUE(chain.is_absorbing(1));
+  const auto mu = chain.mean_absorption_times();
+  EXPECT_NEAR(mu[0], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(mu[1], 0.0);
+  EXPECT_NEAR(chain.absorption_cdf(0, 1.0), 1.0 - std::exp(-2.0), 1e-8);
+  EXPECT_DOUBLE_EQ(chain.absorption_cdf(1, 0.5), 1.0);
+}
+
+TEST(CtmcTest, ErlangChain) {
+  // 0 -> 1 -> 2 -> absorbed at rate 1: Erlang(3,1), mean 3.
+  AbsorbingCtmc chain(4, [](std::size_t s) -> std::vector<AbsorbingCtmc::Transition> {
+    if (s < 3) return {{s + 1, 1.0}};
+    return {};
+  });
+  EXPECT_NEAR(chain.mean_absorption_times()[0], 3.0, 1e-12);
+  // CDF at the mean: P(Erlang(3,1) <= 3) = 1 - e^-3 (1 + 3 + 4.5).
+  EXPECT_NEAR(chain.absorption_cdf(0, 3.0), 1.0 - std::exp(-3.0) * 8.5, 1e-8);
+}
+
+TEST(CtmcTest, RejectsBadInputs) {
+  EXPECT_THROW(AbsorbingCtmc(0, [](std::size_t) {
+                 return std::vector<AbsorbingCtmc::Transition>{};
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(AbsorbingCtmc(2,
+                             [](std::size_t) -> std::vector<AbsorbingCtmc::Transition> {
+                               return {{5, 1.0}};
+                             }),
+               std::invalid_argument);
+  EXPECT_THROW(AbsorbingCtmc(2,
+                             [](std::size_t) -> std::vector<AbsorbingCtmc::Transition> {
+                               return {{1, -1.0}};
+                             }),
+               std::invalid_argument);
+}
+
+TEST(CtmcTest, UnabsorbableChainSingular) {
+  // 0 <-> 1 with no absorbing state reachable.
+  AbsorbingCtmc chain(3, [](std::size_t s) -> std::vector<AbsorbingCtmc::Transition> {
+    if (s == 0) return {{1, 1.0}};
+    if (s == 1) return {{0, 1.0}};
+    return {};
+  });
+  EXPECT_THROW((void)chain.mean_absorption_times(), std::logic_error);
+}
+
+// ---------- two-node chain vs lattice solvers ----------
+
+TEST(CtmcCrossValidationTest, MeanNoTransitMatchesLattice) {
+  const TwoNodeParams p = ipdps2006_params();
+  TwoNodeMeanSolver solver(p);
+  for (const auto& [q0, q1] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 0}, {0, 2}, {3, 3}, {6, 4}}) {
+    const TwoNodeChain built = build_two_node_chain(p, q0, q1, 0, 0);
+    const auto mu = built.chain.mean_absorption_times();
+    EXPECT_NEAR(mu[built.initial_state], solver.mean_no_transit(q0, q1), 1e-8)
+        << q0 << "," << q1;
+  }
+}
+
+TEST(CtmcCrossValidationTest, MeanWithTransitMatchesLattice) {
+  const TwoNodeParams p = ipdps2006_params();
+  TwoNodeMeanSolver solver(p);
+  const TwoNodeChain built = build_two_node_chain(p, 5, 3, 4, 1);
+  const auto mu = built.chain.mean_absorption_times();
+  EXPECT_NEAR(mu[built.initial_state], solver.mean_with_transit(5, 3, 4, 1), 1e-8);
+}
+
+TEST(CtmcCrossValidationTest, MeanTransitTowardNodeZero) {
+  const TwoNodeParams p = ipdps2006_params();
+  TwoNodeMeanSolver solver(p);
+  const TwoNodeChain built = build_two_node_chain(p, 2, 6, 3, 0);
+  const auto mu = built.chain.mean_absorption_times();
+  EXPECT_NEAR(mu[built.initial_state], solver.mean_with_transit(2, 6, 3, 0), 1e-8);
+}
+
+TEST(CtmcCrossValidationTest, MeanFromEveryWorkState) {
+  const TwoNodeParams p = ipdps2006_params();
+  TwoNodeMeanSolver solver(p);
+  for (unsigned w = 0; w < 4; ++w) {
+    const TwoNodeChain built = build_two_node_chain(p, 4, 4, 0, 0, w);
+    const auto mu = built.chain.mean_absorption_times();
+    EXPECT_NEAR(mu[built.initial_state], solver.mean_no_transit(4, 4, w), 1e-8)
+        << "state " << w;
+  }
+}
+
+TEST(CtmcCrossValidationTest, CdfMatchesOdeSolver) {
+  const TwoNodeParams p = ipdps2006_params();
+  TwoNodeCdfSolver::Config config;
+  config.horizon = 60.0;
+  config.dt = 0.01;
+  const TwoNodeCdfSolver solver(p, config);
+  const CdfCurve curve = solver.cdf_with_transit(3, 2, 2, 1);
+  const TwoNodeChain built = build_two_node_chain(p, 3, 2, 2, 1);
+  for (const double t : {1.0, 5.0, 10.0, 20.0, 40.0}) {
+    const double brute = built.chain.absorption_cdf(built.initial_state, t);
+    const auto k = static_cast<std::size_t>(t / config.dt);
+    EXPECT_NEAR(curve.values[k], brute, 5e-4) << "t=" << t;
+  }
+}
+
+TEST(CtmcCrossValidationTest, NoFailureCaseToo) {
+  const TwoNodeParams p = without_failures(ipdps2006_params());
+  TwoNodeMeanSolver solver(p);
+  const TwoNodeChain built = build_two_node_chain(p, 7, 2, 3, 1);
+  const auto mu = built.chain.mean_absorption_times();
+  EXPECT_NEAR(mu[built.initial_state], solver.mean_with_transit(7, 2, 3, 1), 1e-8);
+}
+
+TEST(CtmcCrossValidationTest, ReachableStateCountIsTight) {
+  // No-failure chain never leaves w = 3: states = transit box + landed box.
+  const TwoNodeParams p = without_failures(ipdps2006_params());
+  const TwoNodeChain built = build_two_node_chain(p, 2, 1, 2, 1);
+  // tau=1: (a,b) in [0..2]x[0..1] = 6; after landing: [0..2]x[0..3] = 12.
+  EXPECT_EQ(built.chain.state_count(), 18u);
+}
+
+}  // namespace
+}  // namespace lbsim::markov

@@ -1,0 +1,162 @@
+// Tests for the multi-node regeneration solver: reduction to closed forms and
+// to the specialised two-node solver, plus n = 3 extension properties.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "markov/multi_node_mean.hpp"
+#include "markov/oracle.hpp"
+#include "markov/two_node_mean.hpp"
+
+namespace lbsim::markov {
+namespace {
+
+MultiNodeParams two_node(const TwoNodeParams& p) {
+  MultiNodeParams out;
+  out.nodes = {p.nodes[0], p.nodes[1]};
+  out.per_task_delay_mean = p.per_task_delay_mean;
+  return out;
+}
+
+MultiNodeParams reliable_three(double r0, double r1, double r2) {
+  MultiNodeParams p;
+  p.nodes = {NodeParams{r0, 0.0, 0.0}, NodeParams{r1, 0.0, 0.0}, NodeParams{r2, 0.0, 0.0}};
+  p.per_task_delay_mean = 0.02;
+  return p;
+}
+
+TEST(MultiNodeTest, EmptySystemZero) {
+  MultiNodeMeanSolver solver(two_node(ipdps2006_params()));
+  EXPECT_DOUBLE_EQ(solver.expected_completion({0, 0}), 0.0);
+}
+
+TEST(MultiNodeTest, MatchesTwoNodeSolverNoTransit) {
+  const TwoNodeParams p = ipdps2006_params();
+  MultiNodeMeanSolver multi(two_node(p));
+  TwoNodeMeanSolver two(p);
+  for (const auto& [m0, m1] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 0}, {0, 3}, {5, 5}, {12, 7}}) {
+    EXPECT_NEAR(multi.expected_completion({m0, m1}), two.mean_no_transit(m0, m1), 1e-9)
+        << m0 << "," << m1;
+  }
+}
+
+TEST(MultiNodeTest, MatchesTwoNodeSolverWithTransit) {
+  const TwoNodeParams p = ipdps2006_params();
+  MultiNodeMeanSolver multi(two_node(p));
+  TwoNodeMeanSolver two(p);
+  const std::vector<TransferSpec> transfers{{0, 1, 6}};
+  EXPECT_NEAR(multi.expected_completion({10, 4}, transfers),
+              two.mean_with_transit(10, 4, 6, 1), 1e-9);
+}
+
+TEST(MultiNodeTest, MatchesTwoNodeSolverAllWorkStates) {
+  const TwoNodeParams p = ipdps2006_params();
+  MultiNodeMeanSolver multi(two_node(p));
+  TwoNodeMeanSolver two(p);
+  for (unsigned w = 0; w < 4; ++w) {
+    EXPECT_NEAR(multi.expected_completion({6, 6}, {}, w), two.mean_no_transit(6, 6, w),
+                1e-9)
+        << "state " << w;
+  }
+}
+
+TEST(MultiNodeTest, SingleNodeChurnClosedForm) {
+  MultiNodeParams p;
+  p.nodes = {NodeParams{1.08, 0.05, 0.1}, NodeParams{1.86, 0.0, 0.0}};
+  p.per_task_delay_mean = 0.02;
+  MultiNodeMeanSolver solver(p);
+  EXPECT_NEAR(solver.expected_completion({9, 0}), single_node_churn_mean(9, p.nodes[0]),
+              1e-9);
+}
+
+TEST(MultiNodeTest, ThreeReliableNodesIndependentQueues) {
+  // With no transfers the three queues race independently; E[max] can be
+  // obtained by conditioning: verify against a direct Monte-Carlo-free bound
+  // check and the two-node reduction when one queue is empty.
+  MultiNodeMeanSolver solver(reliable_three(1.0, 2.0, 4.0));
+  TwoNodeParams p2;
+  p2.nodes[0] = NodeParams{1.0, 0.0, 0.0};
+  p2.nodes[1] = NodeParams{2.0, 0.0, 0.0};
+  p2.per_task_delay_mean = 0.02;
+  TwoNodeMeanSolver two(p2);
+  EXPECT_NEAR(solver.expected_completion({4, 6, 0}), two.mean_no_transit(4, 6), 1e-9);
+  // E[max of three] >= E[max of any pair].
+  EXPECT_GT(solver.expected_completion({4, 6, 6}), two.mean_no_transit(4, 6));
+}
+
+TEST(MultiNodeTest, TransferBetweenTwoOfThreeNodes) {
+  // A transfer to an empty third node must beat leaving everything queued at a
+  // slow node (rates chosen so that offloading clearly helps).
+  MultiNodeMeanSolver solver(reliable_three(0.5, 0.5, 5.0));
+  const double keep = solver.expected_completion({20, 0, 0});
+  const double ship = solver.expected_completion({10, 0, 0}, {{0, 2, 10}});
+  EXPECT_LT(ship, keep);
+}
+
+TEST(MultiNodeTest, TwoSimultaneousTransfers) {
+  MultiNodeMeanSolver solver(reliable_three(1.0, 1.0, 1.0));
+  const std::vector<TransferSpec> transfers{{0, 1, 3}, {0, 2, 3}};
+  const double mean = solver.expected_completion({4, 0, 0}, transfers);
+  // Lower bound: each branch must process >= 3 tasks at rate 1 after >= its
+  // bundle delay; upper bound: everything serial at one node.
+  EXPECT_GT(mean, 4.0);
+  EXPECT_LT(mean, 10.0);
+  // Independence sanity: adding a second transfer changed the answer vs one.
+  const double one = solver.expected_completion({4, 0, 0}, {{0, 1, 3}});
+  EXPECT_NE(mean, one);
+}
+
+TEST(MultiNodeTest, TransferArrivalSplitsMass) {
+  // mu(with transit) >= bundle delay and approaches hat as delay -> 0.
+  MultiNodeParams fast = two_node(ipdps2006_params());
+  fast.per_task_delay_mean = 1e-7;
+  MultiNodeMeanSolver solver(fast);
+  TwoNodeMeanSolver two(ipdps2006_params());
+  EXPECT_NEAR(solver.expected_completion({5, 5}, {{0, 1, 5}}),
+              two.mean_no_transit(5, 10), 1e-3);
+}
+
+TEST(MultiNodeTest, MemoGrowsWithLattice) {
+  MultiNodeMeanSolver solver(reliable_three(1.0, 1.0, 1.0));
+  (void)solver.expected_completion({3, 3, 3});
+  // 4x4x4 queue lattice = 64 states.
+  EXPECT_EQ(solver.memo_size(), 64u);
+}
+
+TEST(MultiNodeTest, InputValidation) {
+  MultiNodeMeanSolver solver(two_node(ipdps2006_params()));
+  EXPECT_THROW((void)solver.expected_completion({1}), std::invalid_argument);
+  EXPECT_THROW((void)solver.expected_completion({1, 1}, {{0, 0, 3}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)solver.expected_completion({1, 1}, {{0, 1, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)solver.expected_completion({1, 1}, {}, 7), std::invalid_argument);
+  MultiNodeParams nine;
+  nine.nodes.assign(9, NodeParams{1.0, 0.0, 0.0});
+  EXPECT_THROW(MultiNodeMeanSolver{nine}, std::invalid_argument);
+}
+
+TEST(MultiNodeTest, ChurnyThreeNodeSlowerThanReliable) {
+  MultiNodeParams churny = reliable_three(1.0, 1.0, 1.0);
+  for (auto& node : churny.nodes) {
+    node.lambda_f = 0.05;
+    node.lambda_r = 0.1;
+  }
+  MultiNodeMeanSolver a(churny);
+  MultiNodeMeanSolver b(reliable_three(1.0, 1.0, 1.0));
+  EXPECT_GT(a.expected_completion({5, 5, 5}), b.expected_completion({5, 5, 5}));
+}
+
+TEST(MultiNodeTest, DownStateCostsRecoveryTime) {
+  MultiNodeParams p = two_node(ipdps2006_params());
+  MultiNodeMeanSolver solver(p);
+  const double up = solver.expected_completion({3, 3}, {}, 0b11);
+  const double down0 = solver.expected_completion({3, 3}, {}, 0b10);
+  EXPECT_GT(down0, up);
+}
+
+}  // namespace
+}  // namespace lbsim::markov

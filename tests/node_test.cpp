@@ -1,0 +1,256 @@
+// Unit tests for the compute-element substrate: service, failure freezing,
+// checkpoint-resume, extraction, and the alternating-renewal failure process.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "node/compute_element.hpp"
+#include "node/failure_process.hpp"
+#include "node/task.hpp"
+#include "sim/simulator.hpp"
+#include "stochastic/distributions.hpp"
+#include "stochastic/stats.hpp"
+
+namespace lbsim::node {
+namespace {
+
+/// Deterministic unit service: every task takes exactly 1 s.
+ComputeElement::ServiceTimeFn unit_service() {
+  return [](const Task&, stoch::RngStream&) { return 1.0; };
+}
+
+struct Fixture {
+  des::Simulator sim;
+  stoch::RngStream rng{42};
+};
+
+TEST(TaskTest, MakeUnitTasks) {
+  const TaskBatch batch = make_unit_tasks(3, 7, 100);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, 100u);
+  EXPECT_EQ(batch[2].id, 102u);
+  EXPECT_EQ(batch[1].origin, 7);
+  EXPECT_DOUBLE_EQ(batch[1].size, 1.0);
+}
+
+TEST(ComputeElementTest, ProcessesQueueInOrder) {
+  Fixture f;
+  ComputeElement ce(f.sim, 0, unit_service(), f.rng);
+  std::vector<std::uint64_t> completed;
+  ce.set_completion_handler([&](const Task& t) { completed.push_back(t.id); });
+  ce.enqueue_batch(make_unit_tasks(3, 0, 1));
+  f.sim.run();
+  EXPECT_EQ(completed, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(f.sim.now(), 3.0);
+  EXPECT_EQ(ce.queue_length(), 0u);
+  EXPECT_EQ(ce.stats().tasks_completed, 3u);
+}
+
+TEST(ComputeElementTest, FailureFreezesService) {
+  Fixture f;
+  ComputeElement ce(f.sim, 0, unit_service(), f.rng);
+  int completed = 0;
+  ce.set_completion_handler([&](const Task&) { ++completed; });
+  ce.enqueue_batch(make_unit_tasks(2, 0, 1));
+  // Fail at t = 0.4 (task 1 is 40% done), recover at t = 10.4.
+  f.sim.schedule_at(0.4, [&] { ce.fail(); });
+  f.sim.schedule_at(10.4, [&] { ce.recover(); });
+  f.sim.run();
+  // Task 1 finishes at 10.4 + 0.6 = 11.0 (checkpoint-resume), task 2 at 12.0.
+  EXPECT_EQ(completed, 2);
+  EXPECT_DOUBLE_EQ(f.sim.now(), 12.0);
+  EXPECT_DOUBLE_EQ(ce.stats().down_time, 10.0);
+  EXPECT_EQ(ce.stats().failures, 1u);
+  EXPECT_EQ(ce.stats().recoveries, 1u);
+}
+
+TEST(ComputeElementTest, TasksArrivingWhileDownWaitForRecovery) {
+  Fixture f;
+  ComputeElement ce(f.sim, 0, unit_service(), f.rng);
+  int completed = 0;
+  ce.set_completion_handler([&](const Task&) { ++completed; });
+  ce.fail();
+  ce.enqueue_batch(make_unit_tasks(2, 0, 1));
+  f.sim.schedule_at(5.0, [&] { ce.recover(); });
+  f.sim.run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_DOUBLE_EQ(f.sim.now(), 7.0);
+}
+
+TEST(ComputeElementTest, FailRecoverIdempotent) {
+  Fixture f;
+  ComputeElement ce(f.sim, 0, unit_service(), f.rng);
+  ce.fail();
+  ce.fail();  // no-op
+  EXPECT_EQ(ce.stats().failures, 1u);
+  ce.recover();
+  ce.recover();  // no-op
+  EXPECT_EQ(ce.stats().recoveries, 1u);
+  EXPECT_TRUE(ce.is_up());
+}
+
+TEST(ComputeElementTest, ExtractTakesFromBack) {
+  Fixture f;
+  ComputeElement ce(f.sim, 0, unit_service(), f.rng);
+  ce.enqueue_batch(make_unit_tasks(5, 0, 1));  // ids 1..5, 1 in service
+  const TaskBatch out = ce.extract_tasks(2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 5u);  // most recently queued leaves first
+  EXPECT_EQ(out[1].id, 4u);
+  EXPECT_EQ(ce.queue_length(), 3u);
+  // Head task was untouched: completions still happen at 1.0, 2.0, 3.0.
+  int completed = 0;
+  ce.set_completion_handler([&](const Task&) { ++completed; });
+  f.sim.run();
+  EXPECT_EQ(completed, 3);
+  EXPECT_DOUBLE_EQ(f.sim.now(), 3.0);
+}
+
+TEST(ComputeElementTest, ExtractMoreThanQueueTakesAllAndAbortsService) {
+  Fixture f;
+  ComputeElement ce(f.sim, 0, unit_service(), f.rng);
+  ce.enqueue_batch(make_unit_tasks(3, 0, 1));
+  const TaskBatch out = ce.extract_tasks(10);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(ce.queue_length(), 0u);
+  f.sim.run();
+  EXPECT_EQ(ce.stats().tasks_completed, 0u);
+}
+
+TEST(ComputeElementTest, ExtractFromDownNodePreservesFrozenWork) {
+  Fixture f;
+  ComputeElement ce(f.sim, 0, unit_service(), f.rng);
+  ce.enqueue_batch(make_unit_tasks(4, 0, 1));
+  f.sim.schedule_at(0.5, [&] {
+    ce.fail();
+    const TaskBatch out = ce.extract_tasks(2);  // LBP-2 backup action
+    EXPECT_EQ(out.size(), 2u);
+  });
+  f.sim.schedule_at(1.5, [&] { ce.recover(); });
+  int completed = 0;
+  ce.set_completion_handler([&](const Task&) { ++completed; });
+  f.sim.run();
+  // Frozen head resumes at 1.5 with 0.5 s left -> 2.0; second task -> 3.0.
+  EXPECT_EQ(completed, 2);
+  EXPECT_DOUBLE_EQ(f.sim.now(), 3.0);
+}
+
+TEST(ComputeElementTest, ExtractZeroOrEmptyIsEmpty) {
+  Fixture f;
+  ComputeElement ce(f.sim, 0, unit_service(), f.rng);
+  EXPECT_TRUE(ce.extract_tasks(5).empty());
+  ce.enqueue_batch(make_unit_tasks(2, 0, 1));
+  EXPECT_TRUE(ce.extract_tasks(0).empty());
+}
+
+TEST(ComputeElementTest, QueueTraceRecordsChanges) {
+  Fixture f;
+  ComputeElement ce(f.sim, 0, unit_service(), f.rng);
+  des::TimeSeries trace;
+  ce.set_queue_trace(&trace);
+  ce.enqueue_batch(make_unit_tasks(2, 0, 1));
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(trace.value_at(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(trace.value_at(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(trace.value_at(2.0), 0.0);
+}
+
+TEST(ComputeElementTest, StochasticServiceUsesProvidedStream) {
+  des::Simulator sim;
+  stoch::RngStream rng_a(7), rng_b(7);
+  ComputeElement a(sim, 0, [](const Task&, stoch::RngStream& r) { return r.exponential(2.0); },
+                   rng_a);
+  a.enqueue_batch(make_unit_tasks(50, 0, 1));
+  sim.run();
+  const double t_a = sim.now();
+  des::Simulator sim2;
+  ComputeElement b(sim2, 0, [](const Task&, stoch::RngStream& r) { return r.exponential(2.0); },
+                   rng_b);
+  b.enqueue_batch(make_unit_tasks(50, 0, 1));
+  sim2.run();
+  EXPECT_DOUBLE_EQ(t_a, sim2.now());  // same stream, same trajectory
+}
+
+// ---------- failure process ----------
+
+TEST(FailureProcessTest, AlternatesUpDown) {
+  des::Simulator sim;
+  stoch::RngStream svc_rng(1), churn_rng(2);
+  ComputeElement ce(sim, 0, unit_service(), svc_rng);
+  FailureProcess churn(sim, ce, std::make_unique<stoch::Deterministic>(2.0),
+                       std::make_unique<stoch::Deterministic>(1.0), churn_rng);
+  int failures = 0, recoveries = 0;
+  churn.set_failure_handler([&](int) { ++failures; });
+  churn.set_recovery_handler([&](int) { ++recoveries; });
+  churn.start();
+  sim.run_until(10.5);  // fail at 2,5,8; recover at 3,6,9
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(recoveries, 3);
+  churn.stop();
+}
+
+TEST(FailureProcessTest, InitiallyDownFailsImmediately) {
+  des::Simulator sim;
+  stoch::RngStream svc_rng(1), churn_rng(2);
+  ComputeElement ce(sim, 0, unit_service(), svc_rng);
+  FailureProcess churn(sim, ce, nullptr, std::make_unique<stoch::Deterministic>(3.0),
+                       churn_rng);
+  churn.start(/*initially_down=*/true);
+  EXPECT_FALSE(ce.is_up());
+  sim.run_until(3.5);
+  EXPECT_TRUE(ce.is_up());  // recovered at t = 3, and (no failure law) stays up
+  sim.run_until(100.0);
+  EXPECT_TRUE(ce.is_up());
+}
+
+TEST(FailureProcessTest, NullFailureLawMeansReliable) {
+  des::Simulator sim;
+  stoch::RngStream svc_rng(1), churn_rng(2);
+  ComputeElement ce(sim, 0, unit_service(), svc_rng);
+  FailureProcess churn(sim, ce, nullptr, nullptr, churn_rng);
+  churn.start();
+  ce.enqueue_batch(make_unit_tasks(5, 0, 1));
+  sim.run();
+  EXPECT_EQ(ce.stats().failures, 0u);
+  EXPECT_EQ(ce.stats().tasks_completed, 5u);
+}
+
+TEST(FailureProcessTest, FailureLawWithoutRecoveryRejected) {
+  des::Simulator sim;
+  stoch::RngStream svc_rng(1), churn_rng(2);
+  ComputeElement ce(sim, 0, unit_service(), svc_rng);
+  EXPECT_THROW(FailureProcess(sim, ce, std::make_unique<stoch::Exponential>(0.05), nullptr,
+                              churn_rng),
+               std::invalid_argument);
+}
+
+TEST(FailureProcessTest, StopCancelsPendingChurn) {
+  des::Simulator sim;
+  stoch::RngStream svc_rng(1), churn_rng(2);
+  ComputeElement ce(sim, 0, unit_service(), svc_rng);
+  FailureProcess churn(sim, ce, std::make_unique<stoch::Deterministic>(2.0),
+                       std::make_unique<stoch::Deterministic>(1.0), churn_rng);
+  churn.start();
+  churn.stop();
+  sim.run_until(10.0);
+  EXPECT_EQ(ce.stats().failures, 0u);
+}
+
+TEST(FailureProcessTest, EmpiricalAvailabilityMatchesTheory) {
+  // Long-run fraction of up time ~ lambda_r / (lambda_f + lambda_r) = 2/3 for
+  // mean up 20 s / mean down 10 s (node 1 of the paper).
+  des::Simulator sim;
+  stoch::RngStream svc_rng(1), churn_rng(99);
+  ComputeElement ce(sim, 0, unit_service(), svc_rng);
+  FailureProcess churn(sim, ce, std::make_unique<stoch::Exponential>(1.0 / 20.0),
+                       std::make_unique<stoch::Exponential>(1.0 / 10.0), churn_rng);
+  churn.start();
+  const double horizon = 200000.0;
+  sim.run_until(horizon);
+  const double up_fraction = 1.0 - ce.stats().down_time / horizon;
+  EXPECT_NEAR(up_fraction, 2.0 / 3.0, 0.02);
+}
+
+}  // namespace
+}  // namespace lbsim::node

@@ -1,0 +1,199 @@
+// Parameterised property suites (TEST_P sweeps): invariants that must hold
+// across whole regions of the parameter space, not just hand-picked points.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/excess.hpp"
+#include "core/lbp1.hpp"
+#include "core/lbp2.hpp"
+#include "core/optimizer.hpp"
+#include "markov/two_node_cdf.hpp"
+#include "markov/two_node_mean.hpp"
+#include "mc/engine.hpp"
+
+namespace lbsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property 1: MC agrees with the regeneration solver across the lattice of
+// (workloads, gain, churn on/off).
+// ---------------------------------------------------------------------------
+
+using McTheoryParam = std::tuple<std::size_t, std::size_t, double, bool>;
+
+std::string mc_theory_name(const ::testing::TestParamInfo<McTheoryParam>& info) {
+  return "m0_" + std::to_string(std::get<0>(info.param)) + "_m1_" +
+         std::to_string(std::get<1>(info.param)) + "_K" +
+         std::to_string(static_cast<int>(std::get<2>(info.param) * 100)) +
+         (std::get<3>(info.param) ? "_churn" : "_reliable");
+}
+
+class McMatchesTheory : public ::testing::TestWithParam<McTheoryParam> {};
+
+TEST_P(McMatchesTheory, MeanWithinConfidenceBand) {
+  const auto [m0, m1, gain, churn] = GetParam();
+  markov::TwoNodeParams p = markov::ipdps2006_params();
+  if (!churn) p = markov::without_failures(p);
+  mc::ScenarioConfig config = mc::make_two_node_scenario(
+      p, m0, m1, std::make_unique<core::Lbp1Policy>(0, gain));
+  config.churn_enabled = churn;
+  mc::McConfig mc_cfg;
+  mc_cfg.replications = 700;
+  mc_cfg.seed = 0xabc0 + static_cast<std::uint64_t>(gain * 100);
+  const mc::McResult result = mc::run_monte_carlo(config, mc_cfg);
+  markov::TwoNodeMeanSolver solver(p);
+  const double theory = solver.lbp1_mean(m0, m1, 0, gain);
+  // 4 sigma: over the 12 sweep points a false failure is ~0.1% likely.
+  EXPECT_NEAR(result.mean(), theory, 4.0 * result.std_error())
+      << "m0=" << m0 << " m1=" << m1 << " K=" << gain << " churn=" << churn;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GainWorkloadChurnSweep, McMatchesTheory,
+    ::testing::Combine(::testing::Values<std::size_t>(40, 80),
+                       ::testing::Values<std::size_t>(10, 60),
+                       ::testing::Values(0.0, 0.35, 0.9),
+                       ::testing::Bool()),
+    mc_theory_name);
+
+// ---------------------------------------------------------------------------
+// Property 2: task conservation — every injected task is completed exactly
+// once, across seeds and policies.
+// ---------------------------------------------------------------------------
+
+class TaskConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TaskConservation, Lbp1CompletesExactly) {
+  mc::ScenarioConfig config = mc::make_two_node_scenario(
+      markov::ipdps2006_params(), 73, 41, std::make_unique<core::Lbp1Policy>(0, 0.4));
+  const mc::RunResult run = mc::run_scenario(config, GetParam(), 0);
+  EXPECT_EQ(run.tasks_completed, 114u);
+}
+
+TEST_P(TaskConservation, Lbp2CompletesExactly) {
+  mc::ScenarioConfig config = mc::make_two_node_scenario(
+      markov::ipdps2006_params(), 73, 41, std::make_unique<core::Lbp2Policy>(1.0));
+  const mc::RunResult run = mc::run_scenario(config, GetParam(), 0);
+  EXPECT_EQ(run.tasks_completed, 114u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, TaskConservation,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+// ---------------------------------------------------------------------------
+// Property 3: the optimal transfer shrinks as the failure rate of the
+// receiving node grows (the paper's headline monotonicity claim).
+// ---------------------------------------------------------------------------
+
+class GainShrinksWithFailureRate : public ::testing::TestWithParam<double> {};
+
+TEST_P(GainShrinksWithFailureRate, ReceiverChurnReducesTransfer) {
+  const double lambda_f = GetParam();
+  markov::TwoNodeParams reliable = markov::without_failures(markov::ipdps2006_params());
+  markov::TwoNodeParams churny = reliable;
+  churny.nodes[1].lambda_f = lambda_f;
+  churny.nodes[1].lambda_r = 1.0 / 20.0;
+  const auto base = core::optimize_lbp1_exact(reliable, 100, 60);
+  const auto with_churn = core::optimize_lbp1_exact(churny, 100, 60);
+  EXPECT_LE(with_churn.transfer, base.transfer) << "lambda_f=" << lambda_f;
+}
+
+INSTANTIATE_TEST_SUITE_P(FailureRateSweep, GainShrinksWithFailureRate,
+                         ::testing::Values(0.01, 0.025, 0.05, 0.1, 0.2));
+
+// ---------------------------------------------------------------------------
+// Property 4: CDF validity (monotone, bounded, consistent mean) across
+// lattice and transit configurations.
+// ---------------------------------------------------------------------------
+
+using CdfParam = std::tuple<std::size_t, std::size_t, std::size_t>;
+
+class CdfValidity : public ::testing::TestWithParam<CdfParam> {};
+
+TEST_P(CdfValidity, MonotoneBoundedAndMeanConsistent) {
+  const auto [q0, q1, L] = GetParam();
+  const markov::TwoNodeParams p = markov::ipdps2006_params();
+  markov::TwoNodeCdfSolver::Config cfg;
+  cfg.horizon = 300.0;
+  cfg.dt = 0.05;
+  const markov::TwoNodeCdfSolver solver(p, cfg);
+  const markov::CdfCurve curve =
+      L == 0 ? solver.cdf_no_transit(q0, q1) : solver.cdf_with_transit(q0, q1, L, 1);
+  double prev = 0.0;
+  for (const double v : curve.values) {
+    EXPECT_GE(v, prev - 1e-9);
+    EXPECT_LE(v, 1.0 + 1e-9);
+    prev = v;
+  }
+  markov::TwoNodeMeanSolver mean_solver(p);
+  const double mean = L == 0 ? mean_solver.mean_no_transit(q0, q1)
+                             : mean_solver.mean_with_transit(q0, q1, L, 1);
+  EXPECT_NEAR(curve.mean_estimate(), mean, 0.02 * mean + 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(LatticeSweep, CdfValidity,
+                         ::testing::Values(CdfParam{5, 0, 0}, CdfParam{0, 5, 0},
+                                           CdfParam{10, 10, 0}, CdfParam{5, 5, 5},
+                                           CdfParam{12, 3, 2}, CdfParam{0, 0, 8},
+                                           CdfParam{20, 10, 10}));
+
+// ---------------------------------------------------------------------------
+// Property 5: mean solver dominance — adding churn to any node can only
+// increase the expected completion time, across rate combinations.
+// ---------------------------------------------------------------------------
+
+using ChurnHurtParam = std::tuple<double, double>;
+
+class ChurnNeverHelps : public ::testing::TestWithParam<ChurnHurtParam> {};
+
+TEST_P(ChurnNeverHelps, MeanIncreasesWithChurn) {
+  const auto [rate0, rate1] = GetParam();
+  markov::TwoNodeParams reliable;
+  reliable.nodes[0] = markov::NodeParams{rate0, 0.0, 0.0};
+  reliable.nodes[1] = markov::NodeParams{rate1, 0.0, 0.0};
+  reliable.per_task_delay_mean = 0.02;
+  markov::TwoNodeParams churny = reliable;
+  churny.nodes[0].lambda_f = 0.05;
+  churny.nodes[0].lambda_r = 0.1;
+  churny.nodes[1].lambda_f = 0.05;
+  churny.nodes[1].lambda_r = 0.05;
+  markov::TwoNodeMeanSolver a(reliable);
+  markov::TwoNodeMeanSolver b(churny);
+  for (const auto& [m0, m1] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {10, 10}, {30, 5}, {1, 25}}) {
+    EXPECT_GT(b.mean_no_transit(m0, m1), a.mean_no_transit(m0, m1))
+        << rate0 << "," << rate1 << " m=(" << m0 << "," << m1 << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RateSweep, ChurnNeverHelps,
+                         ::testing::Combine(::testing::Values(0.5, 1.08, 3.0),
+                                            ::testing::Values(0.5, 1.86, 4.0)));
+
+// ---------------------------------------------------------------------------
+// Property 6: LBP-2's LF table (eq. (8)) is dimensionally sane across rates:
+// doubling the recovery speed of the failed node halves the backlog shipped.
+// ---------------------------------------------------------------------------
+
+class LfScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(LfScaling, BacklogScalesWithRecoveryTime) {
+  const double lambda_r = GetParam();
+  std::vector<markov::NodeParams> nodes{markov::NodeParams{1.0, 0.05, 0.1},
+                                        markov::NodeParams{1.0, 0.05, lambda_r}};
+  std::vector<markov::NodeParams> faster = nodes;
+  faster[1].lambda_r = 2.0 * lambda_r;
+  const std::size_t slow_recovery = core::lbp2_failure_transfer(nodes, 0, 1);
+  const std::size_t fast_recovery = core::lbp2_failure_transfer(faster, 0, 1);
+  // floor() can make them equal for tiny values, but never inverted.
+  EXPECT_GE(slow_recovery, fast_recovery);
+}
+
+INSTANTIATE_TEST_SUITE_P(RecoverySweep, LfScaling,
+                         ::testing::Values(0.01, 0.02, 0.05, 0.1, 0.25));
+
+}  // namespace
+}  // namespace lbsim

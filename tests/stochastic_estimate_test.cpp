@@ -1,0 +1,119 @@
+// Tests for online rate estimation (the "rates must be learned" extension).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "stochastic/estimate.hpp"
+#include "stochastic/rng.hpp"
+
+namespace lbsim::stoch {
+namespace {
+
+TEST(RateEstimatorTest, EmptyHasNoRate) {
+  ExponentialRateEstimator est;
+  EXPECT_FALSE(est.rate().has_value());
+  EXPECT_FALSE(est.rate_ci95().has_value());
+  EXPECT_TRUE(std::isinf(est.relative_error()));
+}
+
+TEST(RateEstimatorTest, MleIsCountOverTotal) {
+  ExponentialRateEstimator est;
+  est.observe(2.0);
+  est.observe(4.0);
+  ASSERT_TRUE(est.rate().has_value());
+  EXPECT_DOUBLE_EQ(*est.rate(), 2.0 / 6.0);
+  EXPECT_EQ(est.count(), 2u);
+  EXPECT_THROW(est.observe(-1.0), std::invalid_argument);
+}
+
+TEST(RateEstimatorTest, RecoversTrueRate) {
+  ExponentialRateEstimator est;
+  RngStream rng(31);
+  const double rate = 0.05;  // the paper's failure rate
+  for (int i = 0; i < 5000; ++i) est.observe(rng.exponential(rate));
+  EXPECT_NEAR(*est.rate(), rate, 0.003);
+  const auto [lo, hi] = *est.rate_ci95();
+  EXPECT_LT(lo, rate);
+  EXPECT_GT(hi, rate);
+}
+
+TEST(RateEstimatorTest, CiShrinksWithObservations) {
+  ExponentialRateEstimator small, big;
+  RngStream rng(32);
+  for (int i = 0; i < 10; ++i) small.observe(rng.exponential(1.0));
+  for (int i = 0; i < 1000; ++i) big.observe(rng.exponential(1.0));
+  EXPECT_GT(small.relative_error(), big.relative_error());
+}
+
+TEST(RateEstimatorTest, MergeEqualsCombined) {
+  ExponentialRateEstimator a, b, whole;
+  RngStream rng(33);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.exponential(2.0);
+    (i % 2 ? a : b).observe(x);
+    whole.observe(x);
+  }
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(*a.rate(), *whole.rate());
+}
+
+TEST(ChurnObserverTest, TransitionsProduceSojournEstimates) {
+  ChurnObserver obs(0.0);
+  obs.observe_failure(20.0);   // up sojourn 20
+  obs.observe_recovery(30.0);  // down sojourn 10
+  obs.observe_failure(50.0);   // up sojourn 20
+  ASSERT_TRUE(obs.failure_rate().has_value());
+  EXPECT_DOUBLE_EQ(*obs.failure_rate(), 2.0 / 40.0);
+  EXPECT_DOUBLE_EQ(*obs.recovery_rate(), 1.0 / 10.0);
+  EXPECT_EQ(obs.failures_seen(), 2u);
+}
+
+TEST(ChurnObserverTest, OrderEnforced) {
+  ChurnObserver obs(0.0);
+  EXPECT_THROW(obs.observe_recovery(5.0), std::invalid_argument);
+  obs.observe_failure(5.0);
+  EXPECT_THROW(obs.observe_failure(6.0), std::invalid_argument);
+  EXPECT_THROW(obs.observe_recovery(4.0), std::invalid_argument);
+}
+
+TEST(ChurnObserverTest, EstimateFallsBackToReliable) {
+  const ChurnObserver obs(0.0);
+  const markov::NodeParams params = obs.estimate(100.0, 1.08);
+  EXPECT_DOUBLE_EQ(params.lambda_d, 1.08);
+  EXPECT_DOUBLE_EQ(params.lambda_f, 0.0);  // no churn observed yet
+}
+
+TEST(ChurnObserverTest, EstimateCarriesMleRates) {
+  ChurnObserver obs(0.0);
+  obs.observe_failure(10.0);
+  obs.observe_recovery(15.0);
+  const markov::NodeParams params = obs.estimate(20.0, 2.0);
+  EXPECT_DOUBLE_EQ(params.lambda_f, 0.1);
+  EXPECT_DOUBLE_EQ(params.lambda_r, 0.2);
+}
+
+TEST(ChurnObserverTest, EmpiricalAvailabilityCountsOpenSojourn) {
+  ChurnObserver obs(0.0);
+  obs.observe_failure(60.0);
+  obs.observe_recovery(90.0);
+  // Up 60 + 10 (open) of 100 total.
+  EXPECT_NEAR(obs.empirical_availability(100.0), 0.7, 1e-12);
+}
+
+TEST(ChurnObserverTest, LongRunAvailabilityMatchesTheory) {
+  ChurnObserver obs(0.0);
+  RngStream rng(34);
+  double t = 0.0;
+  for (int cycle = 0; cycle < 4000; ++cycle) {
+    t += rng.exponential(1.0 / 20.0);
+    obs.observe_failure(t);
+    t += rng.exponential(1.0 / 10.0);
+    obs.observe_recovery(t);
+  }
+  EXPECT_NEAR(obs.empirical_availability(t), 2.0 / 3.0, 0.02);
+  EXPECT_NEAR(*obs.failure_rate(), 1.0 / 20.0, 0.002);
+  EXPECT_NEAR(*obs.recovery_rate(), 1.0 / 10.0, 0.005);
+}
+
+}  // namespace
+}  // namespace lbsim::stoch

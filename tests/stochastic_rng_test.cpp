@@ -1,0 +1,183 @@
+// Unit tests for src/stochastic: RNG streams and distribution samplers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "stochastic/distributions.hpp"
+#include "stochastic/rng.hpp"
+#include "stochastic/stats.hpp"
+
+namespace lbsim::stoch {
+namespace {
+
+TEST(Xoshiro256ppTest, DeterministicForSeed) {
+  Xoshiro256pp a(42);
+  Xoshiro256pp b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256ppTest, DifferentSeedsDiffer) {
+  Xoshiro256pp a(1);
+  Xoshiro256pp b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Xoshiro256ppTest, LongJumpChangesSequence) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  b.long_jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngStreamTest, StreamsAreReproducible) {
+  RngStream a(123, 5);
+  RngStream b(123, 5);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(RngStreamTest, DistinctStreamsDecorrelated) {
+  RngStream a(123, 0);
+  RngStream b(123, 1);
+  // Correlation of 1e4 uniform pairs should be near zero.
+  const int n = 10000;
+  double sum_ab = 0.0, sum_a = 0.0, sum_b = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.uniform01();
+    const double y = b.uniform01();
+    sum_ab += x * y;
+    sum_a += x;
+    sum_b += y;
+  }
+  const double cov = sum_ab / n - (sum_a / n) * (sum_b / n);
+  EXPECT_NEAR(cov, 0.0, 0.01);
+}
+
+TEST(RngStreamTest, Uniform01InRange) {
+  RngStream rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngStreamTest, UniformRangeRespected) {
+  RngStream rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngStreamTest, ExponentialMeanMatchesRate) {
+  RngStream rng(2024);
+  RunningStats stats;
+  const double rate = 1.86;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(rate));
+  EXPECT_NEAR(stats.mean(), 1.0 / rate, 4.0 * stats.std_error());
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(stats.stddev(), 1.0 / rate, 0.01);
+}
+
+TEST(RngStreamTest, ExponentialRejectsBadRate) {
+  RngStream rng(1);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.exponential(-2.0), std::invalid_argument);
+}
+
+TEST(RngStreamTest, UniformIndexBounds) {
+  RngStream rng(77);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const auto k = rng.uniform_index(7);
+    ASSERT_LT(k, 7u);
+    counts[static_cast<std::size_t>(k)]++;
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+  EXPECT_THROW((void)rng.uniform_index(0), std::invalid_argument);
+}
+
+// ---------- distributions ----------
+
+TEST(DistributionTest, ExponentialMoments) {
+  const Exponential d(0.5);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 4.0);
+  EXPECT_THROW(Exponential(-1.0), std::invalid_argument);
+}
+
+TEST(DistributionTest, ShiftedExponentialMoments) {
+  const ShiftedExponential d(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.25);
+  RngStream rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(d.sample(rng), 0.5);
+}
+
+TEST(DistributionTest, ErlangMoments) {
+  const Erlang d(4, 2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 1.0);
+  EXPECT_THROW(Erlang(0, 1.0), std::invalid_argument);
+}
+
+TEST(DistributionTest, ErlangSampleMeanAndVariance) {
+  const Erlang d(5, 2.5);
+  RngStream rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(d.sample(rng));
+  EXPECT_NEAR(stats.mean(), d.mean(), 4.0 * stats.std_error());
+  EXPECT_NEAR(stats.variance(), d.variance(), 0.05);
+}
+
+TEST(DistributionTest, DeterministicIsConstant) {
+  const Deterministic d(3.5);
+  RngStream rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 3.5);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(DistributionTest, UniformRealMoments) {
+  const UniformReal d(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_NEAR(d.variance(), 4.0 / 12.0, 1e-12);
+}
+
+TEST(DistributionTest, WeibullShapeOneIsExponential) {
+  // Weibull(k=1, scale) == Exponential(1/scale).
+  const Weibull w(1.0, 2.0);
+  EXPECT_NEAR(w.mean(), 2.0, 1e-12);
+  EXPECT_NEAR(w.variance(), 4.0, 1e-9);
+}
+
+TEST(DistributionTest, WeibullSampleMean) {
+  const Weibull w(2.0, 1.0);
+  RngStream rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(w.sample(rng));
+  EXPECT_NEAR(stats.mean(), w.mean(), 4.0 * stats.std_error());
+}
+
+TEST(DistributionTest, CloneIsIndependentButIdenticalLaw) {
+  const Exponential d(1.08);
+  const DistributionPtr c = d.clone();
+  EXPECT_EQ(c->describe(), d.describe());
+  RngStream r1(42), r2(42);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(d.sample(r1), c->sample(r2));
+}
+
+TEST(DistributionTest, DescribeMentionsParameters) {
+  EXPECT_NE(Exponential(1.08).describe().find("1.08"), std::string::npos);
+  EXPECT_NE(Erlang(3, 2.0).describe().find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbsim::stoch

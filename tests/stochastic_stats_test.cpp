@@ -1,0 +1,213 @@
+// Unit tests for statistics, histograms, ECDF/KS, and the parameter fits that
+// back the Fig. 1 / Fig. 2 reproductions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stochastic/fit.hpp"
+#include "stochastic/histogram.hpp"
+#include "stochastic/rng.hpp"
+#include "stochastic/stats.hpp"
+
+namespace lbsim::stoch {
+namespace {
+
+TEST(RunningStatsTest, MeanVarianceAgainstHandComputed) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RngStream rng(8);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsNoop) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, StdErrorShrinksWithN) {
+  RngStream rng(3);
+  RunningStats small, big;
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform01());
+  for (int i = 0; i < 10000; ++i) big.add(rng.uniform01());
+  EXPECT_GT(small.std_error(), big.std_error());
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> data{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.25), 2.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> data{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.5), 5.0);
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(data, 1.5), std::invalid_argument);
+}
+
+TEST(EcdfTest, StepFunctionValues) {
+  const Ecdf ecdf({1.0, 2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(ecdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf(3.9), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf(99.0), 1.0);
+}
+
+TEST(EcdfTest, KsDistanceBetweenIdenticalSamplesIsZero) {
+  const Ecdf a({1.0, 2.0, 3.0});
+  const Ecdf b({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 0.0);
+}
+
+TEST(EcdfTest, KsDistanceDetectsShift) {
+  std::vector<double> xs, ys;
+  RngStream rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    xs.push_back(rng.exponential(1.0));
+    ys.push_back(rng.exponential(1.0) + 1.0);
+  }
+  EXPECT_GT(ks_distance(Ecdf(std::move(xs)), Ecdf(std::move(ys))), 0.3);
+}
+
+TEST(EcdfTest, KsAgainstTrueCurveSmallForMatchingLaw) {
+  RngStream rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.exponential(2.0));
+  const Ecdf ecdf(std::move(xs));
+  std::vector<double> grid, ref;
+  for (double t = 0.0; t < 3.0; t += 0.05) {
+    grid.push_back(t);
+    ref.push_back(1.0 - std::exp(-2.0 * t));
+  }
+  EXPECT_LT(ks_distance_to_curve(ecdf, grid, ref), 0.03);
+}
+
+// ---------- histogram ----------
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  Histogram h(0.0, 10.0, 50);
+  RngStream rng(6);
+  for (int i = 0; i < 20000; ++i) h.add(rng.uniform(0.0, 10.0));
+  double integral = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) integral += h.density(i) * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, OverflowUnderflowCounted) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(-0.5);
+  h.add(0.5);
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total_in_range(), 1u);
+}
+
+TEST(HistogramTest, BinCentersAndCounts) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.1);
+  h.add(0.9);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.125);
+  EXPECT_THROW((void)h.count(4), std::invalid_argument);
+}
+
+TEST(HistogramTest, ExponentialShapeDecreasing) {
+  // Fig. 1 sanity: an exponential sample's histogram is (noisily) decreasing.
+  Histogram h(0.0, 4.0, 8);
+  RngStream rng(7);
+  for (int i = 0; i < 100000; ++i) h.add(rng.exponential(1.08));
+  EXPECT_GT(h.density(0), h.density(3));
+  EXPECT_GT(h.density(3), h.density(7));
+}
+
+// ---------- fits ----------
+
+TEST(FitTest, ExponentialMleRecoversRate) {
+  RngStream rng(10);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.exponential(1.86));
+  const ExponentialFit fit = fit_exponential(xs);
+  EXPECT_NEAR(fit.rate, 1.86, 0.05);
+  EXPECT_NEAR(fit.mean, 1.0 / 1.86, 0.01);
+}
+
+TEST(FitTest, ExponentialFitRejectsBadInput) {
+  EXPECT_THROW((void)fit_exponential({}), std::invalid_argument);
+  EXPECT_THROW((void)fit_exponential({1.0, -2.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_exponential({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(FitTest, ShiftedExponentialFindsShift) {
+  RngStream rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(0.5 + rng.exponential(4.0));
+  double shift = 0.0;
+  const ExponentialFit fit = fit_shifted_exponential(xs, &shift);
+  EXPECT_NEAR(shift, 0.5, 0.01);
+  EXPECT_NEAR(fit.rate, 4.0, 0.15);
+}
+
+TEST(FitTest, LinearFitExactOnLine) {
+  // Fig. 2 bottom: mean delay vs task count is linear; the fit must nail an
+  // exact line.
+  std::vector<double> x, y;
+  for (int i = 1; i <= 100; ++i) {
+    x.push_back(i);
+    y.push_back(0.02 * i + 0.005);
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.02, 1e-12);
+  EXPECT_NEAR(fit.intercept, 0.005, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitTest, LinearFitNoisyStillClose) {
+  RngStream rng(12);
+  std::vector<double> x, y;
+  for (int i = 1; i <= 200; ++i) {
+    x.push_back(i);
+    y.push_back(0.02 * i + rng.uniform(-0.05, 0.05));
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.02, 0.002);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(FitTest, LinearFitRejectsDegenerate) {
+  EXPECT_THROW((void)fit_linear({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_linear({1.0, 1.0}, {2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_linear({1.0, 2.0}, {2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lbsim::stoch

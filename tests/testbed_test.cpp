@@ -1,0 +1,132 @@
+// Tests for the testbed emulation: the three-layer wiring, state exchange,
+// distributed decisions, and consistency with the abstract model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/baseline.hpp"
+#include "core/lbp1.hpp"
+#include "core/lbp2.hpp"
+#include "markov/two_node_mean.hpp"
+#include "testbed/config.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/state_exchange.hpp"
+
+namespace lbsim::testbed {
+namespace {
+
+TEST(StateBoardTest, StoreAndRecall) {
+  StateBoard board(3);
+  net::StateInfoPacket packet;
+  packet.sender = 1;
+  packet.queue_size = 17;
+  board.store(0, packet);
+  EXPECT_EQ(board.last_heard(0, 1).queue_size, 17u);
+  // Unheard peers read as the default packet.
+  EXPECT_EQ(board.last_heard(2, 1).queue_size, 0u);
+  EXPECT_THROW((void)board.last_heard(1, 1), std::invalid_argument);
+}
+
+TEST(TestbedConfigTest, PaperPresetAndValidation) {
+  TestbedConfig config = paper_testbed(100, 60, std::make_unique<core::Lbp1Policy>(0, 0.35));
+  EXPECT_NO_THROW(validate(config));
+  EXPECT_DOUBLE_EQ(config.params.nodes[0].lambda_d, 1.08);
+  TestbedConfig broken = config.clone();
+  broken.policy = nullptr;
+  EXPECT_THROW(validate(broken), std::invalid_argument);
+  TestbedConfig bad_loss = config.clone();
+  bad_loss.state_loss_probability = 1.0;
+  EXPECT_THROW(validate(bad_loss), std::invalid_argument);
+}
+
+TEST(TestbedTest, RealizationCompletesAllTasks) {
+  const TestbedConfig config =
+      paper_testbed(100, 60, std::make_unique<core::Lbp1Policy>(0, 0.35));
+  const mc::RunResult run = run_realization(config, 1, 0);
+  EXPECT_EQ(run.tasks_completed, 160u);
+  EXPECT_GT(run.completion_time, 0.0);
+  EXPECT_EQ(run.tasks_moved, 35u);
+}
+
+TEST(TestbedTest, DeterministicPerReplication) {
+  const TestbedConfig config =
+      paper_testbed(100, 60, std::make_unique<core::Lbp1Policy>(0, 0.35));
+  const mc::RunResult a = run_realization(config, 9, 4);
+  const mc::RunResult b = run_realization(config, 9, 4);
+  EXPECT_DOUBLE_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(TestbedTest, TraceShowsFlatSegmentsDuringDownTime) {
+  const TestbedConfig config =
+      paper_testbed(100, 60, std::make_unique<core::Lbp2Policy>(1.0));
+  mc::RunTrace trace;
+  const mc::RunResult run = run_realization(config, 4, 1, &trace);
+  ASSERT_EQ(trace.queue_lengths.size(), 2u);
+  EXPECT_EQ(trace.events.count_tag("fail"), run.failures);
+  EXPECT_DOUBLE_EQ(trace.queue_lengths[0].value_at(run.completion_time), 0.0);
+  EXPECT_DOUBLE_EQ(trace.queue_lengths[1].value_at(run.completion_time), 0.0);
+}
+
+TEST(TestbedTest, NoChurnMatchesNoFailureTheory) {
+  // With churn off and the Erlang delay's mean equal to the analytic model's,
+  // the emulated mean must sit near the no-failure theory (the delay-law shape
+  // difference moves the completion mean by far less than a second here).
+  TestbedConfig config = paper_testbed(100, 60, std::make_unique<core::Lbp1Policy>(0, 0.45));
+  config.churn_enabled = false;
+  config.transfer_setup_shift = 0.0;
+  const ExperimentSummary summary = run_experiment(config, 400, 77, 2);
+  markov::TwoNodeMeanSolver solver(markov::without_failures(markov::ipdps2006_params()));
+  const double theory = solver.lbp1_mean(100, 60, 0, 0.45);
+  EXPECT_NEAR(summary.mean(), theory, std::max(1.0, 4.0 * summary.ci95() / 1.96));
+}
+
+TEST(TestbedTest, ChurnyMeanNearAbstractModel) {
+  // The emulation differs from the abstract model (Erlang bundle delay, setup
+  // shift, size-based service) but must land in the same regime as the theory
+  // for the Fig. 3 operating point (~117 s); allow 10%.
+  const TestbedConfig config =
+      paper_testbed(100, 60, std::make_unique<core::Lbp1Policy>(0, 0.35));
+  const ExperimentSummary summary = run_experiment(config, 300, 13, 2);
+  EXPECT_NEAR(summary.mean(), 117.0, 0.10 * 117.0);
+}
+
+TEST(TestbedTest, SummaryAggregatesRealizations) {
+  const TestbedConfig config =
+      paper_testbed(50, 30, std::make_unique<core::Lbp1Policy>(0, 0.3));
+  const ExperimentSummary summary = run_experiment(config, 20, 5, 2);
+  EXPECT_EQ(summary.completion.count(), 20u);
+  EXPECT_EQ(summary.samples.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(summary.samples.begin(), summary.samples.end()));
+  EXPECT_GT(summary.mean(), 0.0);
+}
+
+TEST(TestbedTest, ThreadingInvariance) {
+  const TestbedConfig config =
+      paper_testbed(40, 20, std::make_unique<core::Lbp2Policy>(1.0));
+  const ExperimentSummary a = run_experiment(config, 16, 3, 1);
+  const ExperimentSummary b = run_experiment(config, 16, 3, 4);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(TestbedTest, LossyStatePlaneStillCompletes) {
+  TestbedConfig config = paper_testbed(60, 40, std::make_unique<core::Lbp2Policy>(1.0));
+  config.state_loss_probability = 0.3;
+  const mc::RunResult run = run_realization(config, 21, 0);
+  EXPECT_EQ(run.tasks_completed, 100u);
+}
+
+TEST(TestbedTest, SetupShiftSlowsTransfers) {
+  TestbedConfig fast = paper_testbed(100, 0, std::make_unique<core::Lbp1Policy>(0, 0.5));
+  fast.churn_enabled = false;
+  fast.transfer_setup_shift = 0.0;
+  TestbedConfig slow = fast.clone();
+  slow.transfer_setup_shift = 5.0;  // exaggerated for the test
+  const ExperimentSummary a = run_experiment(fast, 60, 2, 2);
+  const ExperimentSummary b = run_experiment(slow, 60, 2, 2);
+  EXPECT_GT(b.mean(), a.mean());
+}
+
+}  // namespace
+}  // namespace lbsim::testbed
