@@ -3,7 +3,9 @@
 /// Shared helpers for the table/figure regeneration binaries: consistent
 /// headers, ASCII curves for the "figure" benches, and paper-vs-measured rows.
 
+#include <cstddef>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,15 @@
 #include "util/format.hpp"
 
 namespace lbsim::bench {
+
+/// "(m0,m1)" workload label for the table benches. Built via a stream: the
+/// chained std::to_string concatenation trips gcc 12's -Wrestrict false
+/// positive at -O2.
+inline std::string workload_label(std::size_t m0, std::size_t m1) {
+  std::ostringstream out;
+  out << '(' << m0 << ',' << m1 << ')';
+  return out.str();
+}
 
 /// Prints the standard bench banner (which paper artefact this regenerates).
 inline void print_banner(const std::string& artefact, const std::string& description) {

@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
   const auto tb_reps =
       static_cast<std::size_t>(args.get_int64("testbed-reps", quick ? 20 : 60));
 
-  bench::print_banner("Figure 3", "LBP-1 mean completion time vs gain K, workload (" +
-                                      std::to_string(m0) + "," + std::to_string(m1) + ")");
+  bench::print_banner("Figure 3", "LBP-1 mean completion time vs gain K, workload " +
+                                      bench::workload_label(m0, m1));
 
   const markov::TwoNodeParams params = markov::ipdps2006_params();
   markov::TwoNodeMeanSolver theory(params);

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
         row.m0, row.m1, std::make_unique<core::Lbp2Policy>(gain));
     const testbed::ExperimentSummary summary = testbed::run_experiment(tb, realizations);
 
-    table.add_row({"(" + std::to_string(row.m0) + "," + std::to_string(row.m1) + ")",
+    table.add_row({bench::workload_label(row.m0, row.m1),
                    util::format_double(fitted.gain, 2), util::format_double(row.paper_gain, 2),
                    util::format_double(mc_result.mean(), 2),
                    util::format_double(row.paper_mc, 2),

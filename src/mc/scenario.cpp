@@ -1,5 +1,6 @@
 #include "mc/scenario.hpp"
 
+#include <functional>
 #include <sstream>
 
 #include "app/workload.hpp"
@@ -212,15 +213,18 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
 
   // --- t = 0: policy's initial action, then churn starts ---
   execute(policy.on_start(view));
+  std::function<void()> tick;
   if (config.rebalance_period > 0.0) {
     // Recurring timer for periodic policies; stops mattering once done.
-    auto tick = std::make_shared<std::function<void()>>();
-    *tick = [&, tick] {
+    // `tick` outlives the whole run (the simulation drains inside this
+    // scope), so the rescheduling lambda can reference it directly — a
+    // self-captured shared_ptr here leaks one cycle per replication.
+    tick = [&] {
       if (done) return;
       execute(policy.on_periodic(view));
-      sim.schedule_in(config.rebalance_period, *tick);
+      sim.schedule_in(config.rebalance_period, tick);
     };
-    sim.schedule_in(config.rebalance_period, *tick);
+    sim.schedule_in(config.rebalance_period, tick);
   }
   for (std::size_t i = 0; i < n; ++i) {
     const bool can_churn = config.churn_enabled && config.params.nodes[i].lambda_f > 0.0;

@@ -1,0 +1,95 @@
+// Golden-value regression tests pinning the paper operating point.
+//
+// These values anchor the reproduction of Dhakal et al. (IPDPS 2006):
+// the Section 4 measured parameters, and the exact two-node mean/CDF solver
+// outputs at the Table 1 / Table 2 operating point (m0 = 100, m1 = 60).
+// The solver pins were computed with this repository's own solvers at the
+// seed revision; they exist so future refactors cannot silently drift the
+// reproduction. If a change intentionally improves accuracy, re-derive the
+// numbers and update them together with an explanation in the commit.
+
+#include <gtest/gtest.h>
+
+#include "markov/params.hpp"
+#include "markov/two_node_cdf.hpp"
+#include "markov/two_node_mean.hpp"
+#include "test_support.hpp"
+
+namespace lbsim::markov {
+namespace {
+
+// The solver's optimum at the paper operating point sits near gain K = 0.35
+// (sweeping K in 0.1 steps gives a flat minimum across [0.3, 0.4]); goldens
+// are pinned at this gain.
+constexpr double kGoldenGain = 0.35;
+
+// Solver outputs at (m0, m1) = (100, 60), both nodes up, gain 0.35.
+// Computed with this repository's solvers; see file comment before editing.
+constexpr double kGoldenMeanNoTransit = 141.21564887669729;
+constexpr double kGoldenMeanLbp1 = 116.74907081578611;
+constexpr double kGoldenCdfMedian = 108.65;
+constexpr double kGoldenCdfP90 = 169.85;
+
+// Section 4: lambda_d = (1.08, 1.86) tasks/s, mean failure time 20 s for both
+// nodes, mean recovery 10 s (node 0) / 20 s (node 1), per-task delay 0.02 s.
+TEST(GoldenParams, Ipdps2006OperatingPoint) {
+  const TwoNodeParams p = ipdps2006_params();
+  EXPECT_DOUBLE_EQ(p.nodes[0].lambda_d, 1.08);
+  EXPECT_DOUBLE_EQ(p.nodes[1].lambda_d, 1.86);
+  EXPECT_DOUBLE_EQ(p.nodes[0].lambda_f, 1.0 / 20.0);
+  EXPECT_DOUBLE_EQ(p.nodes[1].lambda_f, 1.0 / 20.0);
+  EXPECT_DOUBLE_EQ(p.nodes[0].lambda_r, 1.0 / 10.0);
+  EXPECT_DOUBLE_EQ(p.nodes[1].lambda_r, 1.0 / 20.0);
+  EXPECT_DOUBLE_EQ(p.per_task_delay_mean, 0.02);
+  EXPECT_NO_THROW(validate(p));
+}
+
+TEST(GoldenParams, Availabilities) {
+  const TwoNodeParams p = ipdps2006_params();
+  // lambda_r / (lambda_f + lambda_r): 2/3 for node 0, 1/2 for node 1.
+  EXPECT_NEAR(availability(p.nodes[0]), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(availability(p.nodes[1]), 0.5, 1e-12);
+}
+
+TEST(GoldenParams, WithoutFailuresClearsChurn) {
+  const TwoNodeParams p = without_failures(ipdps2006_params());
+  for (const auto& n : p.nodes) {
+    EXPECT_DOUBLE_EQ(n.lambda_f, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(p.nodes[0].lambda_d, 1.08);
+  EXPECT_DOUBLE_EQ(p.nodes[1].lambda_d, 1.86);
+}
+
+// Exact mean solver at the Table 1 operating point (m0, m1) = (100, 60).
+// Pins computed from this repo's TwoNodeMeanSolver at the seed revision.
+TEST(GoldenMean, Table1OperatingPoint) {
+  TwoNodeMeanSolver solver(ipdps2006_params());
+  // GOLDEN_MEAN_NO_TRANSIT
+  const double no_balance = solver.mean_no_transit(100, 60);
+  EXPECT_NEAR_REL(no_balance, kGoldenMeanNoTransit, 1e-9);
+  // GOLDEN_MEAN_LBP1
+  const double lbp1 = solver.lbp1_mean(100, 60, 0, kGoldenGain);
+  EXPECT_NEAR_REL(lbp1, kGoldenMeanLbp1, 1e-9);
+  // Balancing at a sensible gain must beat doing nothing.
+  EXPECT_LT(lbp1, no_balance);
+}
+
+// CDF solver consistency at the same operating point: its mean estimate must
+// agree with the exact difference-equation solver, and the golden quantiles
+// must stay put.
+TEST(GoldenCdf, Table2OperatingPoint) {
+  const TwoNodeParams p = ipdps2006_params();
+  TwoNodeCdfSolver::Config config;
+  TwoNodeCdfSolver cdf_solver(p, config);
+  TwoNodeMeanSolver mean_solver(p);
+
+  const CdfCurve curve = cdf_solver.lbp1_cdf(100, 60, 0, kGoldenGain);
+  EXPECT_LT(curve.tail_mass(), 0.02);
+  EXPECT_NEAR_REL(curve.mean_estimate(), mean_solver.lbp1_mean(100, 60, 0, kGoldenGain),
+                  0.02);
+  EXPECT_NEAR_REL(curve.quantile(0.5), kGoldenCdfMedian, 1e-9);
+  EXPECT_NEAR_REL(curve.quantile(0.9), kGoldenCdfP90, 1e-9);
+}
+
+}  // namespace
+}  // namespace lbsim::markov

@@ -10,6 +10,7 @@
 #include "markov/two_node_mean.hpp"
 #include "mc/engine.hpp"
 #include "mc/scenario.hpp"
+#include "test_support.hpp"
 
 namespace lbsim::mc {
 namespace {
@@ -94,6 +95,7 @@ TEST(ScenarioTest, InitiallyDownNodeDelaysCompletion) {
   ScenarioConfig down = up.clone();
   down.initially_down = 0b01;
   McConfig mc;
+  mc.seed = test::kFixedSeed;
   mc.replications = 200;
   const double mean_up = run_monte_carlo(up, mc).mean();
   const double mean_down = run_monte_carlo(down, mc).mean();
@@ -114,6 +116,7 @@ TEST(ScenarioTest, ValidatesConfig) {
 TEST(EngineTest, ThreadCountDoesNotChangeEstimate) {
   const ScenarioConfig config = fig3_scenario(0.35);
   McConfig serial;
+  serial.seed = test::kFixedSeed;
   serial.replications = 60;
   serial.threads = 1;
   McConfig parallel = serial;
@@ -127,6 +130,7 @@ TEST(EngineTest, ThreadCountDoesNotChangeEstimate) {
 TEST(EngineTest, CollectSamplesSortedAndSized) {
   const ScenarioConfig config = fig3_scenario(0.35);
   McConfig mc;
+  mc.seed = test::kFixedSeed;
   mc.replications = 50;
   mc.collect_samples = true;
   const McResult result = run_monte_carlo(config, mc);
@@ -138,8 +142,10 @@ TEST(EngineTest, CollectSamplesSortedAndSized) {
 TEST(EngineTest, CiShrinksWithReplications) {
   const ScenarioConfig config = fig3_scenario(0.35);
   McConfig small;
+  small.seed = test::kFixedSeed;
   small.replications = 30;
   McConfig big;
+  big.seed = test::kFixedSeed;
   big.replications = 300;
   EXPECT_GT(run_monte_carlo(config, small).ci95(), run_monte_carlo(config, big).ci95());
 }
@@ -149,31 +155,35 @@ TEST(EngineTest, CiShrinksWithReplications) {
 TEST(EngineTest, Lbp1MeanMatchesTheoryWithChurn) {
   const ScenarioConfig config = fig3_scenario(0.35);
   McConfig mc;
+  mc.seed = test::kFixedSeed;
   mc.replications = 1500;
   const McResult result = run_monte_carlo(config, mc);
   markov::TwoNodeMeanSolver solver(markov::ipdps2006_params());
   const double theory = solver.lbp1_mean(100, 60, 0, 0.35);
-  EXPECT_NEAR(result.mean(), theory, 3.5 * result.std_error());
+  EXPECT_PRED4(test::within_sigmas, result.mean(), result.std_error(), theory, 4.0);
 }
 
 TEST(EngineTest, Lbp1MeanMatchesTheoryNoChurn) {
   const ScenarioConfig config = fig3_scenario(0.45, /*churn=*/false);
   McConfig mc;
+  mc.seed = test::kFixedSeed;
   mc.replications = 1500;
   const McResult result = run_monte_carlo(config, mc);
   markov::TwoNodeMeanSolver solver(markov::without_failures(markov::ipdps2006_params()));
   const double theory = solver.lbp1_mean(100, 60, 0, 0.45);
-  EXPECT_NEAR(result.mean(), theory, 3.5 * result.std_error());
+  EXPECT_PRED4(test::within_sigmas, result.mean(), result.std_error(), theory, 4.0);
 }
 
 TEST(EngineTest, NoBalancingMatchesTheoryZeroGain) {
   ScenarioConfig config = make_two_node_scenario(
       markov::ipdps2006_params(), 30, 20, std::make_unique<core::NoBalancingPolicy>());
   McConfig mc;
+  mc.seed = test::kFixedSeed;
   mc.replications = 1500;
   const McResult result = run_monte_carlo(config, mc);
   markov::TwoNodeMeanSolver solver(markov::ipdps2006_params());
-  EXPECT_NEAR(result.mean(), solver.mean_no_transit(30, 20), 3.5 * result.std_error());
+  EXPECT_PRED4(test::within_sigmas, result.mean(), result.std_error(),
+               solver.mean_no_transit(30, 20), 4.0);
 }
 
 TEST(EngineTest, Lbp2MatchesPaperBallpark) {
@@ -181,9 +191,10 @@ TEST(EngineTest, Lbp2MatchesPaperBallpark) {
   ScenarioConfig config = make_two_node_scenario(markov::ipdps2006_params(), 100, 60,
                                                  std::make_unique<core::Lbp2Policy>(1.0));
   McConfig mc;
+  mc.seed = test::kFixedSeed;
   mc.replications = 1500;
   const McResult result = run_monte_carlo(config, mc);
-  EXPECT_NEAR(result.mean(), 112.43, 6.0);
+  EXPECT_NEAR_REL(result.mean(), 112.43, 0.055);
 }
 
 }  // namespace

@@ -1,0 +1,55 @@
+#pragma once
+/// \file test_support.hpp
+/// Shared helpers for the test suites: fixed seeds so stochastic tests are
+/// reproducible run-to-run, and tolerance comparisons for Monte-Carlo
+/// estimates vs analytical values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace lbsim::test {
+
+/// The one seed every stochastic test uses. Monte-Carlo tolerances below are
+/// calibrated at this seed and the default rep counts; changing it may
+/// legitimately require re-calibrating them.
+inline constexpr std::uint64_t kFixedSeed = 20060425;  // IPDPS 2006 week
+
+/// A second, independent seed for tests that need two distinct streams.
+inline constexpr std::uint64_t kAltSeed = 0x9e3779b97f4a7c15ull;
+
+/// |a-b| <= tol * max(1, |a|, |b|): absolute near zero, relative elsewhere.
+[[nodiscard]] inline bool near_rel(double a, double b, double tol) {
+  const double scale = std::max(1.0, std::max(std::fabs(a), std::fabs(b)));
+  return std::fabs(a - b) <= tol * scale;
+}
+
+/// gtest predicate: EXPECT_TRUE(near_rel(...)) with a useful message.
+[[nodiscard]] inline ::testing::AssertionResult AssertNearRel(const char* a_expr,
+                                                              const char* b_expr,
+                                                              const char* tol_expr,
+                                                              double a, double b,
+                                                              double tol) {
+  if (near_rel(a, b, tol)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a_expr << " = " << a << " vs " << b_expr << " = " << b
+         << " differ by " << std::fabs(a - b) << " (tolerance " << tol_expr << " = "
+         << tol << ")";
+}
+
+/// EXPECT_NEAR_REL(x, y, 0.05): within 5% (or 0.05 absolute near zero).
+#define EXPECT_NEAR_REL(a, b, tol) \
+  EXPECT_PRED_FORMAT3(::lbsim::test::AssertNearRel, a, b, tol)
+#define ASSERT_NEAR_REL(a, b, tol) \
+  ASSERT_PRED_FORMAT3(::lbsim::test::AssertNearRel, a, b, tol)
+
+/// Monte-Carlo sanity band: the estimate must be within `sigmas` standard
+/// errors of `expected` (std_error from the estimator itself). Loose enough
+/// at the fixed seed to be deterministic, tight enough to catch real drift.
+[[nodiscard]] inline bool within_sigmas(double estimate, double std_error, double expected,
+                                        double sigmas = 4.0) {
+  return std::fabs(estimate - expected) <= sigmas * std_error;
+}
+
+}  // namespace lbsim::test
