@@ -6,7 +6,7 @@
 
 #include <iostream>
 
-#include "bench_common.hpp"
+#include "cli/report.hpp"
 #include "core/optimizer.hpp"
 #include "markov/two_node_mean.hpp"
 #include "stochastic/estimate.hpp"
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   const auto m0 = static_cast<std::size_t>(args.get_int64("m0", 100));
   const auto m1 = static_cast<std::size_t>(args.get_int64("m1", 60));
 
-  bench::print_banner("Ablation: adaptive gain from estimated rates",
+  cli::print_banner(std::cout, "Ablation: adaptive gain from estimated rates",
                       "regret of MLE-rate LBP-1 vs the known-rate oracle");
 
   const markov::TwoNodeParams truth = markov::ipdps2006_params();

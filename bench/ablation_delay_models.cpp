@@ -6,7 +6,7 @@
 
 #include <iostream>
 
-#include "bench_common.hpp"
+#include "cli/report.hpp"
 #include "core/lbp1.hpp"
 #include "mc/engine.hpp"
 #include "net/delay_model.hpp"
@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   const bool quick = args.has("quick");
   const auto reps = static_cast<std::size_t>(args.get_int64("mc-reps", quick ? 100 : 400));
 
-  bench::print_banner("Ablation: delay-law robustness",
+  cli::print_banner(std::cout, "Ablation: delay-law robustness",
                       "optimal LBP-1 gain under different bundle-delay laws");
 
   util::TextTable table({"delay/task (s)", "delay law", "K*", "min mean (s)"});

@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "bench_common.hpp"
+#include "cli/report.hpp"
 #include "core/lbp2.hpp"
 #include "mc/engine.hpp"
 #include "node/compute_element.hpp"
@@ -154,7 +154,7 @@ int main(int argc, char** argv) {
   const auto n_batches = static_cast<std::size_t>(args.get_int64("batches", 4));
   const auto batch_size = static_cast<std::size_t>(args.get_int64("batch-size", 40));
 
-  bench::print_banner("Ablation: dynamic arrivals (paper Section 5 future work)",
+  cli::print_banner(std::cout, "Ablation: dynamic arrivals (paper Section 5 future work)",
                       "re-running the LB episode at every external arrival");
 
   util::TextTable table(

@@ -6,7 +6,7 @@
 
 #include <iostream>
 
-#include "bench_common.hpp"
+#include "cli/report.hpp"
 #include "core/optimizer.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const auto m0 = static_cast<std::size_t>(args.get_int64("m0", 100));
   const auto m1 = static_cast<std::size_t>(args.get_int64("m1", 60));
 
-  bench::print_banner("Ablation: failure-rate sweep",
+  cli::print_banner(std::cout, "Ablation: failure-rate sweep",
                       "optimal LBP-1 gain vs churn intensity");
 
   util::TextTable table({"failure multiplier", "mean time to failure (s)", "K* (exact)",

@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "bench_common.hpp"
+#include "cli/report.hpp"
 #include "core/baseline.hpp"
 #include "core/lbp1.hpp"
 #include "core/lbp2.hpp"
@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const bool quick = args.has("quick");
   const auto reps = static_cast<std::size_t>(args.get_int64("mc-reps", quick ? 200 : 1000));
 
-  bench::print_banner("Ablation: multi-node extension",
+  cli::print_banner(std::cout, "Ablation: multi-node extension",
                       "4-node heterogeneous pool under churn; 3-node solver cross-check");
 
   // --- 4-node policy comparison ---

@@ -1,66 +1,20 @@
 // Regenerates Fig. 1: empirically estimated pdfs of the processing time per
-// task for node 1 (Transmeta Crusoe, 1.08 tasks/s) and node 2 (P4, 1.86
-// tasks/s), with their exponential approximations.
-//
-// The workload generator randomises task sizes (the paper randomises the
-// arithmetic precision per row); dividing by the calibrated node speed gives
-// the per-task execution times whose histogram and MLE exponential fit are
-// printed below.
+// task with their exponential approximations. Thin wrapper over the shared
+// artefact runner (`lbsim reproduce fig1` produces identical output).
 
-#include <cmath>
 #include <iostream>
 
-#include "app/workload.hpp"
-#include "bench_common.hpp"
-#include "stochastic/fit.hpp"
-#include "stochastic/histogram.hpp"
+#include "cli/artifacts.hpp"
 #include "util/cli.hpp"
-#include "util/format.hpp"
 
 using namespace lbsim;
 
-namespace {
-
-void fit_and_print(const std::string& node, double rate, std::size_t samples,
-                   std::uint64_t seed, double hist_hi) {
-  app::WorkloadGenerator generator;
-  stoch::RngStream rng(seed);
-  const node::TaskBatch batch = generator.generate(samples, 0, rng);
-  const auto service = app::calibrated_service(rate);
-  std::vector<double> times;
-  times.reserve(batch.size());
-  stoch::RngStream unused(0);
-  for (const auto& task : batch) times.push_back(service(task, unused));
-
-  const stoch::ExponentialFit fit = stoch::fit_exponential(times);
-  stoch::Histogram hist(0.0, hist_hi, 12);
-  hist.add_all(times);
-
-  std::cout << "\n" << node << " (calibrated rate " << rate << " tasks/s)\n";
-  util::TextTable table({"bin center (s)", "empirical pdf", "exp fit pdf"});
-  for (std::size_t b = 0; b < hist.bins(); ++b) {
-    const double t = hist.bin_center(b);
-    table.add_row({util::format_double(t, 2), util::format_double(hist.density(b), 3),
-                   util::format_double(fit.rate * std::exp(-fit.rate * t), 3)});
-  }
-  table.print(std::cout);
-  std::cout << "MLE rate: " << util::format_double(fit.rate, 3)
-            << " tasks/s  (target " << rate << ")\n";
-  bench::print_comparison(node + " fitted rate", rate, fit.rate);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
-  const auto samples =
-      static_cast<std::size_t>(args.get_int64("samples", args.has("quick") ? 2000 : 20000));
-  const auto seed = static_cast<std::uint64_t>(args.get_int64("seed", 1));
-
-  bench::print_banner("Figure 1", "per-task processing-time pdfs + exponential fits");
-  fit_and_print("node 1 (Crusoe)", 1.08, samples, seed, 6.0);
-  fit_and_print("node 2 (P4)", 1.86, samples, seed + 1, 3.5);
-  std::cout << "\nExpected shape: both empirical pdfs decay exponentially and the\n"
-               "MLE rates land on the calibrated 1.08 / 1.86 tasks/s of the paper.\n";
+  cli::ArtifactOptions options;
+  options.quick = args.has("quick");
+  options.mc_reps = static_cast<std::size_t>(args.get_int64("samples", 0));
+  options.seed = static_cast<std::uint64_t>(args.get_int64("seed", 0));
+  (void)cli::reproduce_artifact("fig1", options, std::cout);
   return 0;
 }

@@ -1,75 +1,37 @@
-// Regenerates Fig. 2: (top) the empirical pdf of the per-task transfer delay
-// with its exponential approximation (mean 0.02 s), and (bottom) the mean
-// bundle delay as a function of the number of tasks transferred, which grows
-// linearly (30 realisations per point, as in the paper).
+// Regenerates Fig. 2: the per-task transfer-delay pdf and the mean bundle
+// delay as a function of tasks transferred. Thin wrapper over the shared
+// artefact runner (`lbsim reproduce fig2` produces identical output).
 
-#include <cmath>
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "net/delay_model.hpp"
-#include "stochastic/fit.hpp"
-#include "stochastic/histogram.hpp"
-#include "stochastic/stats.hpp"
+#include "cli/artifacts.hpp"
 #include "util/cli.hpp"
-#include "util/format.hpp"
 
 using namespace lbsim;
 
+namespace {
+
+// Flags the pre-refactor binary honoured but the shared artefact runner fixes
+// at the paper's values; warn instead of silently ignoring them.
+void warn_dropped(const lbsim::util::CliArgs& args, std::initializer_list<const char*> dropped) {
+  for (const char* flag : dropped) {
+    if (args.has(flag)) {
+      std::cerr << "note: --" << flag
+                << " is fixed at the paper's value in this wrapper; use lbsim run/sweep for"
+                   " custom parameters\n";
+    }
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
-  const double per_task = args.get_double("per-task-delay", 0.02);
-  const double shift = args.get_double("shift", 0.005);
-  const int realizations = args.get_int("realizations", 30);
-  const auto seed = static_cast<std::uint64_t>(args.get_int64("seed", 2));
-
-  bench::print_banner("Figure 2", "transfer-delay pdf and mean bundle delay vs tasks");
-
-  // --- top: per-task delay pdf (single-task transfers, many samples) ---
-  const net::ErlangPerTaskDelay testbed_model(per_task, shift);
-  stoch::RngStream rng(seed);
-  std::vector<double> single;
-  const int pdf_samples = args.has("quick") ? 2000 : 20000;
-  for (int i = 0; i < pdf_samples; ++i) single.push_back(testbed_model.sample(1, rng));
-  double fitted_shift = 0.0;
-  const stoch::ExponentialFit fit = stoch::fit_shifted_exponential(single, &fitted_shift);
-  stoch::Histogram hist(0.0, 0.12, 12);
-  hist.add_all(single);
-
-  std::cout << "\nPer-task delay pdf (testbed model: " << testbed_model.describe() << ")\n";
-  util::TextTable pdf_table({"bin center (s)", "empirical pdf", "shifted-exp fit"});
-  for (std::size_t b = 0; b < hist.bins(); ++b) {
-    const double t = hist.bin_center(b);
-    const double fit_pdf =
-        t < fitted_shift ? 0.0 : fit.rate * std::exp(-fit.rate * (t - fitted_shift));
-    pdf_table.add_row({util::format_double(t, 3), util::format_double(hist.density(b), 2),
-                       util::format_double(fit_pdf, 2)});
-  }
-  pdf_table.print(std::cout);
-  std::cout << "fitted shift " << util::format_double(fitted_shift, 4) << " s, fitted mean "
-            << util::format_double(fit.mean, 4) << " s";
-  bench::print_comparison("\n  mean per-task delay (s)", per_task + shift, fit.mean);
-
-  // --- bottom: mean delay vs number of tasks, linear fit ---
-  std::cout << "\nMean bundle delay vs task count (" << realizations
-            << " realisations per point)\n";
-  util::TextTable delay_table({"tasks L", "mean delay (s)", "stderr"});
-  std::vector<double> xs, ys;
-  for (std::size_t L = 10; L <= 100; L += 10) {
-    stoch::RunningStats stats;
-    for (int r = 0; r < realizations; ++r) stats.add(testbed_model.sample(L, rng));
-    delay_table.add_row({std::to_string(L), util::format_double(stats.mean(), 3),
-                         util::format_double(stats.std_error(), 3)});
-    xs.push_back(static_cast<double>(L));
-    ys.push_back(stats.mean());
-  }
-  delay_table.print(std::cout);
-  const stoch::LinearFit line = stoch::fit_linear(xs, ys);
-  std::cout << "linear fit: mean_delay = " << util::format_double(line.slope, 4)
-            << " * L + " << util::format_double(line.intercept, 4)
-            << "   (R^2 = " << util::format_double(line.r_squared, 4) << ")\n";
-  bench::print_comparison("slope = per-task delay (s)", per_task, line.slope);
-  std::cout << "\nExpected shape: pdf decays exponentially after a small setup shift;\n"
-               "mean delay grows linearly in L with slope ~0.02 s/task (paper Fig. 2).\n";
+  warn_dropped(args, {"per-task-delay", "shift"});
+  cli::ArtifactOptions options;
+  options.quick = args.has("quick");
+  options.realizations = static_cast<std::size_t>(args.get_int64("realizations", 0));
+  options.seed = static_cast<std::uint64_t>(args.get_int64("seed", 0));
+  (void)cli::reproduce_artifact("fig2", options, std::cout);
   return 0;
 }

@@ -1,94 +1,37 @@
-// Regenerates Fig. 3: the average overall completion time of LBP-1 as a
-// function of the gain K for initial workloads (100, 60), with four series:
-// regeneration theory, Monte-Carlo simulation of the abstract model, the
-// emulated testbed experiment, and the no-failure theory curve.
-//
-// Paper landmarks: minimum ~117 s at K = 0.35 with failures; minimum at
-// K = 0.45 without failures; failure optimum strictly left of the no-failure
-// optimum.
+// Regenerates Fig. 3: the average overall completion time of LBP-1 vs the
+// gain K for initial workloads (100, 60). Thin wrapper over the shared
+// artefact runner (`lbsim reproduce fig3` produces identical output).
 
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "core/lbp1.hpp"
-#include "markov/two_node_mean.hpp"
-#include "mc/engine.hpp"
-#include "testbed/experiment.hpp"
+#include "cli/artifacts.hpp"
 #include "util/cli.hpp"
-#include "util/format.hpp"
 
 using namespace lbsim;
 
-int main(int argc, char** argv) {
-  const util::CliArgs args(argc, argv);
-  const auto m0 = static_cast<std::size_t>(args.get_int64("m0", 100));
-  const auto m1 = static_cast<std::size_t>(args.get_int64("m1", 60));
-  const bool quick = args.has("quick");
-  const auto mc_reps = static_cast<std::size_t>(args.get_int64("mc-reps", quick ? 100 : 500));
-  const auto tb_reps =
-      static_cast<std::size_t>(args.get_int64("testbed-reps", quick ? 20 : 60));
+namespace {
 
-  bench::print_banner("Figure 3", "LBP-1 mean completion time vs gain K, workload " +
-                                      bench::workload_label(m0, m1));
-
-  const markov::TwoNodeParams params = markov::ipdps2006_params();
-  markov::TwoNodeMeanSolver theory(params);
-  markov::TwoNodeMeanSolver theory_nf(markov::without_failures(params));
-
-  util::TextTable table({"K", "theory (s)", "MC sim (s)", "+-95%", "testbed (s)", "+-95%",
-                         "no-failure theory (s)"});
-  std::vector<double> ks;
-  std::vector<double> theory_curve, mc_curve, tb_curve, nf_curve;
-
-  double best_k = 0.0, best_mean = 1e18, best_k_nf = 0.0, best_mean_nf = 1e18;
-  for (int step = 0; step <= 20; ++step) {
-    const double gain = 0.05 * step;
-    const double mu = theory.lbp1_mean(m0, m1, 0, gain);
-    const double mu_nf = theory_nf.lbp1_mean(m0, m1, 0, gain);
-
-    mc::ScenarioConfig scenario = mc::make_two_node_scenario(
-        params, m0, m1, std::make_unique<core::Lbp1Policy>(0, gain));
-    mc::McConfig mc_cfg;
-    mc_cfg.replications = mc_reps;
-    const mc::McResult mc_result = mc::run_monte_carlo(scenario, mc_cfg);
-
-    testbed::TestbedConfig tb =
-        testbed::paper_testbed(m0, m1, std::make_unique<core::Lbp1Policy>(0, gain));
-    const testbed::ExperimentSummary tb_result = testbed::run_experiment(tb, tb_reps);
-
-    table.add_row({util::format_double(gain, 2), util::format_double(mu, 2),
-                   util::format_double(mc_result.mean(), 2),
-                   util::format_double(mc_result.ci95(), 2),
-                   util::format_double(tb_result.mean(), 2),
-                   util::format_double(tb_result.ci95(), 2),
-                   util::format_double(mu_nf, 2)});
-    ks.push_back(gain);
-    theory_curve.push_back(mu);
-    mc_curve.push_back(mc_result.mean());
-    tb_curve.push_back(tb_result.mean());
-    nf_curve.push_back(mu_nf);
-    if (mu < best_mean) {
-      best_mean = mu;
-      best_k = gain;
-    }
-    if (mu_nf < best_mean_nf) {
-      best_mean_nf = mu_nf;
-      best_k_nf = gain;
+// Flags the pre-refactor binary honoured but the shared artefact runner fixes
+// at the paper's values; warn instead of silently ignoring them.
+void warn_dropped(const lbsim::util::CliArgs& args, std::initializer_list<const char*> dropped) {
+  for (const char* flag : dropped) {
+    if (args.has(flag)) {
+      std::cerr << "note: --" << flag
+                << " is fixed at the paper's value in this wrapper; use lbsim run/sweep for"
+                   " custom parameters\n";
     }
   }
-  table.print(std::cout);
+}
 
-  std::cout << "\n";
-  bench::print_ascii_curve(ks, {theory_curve, mc_curve, tb_curve, nf_curve},
-                           {"theory (failure)", "MC simulation", "testbed experiment",
-                            "theory (no failure)"});
+}  // namespace
 
-  std::cout << "\nOptimal gain with failures:    K* = " << util::format_double(best_k, 2)
-            << "  mean " << util::format_double(best_mean, 2) << " s  (paper: 0.35, ~117 s)\n";
-  std::cout << "Optimal gain without failures: K* = " << util::format_double(best_k_nf, 2)
-            << "  mean " << util::format_double(best_mean_nf, 2) << " s  (paper: 0.45)\n";
-  bench::print_comparison("min mean completion (s)", 117.0, best_mean);
-  std::cout << "Shape check: K*(failure) < K*(no failure) -> "
-            << (best_k < best_k_nf ? "HOLDS" : "VIOLATED") << "\n";
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  warn_dropped(args, {"m0", "m1"});
+  cli::ArtifactOptions options;
+  options.quick = args.has("quick");
+  options.mc_reps = static_cast<std::size_t>(args.get_int64("mc-reps", 0));
+  options.realizations = static_cast<std::size_t>(args.get_int64("testbed-reps", 0));
+  (void)cli::reproduce_artifact("fig3", options, std::cout);
   return 0;
 }

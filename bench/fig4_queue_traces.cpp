@@ -1,51 +1,25 @@
 // Regenerates Fig. 4: one realisation of both queue processes under LBP-1 and
-// LBP-2 (testbed emulation, workload (100, 60)). The flat segments are node
-// down-times; under LBP-2 the downward/upward jumps at failure instants are
-// the backup transfers.
+// LBP-2 (testbed emulation, workload (100, 60)). Thin wrapper over the shared
+// artefact runner (`lbsim reproduce fig4` produces identical output).
 
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "core/lbp1.hpp"
-#include "core/lbp2.hpp"
-#include "testbed/experiment.hpp"
+#include "cli/artifacts.hpp"
 #include "util/cli.hpp"
-#include "util/format.hpp"
 
 using namespace lbsim;
 
 namespace {
 
-void show_realization(const std::string& label, core::PolicyPtr policy, std::uint64_t seed,
-                      std::size_t m0, std::size_t m1) {
-  testbed::TestbedConfig config = testbed::paper_testbed(m0, m1, std::move(policy));
-  mc::RunTrace trace;
-  const mc::RunResult run = testbed::run_realization(config, seed, 0, &trace);
-
-  std::cout << "\n--- " << label << " (completion " << util::format_double(run.completion_time, 1)
-            << " s, " << run.failures << " failures, " << run.tasks_moved
-            << " tasks moved) ---\n";
-
-  const std::size_t columns = 90;
-  std::vector<double> xs;
-  std::vector<double> q0, q1;
-  for (const auto& point :
-       trace.queue_lengths[0].resample(0.0, run.completion_time, columns)) {
-    xs.push_back(point.time);
-    q0.push_back(point.value);
-  }
-  for (const auto& point :
-       trace.queue_lengths[1].resample(0.0, run.completion_time, columns)) {
-    q1.push_back(point.value);
-  }
-  bench::print_ascii_curve(xs, {q0, q1}, {"node 1 queue (Crusoe)", "node 2 queue (P4)"}, 14);
-
-  std::cout << "churn/transfer log (first 12 records):\n";
-  std::size_t shown = 0;
-  for (const auto& record : trace.events.records()) {
-    if (shown++ >= 12) break;
-    std::cout << "  t=" << util::format_double(record.time, 2) << "  " << record.tag << " "
-              << record.detail << "\n";
+// Flags the pre-refactor binary honoured but the shared artefact runner fixes
+// at the paper's values; warn instead of silently ignoring them.
+void warn_dropped(const lbsim::util::CliArgs& args, std::initializer_list<const char*> dropped) {
+  for (const char* flag : dropped) {
+    if (args.has(flag)) {
+      std::cerr << "note: --" << flag
+                << " is fixed at the paper's value in this wrapper; use lbsim run/sweep for"
+                   " custom parameters\n";
+    }
   }
 }
 
@@ -53,15 +27,10 @@ void show_realization(const std::string& label, core::PolicyPtr policy, std::uin
 
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(args.get_int64("seed", 2006));
-  const auto m0 = static_cast<std::size_t>(args.get_int64("m0", 100));
-  const auto m1 = static_cast<std::size_t>(args.get_int64("m1", 60));
-
-  bench::print_banner("Figure 4", "one realisation of the queues under LBP-1 and LBP-2");
-  show_realization("LBP-1 (K = 0.35)", std::make_unique<core::Lbp1Policy>(0, 0.35), seed,
-                   m0, m1);
-  show_realization("LBP-2 (K = 1.0)", std::make_unique<core::Lbp2Policy>(1.0), seed, m0, m1);
-  std::cout << "\nExpected shape: long flat segments while a node is down; LBP-2 shows\n"
-               "downward (sender) and upward (receiver) jumps at failure instants.\n";
+  warn_dropped(args, {"m0", "m1"});
+  cli::ArtifactOptions options;
+  options.quick = args.has("quick");
+  options.seed = static_cast<std::uint64_t>(args.get_int64("seed", 0));
+  (void)cli::reproduce_artifact("fig4", options, std::cout);
   return 0;
 }

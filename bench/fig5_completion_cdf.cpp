@@ -1,71 +1,35 @@
-// Regenerates Fig. 5: the cumulative distribution function of the overall
-// completion time under LBP-1 (gain chosen optimally by the mean solver) for
-// initial workloads (50, 0) and (25, 50), with and without failures.
+// Regenerates Fig. 5: the completion-time CDF under LBP-1 for workloads
+// (50, 0) and (25, 50), with and without failures. Thin wrapper over the
+// shared artefact runner (`lbsim reproduce fig5` produces identical output).
 
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "core/optimizer.hpp"
-#include "markov/two_node_cdf.hpp"
+#include "cli/artifacts.hpp"
 #include "util/cli.hpp"
-#include "util/format.hpp"
 
 using namespace lbsim;
 
 namespace {
 
-void show_workload(std::size_t m0, std::size_t m1, double horizon, double dt) {
-  const markov::TwoNodeParams params = markov::ipdps2006_params();
-  const markov::TwoNodeParams reliable = markov::without_failures(params);
-
-  const core::Lbp1Optimum opt = core::optimize_lbp1_grid(params, m0, m1, 0.05);
-  std::cout << "\nWorkload (" << m0 << "," << m1 << "): sender node " << opt.sender + 1
-            << ", K* = " << util::format_double(opt.gain, 2) << " (L = " << opt.transfer
-            << "), predicted mean " << util::format_double(opt.expected_completion, 1)
-            << " s\n";
-
-  markov::TwoNodeCdfSolver::Config config;
-  config.horizon = horizon;
-  config.dt = dt;
-  const markov::TwoNodeCdfSolver churny(params, config);
-  const markov::TwoNodeCdfSolver clean(reliable, config);
-  const markov::CdfCurve with_fail = churny.lbp1_cdf(m0, m1, opt.sender, opt.gain);
-  const markov::CdfCurve no_fail = clean.lbp1_cdf(m0, m1, opt.sender, opt.gain);
-
-  util::TextTable table({"t (s)", "P{T<=t} failure", "P{T<=t} no failure"});
-  const std::size_t stride = with_fail.grid.size() / 25;
-  for (std::size_t k = 0; k < with_fail.grid.size(); k += stride) {
-    table.add_row({util::format_double(with_fail.grid[k], 0),
-                   util::format_double(with_fail.values[k], 3),
-                   util::format_double(no_fail.values[k], 3)});
-  }
-  table.print(std::cout);
-  std::cout << "median: failure " << util::format_double(with_fail.quantile(0.5), 1)
-            << " s, no-failure " << util::format_double(no_fail.quantile(0.5), 1) << " s\n"
-            << "mean from CDF: failure " << util::format_double(with_fail.mean_estimate(), 1)
-            << " s, no-failure " << util::format_double(no_fail.mean_estimate(), 1) << " s\n";
-
-  // Dominance check (the paper's visual: the failure CDF lies to the right).
-  bool dominated = true;
-  for (std::size_t k = 0; k < with_fail.values.size(); ++k) {
-    if (with_fail.values[k] > no_fail.values[k] + 1e-6) {
-      dominated = false;
-      break;
+// Flags the pre-refactor binary honoured but the shared artefact runner fixes
+// at the paper's values; warn instead of silently ignoring them.
+void warn_dropped(const lbsim::util::CliArgs& args, std::initializer_list<const char*> dropped) {
+  for (const char* flag : dropped) {
+    if (args.has(flag)) {
+      std::cerr << "note: --" << flag
+                << " is fixed at the paper's value in this wrapper; use lbsim run/sweep for"
+                   " custom parameters\n";
     }
   }
-  std::cout << "Shape check: failure CDF stochastically dominated by no-failure CDF -> "
-            << (dominated ? "HOLDS" : "VIOLATED") << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
-  const double horizon = args.get_double("horizon", 250.0);
-  const double dt = args.get_double("dt", args.has("quick") ? 0.1 : 0.05);
-
-  bench::print_banner("Figure 5", "completion-time CDF under LBP-1, failure vs no-failure");
-  show_workload(50, 0, horizon, dt);
-  show_workload(25, 50, horizon, dt);
+  warn_dropped(args, {"horizon", "dt"});
+  cli::ArtifactOptions options;
+  options.quick = args.has("quick");
+  (void)cli::reproduce_artifact("fig5", options, std::cout);
   return 0;
 }

@@ -1,64 +1,20 @@
 // Regenerates Table 1: LBP-1 with the theoretically determined optimal gain
-// for five initial workloads. Columns: optimal gain (0.05 grid, as in the
-// paper), theoretical prediction with node failure, the emulated-testbed
-// "experimental" result, and the no-failure theoretical optimum.
+// for five initial workloads. Thin wrapper over the shared artefact runner
+// (`lbsim reproduce table1` produces identical output).
 
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "core/lbp1.hpp"
-#include "core/optimizer.hpp"
-#include "testbed/experiment.hpp"
+#include "cli/artifacts.hpp"
 #include "util/cli.hpp"
-#include "util/format.hpp"
 
 using namespace lbsim;
 
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
-  const bool quick = args.has("quick");
-  const auto realizations =
-      static_cast<std::size_t>(args.get_int64("realizations", quick ? 10 : 60));
-
-  bench::print_banner("Table 1", "LBP-1 at the theoretically optimal gain");
-
-  const markov::TwoNodeParams params = markov::ipdps2006_params();
-  struct PaperRow {
-    std::size_t m0, m1;
-    double paper_gain, paper_theory, paper_exp, paper_no_failure;
-  };
-  const PaperRow paper_rows[] = {
-      {200, 200, 0.15, 274.95, 264.72, 141.94}, {200, 100, 0.35, 210.13, 207.32, 106.93},
-      {100, 200, 0.15, 210.13, 229.19, 106.93}, {200, 50, 0.50, 177.09, 172.56, 89.32},
-      {50, 200, 0.25, 177.09, 215.66, 89.32},
-  };
-
-  util::TextTable table({"workload", "K* (paper)", "sender", "theory (s)", "paper theory",
-                         "testbed (s)", "paper exp.", "no-fail theory", "paper no-fail"});
-  for (const PaperRow& row : paper_rows) {
-    const core::Lbp1Optimum opt = core::optimize_lbp1_grid(params, row.m0, row.m1, 0.05);
-    const core::Lbp1Optimum opt_nf = core::optimize_lbp1_grid(
-        markov::without_failures(params), row.m0, row.m1, 0.05);
-
-    testbed::TestbedConfig tb = testbed::paper_testbed(
-        row.m0, row.m1, std::make_unique<core::Lbp1Policy>(opt.sender, opt.gain));
-    const testbed::ExperimentSummary summary = testbed::run_experiment(tb, realizations);
-
-    table.add_row({bench::workload_label(row.m0, row.m1),
-                   util::format_double(opt.gain, 2) + " (" +
-                       util::format_double(row.paper_gain, 2) + ")",
-                   "node " + std::to_string(opt.sender + 1),
-                   util::format_double(opt.expected_completion, 2),
-                   util::format_double(row.paper_theory, 2),
-                   util::format_double(summary.mean(), 2),
-                   util::format_double(row.paper_exp, 2),
-                   util::format_double(opt_nf.expected_completion, 2),
-                   util::format_double(row.paper_no_failure, 2)});
-  }
-  table.print(std::cout);
-
-  std::cout << "\nShape checks: the sender is always the more-loaded node; symmetric\n"
-               "workload pairs share a theory value; failures roughly double the\n"
-               "no-failure completion times (availabilities 0.67 / 0.50).\n";
+  cli::ArtifactOptions options;
+  options.quick = args.has("quick");
+  options.golden_only = args.has("golden-only");
+  options.realizations = static_cast<std::size_t>(args.get_int64("realizations", 0));
+  (void)cli::reproduce_artifact("table1", options, std::cout);
   return 0;
 }

@@ -1,0 +1,11 @@
+/// \file
+/// Entry point of the `lbsim` binary. All behaviour lives in cli::run_lbsim so
+/// the test suites can exercise every subcommand in-process.
+
+#include <iostream>
+
+#include "cli/lbsim.hpp"
+
+int main(int argc, char** argv) {
+  return lbsim::cli::run_lbsim(argc, argv, std::cout, std::cerr);
+}

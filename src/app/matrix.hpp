@@ -1,5 +1,5 @@
 #pragma once
-/// \file matrix.hpp
+/// \file
 /// Minimal dense matrix and row kernel. The paper's application defines one
 /// task as the multiplication of one row by a static matrix duplicated on all
 /// nodes; this kernel is used by the examples to do real work and by tests to

@@ -1,5 +1,5 @@
 #pragma once
-/// \file workload.hpp
+/// \file
 /// Workload generation calibrated to the paper's measurements.
 ///
 /// The experiments randomise "the arithmetic precision of each element in a

@@ -1,0 +1,454 @@
+#include "cli/lbsim.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "cli/artifacts.hpp"
+#include "cli/config.hpp"
+#include "cli/output.hpp"
+#include "cli/registry.hpp"
+#include "cli/sweep.hpp"
+#include "core/lbp1.hpp"
+#include "core/lbp2.hpp"
+#include "markov/two_node_mean.hpp"
+#include "mc/engine.hpp"
+#include "mc/scenario.hpp"
+#include "testbed/config.hpp"
+#include "testbed/experiment.hpp"
+#include "util/cli.hpp"
+
+namespace lbsim::cli {
+namespace {
+
+constexpr const char* kUsage = R"(lbsim - load-balancing experiment runner (Dhakal et al., IPDPS 2006 reproduction)
+
+Usage:
+  lbsim list [scenario]             registered scenarios, or one scenario's keys
+  lbsim run <scenario> [key=value ...]
+        [--config=FILE] [--engine=mc|testbed] [--reps=N] [--threads=N]
+        [--seed=S] [--format=table|csv|json] [--out=FILE]
+  lbsim sweep <scenario> [key=v1,v2 | key=lo:hi:step ...]
+        [--reps=N] [--threads=N] [--seed=S] [--dry-run]
+        [--format=table|csv|json] [--out=FILE]
+  lbsim reproduce <table1|table2|table3|fig1..fig5>
+        [--quick] [--golden-only] [--reps=N] [--realizations=N] [--seed=S]
+        [--format=table|csv|json] [--out=FILE]
+  lbsim perf [--quick] [--out=FILE]  timing baseline (perf_des/perf_mc/perf_solver)
+
+Scenario keys are INI-style (`lbsim list <scenario>` documents them); a
+--config file may also carry them, with command-line key=value pairs winning.
+The reserved keys `mc.reps`, `mc.threads`, `mc.seed`, and `engine` select the
+execution engine rather than the scenario.
+)";
+
+/// Emission sink: --out writes the formatted table to a file, keeping the
+/// human narration on stdout.
+void emit(const util::CliArgs& args, const RunMetadata& meta, const util::TextTable& table,
+          std::ostream& out) {
+  const std::string path = args.get_string("out", "");
+  std::string format = args.get_string("format", path.empty() ? "table" : "csv");
+  if (format != "table" && format != "csv" && format != "json") {
+    throw ConfigError(ConfigError::Kind::kOutOfRange, "format",
+                      "--format must be table, csv, or json");
+  }
+  const auto write = [&](std::ostream& os) {
+    if (format == "csv") {
+      write_csv(os, meta, table);
+    } else if (format == "json") {
+      write_json(os, meta, table);
+    } else {
+      table.print(os);
+    }
+  };
+  if (path.empty()) {
+    write(out);
+    return;
+  }
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot write to '" + path + "'");
+  write(file);
+  out << "wrote " << format << " to " << path << "\n";
+}
+
+std::string joined_command(int argc, const char* const* argv) {
+  std::ostringstream os;
+  os << "lbsim";
+  for (int i = 1; i < argc; ++i) os << ' ' << argv[i];
+  return os.str();
+}
+
+/// Splits the reserved engine keys out of a raw scenario config.
+struct EngineOptions {
+  std::string engine = "mc";
+  std::size_t replications = 0;  // 0 = engine default
+  unsigned threads = 0;
+  std::uint64_t seed = 0;        // 0 = engine default
+};
+
+EngineOptions extract_engine_options(RawConfig& raw, const util::CliArgs& args) {
+  EngineOptions options;
+  const auto take = [&raw](const std::string& key) -> std::string {
+    const auto it = raw.values.find(key);
+    if (it == raw.values.end()) return "";
+    std::string value = it->second;
+    raw.values.erase(it);
+    return value;
+  };
+  if (const std::string v = take("engine"); !v.empty()) options.engine = v;
+  if (const std::string v = take("mc.reps"); !v.empty()) {
+    options.replications = static_cast<std::size_t>(parse_int(v, "mc.reps"));
+  }
+  if (const std::string v = take("mc.threads"); !v.empty()) {
+    options.threads = static_cast<unsigned>(parse_int(v, "mc.threads"));
+  }
+  if (const std::string v = take("mc.seed"); !v.empty()) {
+    options.seed = static_cast<std::uint64_t>(parse_int(v, "mc.seed"));
+  }
+  // Command-line flags win over config-file keys.
+  options.engine = args.get_string("engine", options.engine);
+  options.replications =
+      static_cast<std::size_t>(args.get_int64("reps", static_cast<long long>(options.replications)));
+  options.threads = static_cast<unsigned>(args.get_int("threads", static_cast<int>(options.threads)));
+  options.seed =
+      static_cast<std::uint64_t>(args.get_int64("seed", static_cast<long long>(options.seed)));
+  if (options.engine != "mc" && options.engine != "testbed") {
+    throw ConfigError(ConfigError::Kind::kOutOfRange, "engine",
+                      "engine must be 'mc' or 'testbed'");
+  }
+  return options;
+}
+
+/// Gathers the scenario name + raw key=value config for run/sweep: positional
+/// overrides layered over an optional --config file.
+struct ScenarioInvocation {
+  const ScenarioSpec* spec = nullptr;
+  RawConfig raw;
+  std::vector<std::string> extra;  ///< positionals that are not key=value
+};
+
+ScenarioInvocation parse_scenario_invocation(const util::CliArgs& args) {
+  ScenarioInvocation invocation;
+  if (const std::string path = args.get_string("config", ""); !path.empty()) {
+    invocation.raw = parse_ini_file(path);
+  }
+  std::string name;
+  const auto& positional = args.positional();
+  for (std::size_t i = 1; i < positional.size(); ++i) {
+    const std::string& arg = positional[i];
+    if (arg.find('=') != std::string::npos) {
+      invocation.extra.push_back(arg);
+    } else if (name.empty()) {
+      name = arg;
+    } else {
+      throw ConfigError(ConfigError::Kind::kSyntax, arg,
+                        "unexpected positional argument '" + arg + "'");
+    }
+  }
+  if (name.empty()) {
+    const auto it = invocation.raw.values.find("scenario");
+    if (it != invocation.raw.values.end()) {
+      name = it->second;
+    } else {
+      throw ConfigError(ConfigError::Kind::kSyntax, "scenario",
+                        "no scenario named (positional argument or 'scenario' config key)");
+    }
+  }
+  invocation.raw.values.erase("scenario");
+  invocation.spec = &find_scenario(name);
+  return invocation;
+}
+
+int cmd_list(const util::CliArgs& args, std::ostream& out) {
+  const auto& positional = args.positional();
+  if (positional.size() > 1) {
+    const ScenarioSpec& spec = find_scenario(positional[1]);
+    out << spec.name << " - " << spec.summary << "\n\n";
+    util::TextTable table({"key", "type", "default", "description"});
+    for (const OptionSpec& option : spec.schema.options()) {
+      table.add_row({option.key, to_string(option.type),
+                     option.default_value.empty() ? "-" : option.default_value,
+                     option.description});
+    }
+    table.print(out);
+    return 0;
+  }
+
+  out << "Scenarios (lbsim run/sweep <name>; `lbsim list <name>` shows keys):\n\n";
+  util::TextTable scenarios({"scenario", "keys", "summary"});
+  for (const ScenarioSpec& spec : scenario_registry()) {
+    scenarios.add_row({spec.name, std::to_string(spec.schema.options().size()), spec.summary});
+  }
+  scenarios.print(out);
+
+  out << "\nPaper artefacts (lbsim reproduce <name>):\n\n";
+  util::TextTable artifacts({"artefact", "summary"});
+  for (const std::string& name : artifact_names()) {
+    artifacts.add_row({name, artifact_summary(name)});
+  }
+  artifacts.print(out);
+  return 0;
+}
+
+int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::ostream& out) {
+  ScenarioInvocation invocation = parse_scenario_invocation(args);
+  for (const std::string& assignment : invocation.extra) {
+    apply_override(invocation.raw, assignment);
+  }
+  const EngineOptions engine = extract_engine_options(invocation.raw, args);
+  const Config config = invocation.spec->schema.resolve(invocation.raw);
+  mc::ScenarioConfig scenario = invocation.spec->build(config);
+
+  util::TextTable table({"scenario", "policy", "engine", "reps", "mean_s", "ci95_s",
+                         "stderr_s", "min_s", "max_s", "mean_failures", "mean_tasks_moved",
+                         "mean_bundles"});
+  RunMetadata meta;
+  meta.command = joined_command(argc, argv);
+  meta.scenario = invocation.spec->name;
+  meta.threads = engine.threads;
+
+  const auto start = std::chrono::steady_clock::now();
+  if (engine.engine == "mc") {
+    mc::McConfig mc_config;
+    if (engine.replications != 0) mc_config.replications = engine.replications;
+    if (engine.seed != 0) mc_config.seed = engine.seed;
+    mc_config.threads = engine.threads;
+    const std::string policy_name = scenario.policy->name();
+    const mc::McResult result = mc::run_monte_carlo(scenario, mc_config);
+    table.add_row({invocation.spec->name, policy_name, "mc",
+                   std::to_string(mc_config.replications),
+                   util::format_double(result.mean(), 3),
+                   util::format_double(result.ci95(), 3),
+                   util::format_double(result.std_error(), 3),
+                   util::format_double(result.completion.min(), 3),
+                   util::format_double(result.completion.max(), 3),
+                   util::format_double(result.mean_failures, 2),
+                   util::format_double(result.mean_tasks_moved, 2),
+                   util::format_double(result.mean_bundles, 2)});
+    meta.seed = mc_config.seed;
+    meta.replications = mc_config.replications;
+  } else {
+    // The testbed emulates its own communication layer and start-up sequence;
+    // refuse scenario semantics it cannot honour rather than silently
+    // dropping them (mc is the engine for those keys).
+    std::string unsupported;
+    if (scenario.initially_down != 0) unsupported = "down.mask";
+    if (scenario.rebalance_period > 0.0) {
+      unsupported += std::string(unsupported.empty() ? "" : ", ") + "policy=periodic";
+    }
+    if (scenario.delay_model != nullptr) {
+      unsupported += std::string(unsupported.empty() ? "" : ", ") + "delay.model/delay.shift";
+    }
+    if (!unsupported.empty()) {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, "engine",
+                        "the testbed engine does not emulate " + unsupported +
+                            " for this scenario; use the default mc engine");
+    }
+    testbed::TestbedConfig tb;
+    tb.params = scenario.params;
+    tb.workloads = scenario.workloads;
+    tb.policy = std::move(scenario.policy);
+    tb.churn_enabled = scenario.churn_enabled;
+    const std::size_t realizations = engine.replications != 0 ? engine.replications : 60;
+    const std::uint64_t seed = engine.seed != 0 ? engine.seed : 0xbed2006;
+    const std::string policy_name = tb.policy->name();
+    const testbed::ExperimentSummary result =
+        testbed::run_experiment(tb, realizations, seed, engine.threads);
+    table.add_row({invocation.spec->name, policy_name, "testbed",
+                   std::to_string(realizations), util::format_double(result.mean(), 3),
+                   util::format_double(result.ci95(), 3),
+                   util::format_double(result.completion.std_error(), 3),
+                   util::format_double(result.completion.min(), 3),
+                   util::format_double(result.completion.max(), 3),
+                   util::format_double(result.mean_failures, 2),
+                   util::format_double(result.mean_tasks_moved, 2), "-"});
+    meta.seed = seed;
+    meta.replications = realizations;
+  }
+  meta.wall_seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  emit(args, meta, table, out);
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv, const util::CliArgs& args,
+              std::ostream& out) {
+  ScenarioInvocation invocation = parse_scenario_invocation(args);
+  std::vector<SweepAxis> axes;
+  for (const std::string& assignment : invocation.extra) {
+    SweepAxis axis = parse_axis(assignment);
+    if (axis.values.size() == 1) {
+      // Single-valued "axes" are fixed overrides, not table columns. Reserved
+      // mc.* keys land in raw too and are extracted just below.
+      invocation.raw.set(axis.key, axis.values[0]);
+    } else {
+      axes.push_back(std::move(axis));
+    }
+  }
+  if (axes.empty()) {
+    throw ConfigError(ConfigError::Kind::kSyntax, "sweep",
+                      "no sweep axis given (expected key=v1,v2 or key=lo:hi:step)");
+  }
+
+  SweepOptions options;
+  EngineOptions engine = extract_engine_options(invocation.raw, args);
+  if (engine.engine != "mc") {
+    throw ConfigError(ConfigError::Kind::kOutOfRange, "engine",
+                      "lbsim sweep drives the MC engine only");
+  }
+  if (engine.replications != 0) options.replications = engine.replications;
+  if (engine.seed != 0) options.seed = engine.seed;
+  options.threads = engine.threads;
+  options.dry_run = args.get_bool("dry-run", false);
+
+  SweepResult result = run_sweep(*invocation.spec, invocation.raw, axes, options);
+  result.metadata.command = joined_command(argc, argv);
+  if (options.dry_run) {
+    out << "dry run: " << result.table.rows() << " grid points over " << axes.size()
+        << " axes (nothing executed)\n";
+  }
+  emit(args, result.metadata, result.table, out);
+  return 0;
+}
+
+int cmd_reproduce(int argc, const char* const* argv, const util::CliArgs& args,
+                  std::ostream& out) {
+  const auto& positional = args.positional();
+  if (positional.size() < 2) {
+    throw ConfigError(ConfigError::Kind::kSyntax, "artefact",
+                      "usage: lbsim reproduce <table1|table2|table3|fig1..fig5>");
+  }
+  ArtifactOptions options;
+  options.quick = args.has("quick") && args.get_bool("quick", true);
+  options.golden_only = args.has("golden-only") && args.get_bool("golden-only", true);
+  options.mc_reps = static_cast<std::size_t>(args.get_int64("reps", 0));
+  options.realizations = static_cast<std::size_t>(args.get_int64("realizations", 0));
+  options.seed = static_cast<std::uint64_t>(args.get_int64("seed", 0));
+  options.format = args.get_string("format", "table");
+  if (options.format != "table" && options.format != "csv" && options.format != "json") {
+    throw ConfigError(ConfigError::Kind::kOutOfRange, "format",
+                      "--format must be table, csv, or json");
+  }
+
+  const std::string path = args.get_string("out", "");
+  if (!path.empty()) {
+    // A file target defaults to CSV, but an explicit --format=table is kept.
+    if (!args.has("format")) options.format = "csv";
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("cannot write to '" + path + "'");
+    (void)reproduce_artifact(positional[1], options, file);
+    out << "wrote " << options.format << " to " << path << "\n";
+    return 0;
+  }
+  (void)reproduce_artifact(positional[1], options, out);
+  (void)argc;
+  (void)argv;
+  return 0;
+}
+
+int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::ostream& out) {
+  const bool quick = args.has("quick");
+
+  const auto time_ms = [](const auto& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  util::TextTable table({"bench", "wall_ms", "work", "throughput_per_s"});
+  const auto start = std::chrono::steady_clock::now();
+
+  // perf_solver: one cold exact-solver evaluation at the pinned operating point.
+  {
+    double result = 0.0;
+    const double ms = time_ms([&] {
+      markov::TwoNodeMeanSolver solver(markov::ipdps2006_params());
+      result = solver.lbp1_mean(100, 60, 0, 0.35);
+    });
+    table.add_row({"perf_solver", util::format_double(ms, 2),
+                   "lbp1_mean(100,60,K=0.35) = " + util::format_double(result, 2) + " s",
+                   util::format_double(1000.0 / ms, 2)});
+  }
+
+  // perf_mc: the parallel Monte-Carlo engine on the paper scenario.
+  {
+    const std::size_t reps = quick ? 100 : 500;
+    mc::McConfig mc_config;
+    mc_config.replications = reps;
+    double mean = 0.0;
+    const double ms = time_ms([&] {
+      mc::ScenarioConfig scenario =
+          mc::make_two_node_scenario(markov::ipdps2006_params(), 100, 60,
+                                     std::make_unique<core::Lbp1Policy>(0, 0.35));
+      mean = mc::run_monte_carlo(scenario, mc_config).mean();
+    });
+    table.add_row({"perf_mc", util::format_double(ms, 2),
+                   std::to_string(reps) + " reps, mean " + util::format_double(mean, 2) + " s",
+                   util::format_double(reps * 1000.0 / ms, 1)});
+  }
+
+  // perf_des: sequential discrete-event replications (single-threaded hot path).
+  {
+    const std::size_t reps = quick ? 20 : 100;
+    double total = 0.0;
+    const double ms = time_ms([&] {
+      mc::ScenarioConfig scenario =
+          mc::make_two_node_scenario(markov::ipdps2006_params(), 100, 60,
+                                     std::make_unique<core::Lbp2Policy>(1.0));
+      for (std::size_t r = 0; r < reps; ++r) {
+        total += mc::run_scenario(scenario, 0x5eed2006, r).completion_time;
+      }
+    });
+    table.add_row({"perf_des", util::format_double(ms, 2),
+                   std::to_string(reps) + " sequential runs, mean " +
+                       util::format_double(total / static_cast<double>(reps), 2) + " s",
+                   util::format_double(reps * 1000.0 / ms, 1)});
+  }
+
+  RunMetadata meta;
+  meta.command = joined_command(argc, argv);
+  meta.scenario = "perf-baseline";
+  meta.seed = 0x5eed2006;
+  meta.wall_seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+  table.print(out);
+  const std::string path = args.get_string("out", "");
+  if (!path.empty()) {
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("cannot write to '" + path + "'");
+    write_json(file, meta, table);
+    out << "wrote json to " << path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run_lbsim(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  try {
+    const util::CliArgs args(argc, argv);
+    if (args.positional().empty() || args.has("help")) {
+      out << kUsage;
+      return args.positional().empty() && !args.has("help") ? 2 : 0;
+    }
+    const std::string& command = args.positional()[0];
+    if (command == "list") return cmd_list(args, out);
+    if (command == "run") return cmd_run(argc, argv, args, out);
+    if (command == "sweep") return cmd_sweep(argc, argv, args, out);
+    if (command == "reproduce") return cmd_reproduce(argc, argv, args, out);
+    if (command == "perf") return cmd_perf(argc, argv, args, out);
+    err << "lbsim: unknown command '" << command << "'\n\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    err << "lbsim: error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace lbsim::cli

@@ -1,0 +1,23 @@
+#pragma once
+/// \file
+/// The `lbsim` command-line entry point, exposed as a library function so the
+/// test suites can drive every subcommand in-process.
+///
+/// Subcommands:
+///   lbsim list [scenario]          registered scenarios / one scenario's keys
+///   lbsim run <scenario> [k=v...]  one configuration through the MC engine
+///                                  (or --engine=testbed)
+///   lbsim sweep <scenario> [axes]  cartesian sweep (key=v1,v2 / key=lo:hi:step)
+///   lbsim reproduce <artefact>     regenerate a paper table/figure
+///   lbsim perf                     timing baseline (perf_des/perf_mc/perf_solver)
+
+#include <iosfwd>
+
+namespace lbsim::cli {
+
+/// Runs one lbsim invocation; returns the process exit code (0 success, 2 on
+/// usage/config errors). Writes results to `out` and diagnostics to `err`;
+/// never throws.
+int run_lbsim(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+}  // namespace lbsim::cli

@@ -1,0 +1,265 @@
+#include "cli/registry.hpp"
+
+#include <algorithm>
+
+#include "core/baseline.hpp"
+#include "core/lbp1.hpp"
+#include "core/lbp2.hpp"
+#include "core/periodic.hpp"
+#include "net/delay_model.hpp"
+#include "util/format.hpp"
+
+namespace lbsim::cli {
+namespace {
+
+constexpr double kNoMin = std::numeric_limits<double>::lowest();
+constexpr double kNoMax = std::numeric_limits<double>::max();
+
+/// Shorthand OptionSpec constructor (avoids designated-init verbosity and
+/// gcc's -Wmissing-field-initializers on partially designated aggregates).
+OptionSpec opt(std::string key, OptionType type, std::string default_value,
+               std::string description, double min_value = kNoMin, double max_value = kNoMax,
+               std::vector<std::string> choices = {}) {
+  OptionSpec spec;
+  spec.key = std::move(key);
+  spec.type = type;
+  spec.default_value = std::move(default_value);
+  spec.description = std::move(description);
+  spec.min_value = min_value;
+  spec.max_value = max_value;
+  spec.choices = std::move(choices);
+  return spec;
+}
+
+/// Keys shared by every scenario family.
+Schema common_schema(const std::string& default_policy, double default_gain) {
+  Schema schema;
+  schema
+      .add(opt("policy", OptionType::kString, default_policy,
+               "balancing policy executed by the engines", kNoMin, kNoMax,
+               {"none", "proportional", "lbp1", "lbp2", "periodic"}))
+      .add(opt("gain", OptionType::kDouble, util::format_double(default_gain, 2),
+               "policy gain K", 0.0, 10.0))
+      .add(opt("sender", OptionType::kInt, "-1",
+               "LBP-1 two-node sender (-1 = the more-loaded node)", -1.0, 255.0))
+      .add(opt("period", OptionType::kDouble, "10",
+               "rebalance period in seconds (policy=periodic)", 1e-6, 1e6))
+      .add(opt("compensate", OptionType::kBool, "false",
+               "stack LBP-2's on-failure compensation onto policy=periodic"))
+      .add(opt("churn", OptionType::kBool, "true", "inject node failure/recovery"))
+      .add(opt("down.mask", OptionType::kSize, "0",
+               "bitmask of nodes that start down (bit i = node i)", kNoMin, 4294967295.0))
+      .add(opt("delay.model", OptionType::kString, "exponential", "bundle transfer-delay law",
+               kNoMin, kNoMax, {"exponential", "erlang", "deterministic"}))
+      .add(opt("delay.per_task", OptionType::kDouble, "0.02",
+               "mean per-task transfer delay d (seconds)", 1e-9, 1e3))
+      .add(opt("delay.shift", OptionType::kDouble, "0",
+               "connection-setup shift added to every bundle delay (s)", 0.0, 10.0));
+  return schema;
+}
+
+/// Two-node workload keys (the paper's m0/m1).
+Schema two_node_schema(const std::string& default_policy, double default_gain,
+                       std::size_t m0 = 100, std::size_t m1 = 60) {
+  Schema schema = common_schema(default_policy, default_gain);
+  schema
+      .add(opt("m0", OptionType::kSize, std::to_string(m0), "initial tasks on node 0",
+               kNoMin, 5000.0))
+      .add(opt("m1", OptionType::kSize, std::to_string(m1), "initial tasks on node 1",
+               kNoMin, 5000.0));
+  return schema;
+}
+
+/// Applies the shared delay/churn/down keys onto a built scenario.
+void apply_common(mc::ScenarioConfig& scenario, const Config& config) {
+  scenario.params.per_task_delay_mean = config.get_double("delay.per_task");
+  const std::string model = config.get_string("delay.model");
+  const double shift = config.get_double("delay.shift");
+  if (model == "erlang") {
+    scenario.delay_model =
+        std::make_unique<net::ErlangPerTaskDelay>(scenario.params.per_task_delay_mean, shift);
+  } else if (model == "deterministic") {
+    scenario.delay_model = std::make_unique<net::DeterministicLinearDelay>(
+        scenario.params.per_task_delay_mean, shift);
+  } else if (shift != 0.0) {
+    scenario.delay_model = std::make_unique<net::ExponentialBundleDelay>(
+        scenario.params.per_task_delay_mean, shift);
+  }  // plain exponential with no shift: leave null, the engine default
+  scenario.churn_enabled = config.get_bool("churn");
+  scenario.initially_down = static_cast<unsigned>(config.get_size("down.mask"));
+  if (config.get_string("policy") == "periodic") {
+    scenario.rebalance_period = config.get_double("period");
+  }
+}
+
+/// Builds a two-node scenario on the paper's measured parameters, with an
+/// optional scaling of the failure/recovery rates.
+mc::ScenarioConfig build_two_node(const Config& config, double failure_scale = 1.0,
+                                  double recovery_scale = 1.0) {
+  markov::TwoNodeParams params = markov::ipdps2006_params();
+  for (auto& node : params.nodes) {
+    node.lambda_f *= failure_scale;
+    node.lambda_r *= recovery_scale;
+  }
+  const std::vector<std::size_t> workloads = {config.get_size("m0"), config.get_size("m1")};
+  mc::ScenarioConfig scenario = mc::make_two_node_scenario(params, workloads[0], workloads[1],
+                                                           make_policy(config, workloads));
+  apply_common(scenario, config);
+  return scenario;
+}
+
+std::vector<ScenarioSpec> build_registry() {
+  std::vector<ScenarioSpec> registry;
+
+  registry.push_back(
+      {.name = "paper-two-node",
+       .summary = "Section 2 two-node system at the paper's measured rates (Tables 1-2)",
+       .schema = two_node_schema("lbp1", 0.35),
+       .build = [](const Config& config) { return build_two_node(config); }});
+
+  {
+    Schema schema = common_schema("lbp2", 1.0);
+    schema
+        .add(opt("nodes", OptionType::kSize, "4", "number of compute nodes", 2.0, 64.0))
+        .add(opt("lambda_d", OptionType::kDoubleList, "1.08,1.86,1.5,1.2",
+                 "per-node service rates, cycled to `nodes` entries", 1e-9, 1e6))
+        .add(opt("lambda_f", OptionType::kDoubleList, "0.05",
+                 "per-node failure rates, cycled (0 = never fails)", 0.0, 1e6))
+        .add(opt("lambda_r", OptionType::kDoubleList, "0.1", "per-node recovery rates, cycled",
+                 0.0, 1e6))
+        .add(opt("workloads", OptionType::kSizeList, "100,60",
+                 "initial tasks per node, cycled to `nodes` entries", kNoMin, 5000.0));
+    registry.push_back(
+        {.name = "multi-node",
+         .summary = "n-node heterogeneous cluster (the paper's Section 5 extension)",
+         .schema = std::move(schema),
+         .build = [](const Config& config) {
+           const std::size_t n = config.get_size("nodes");
+           const auto rates_d = config.get_double_list("lambda_d");
+           const auto rates_f = config.get_double_list("lambda_f");
+           const auto rates_r = config.get_double_list("lambda_r");
+           const auto loads = config.get_size_list("workloads");
+           if (rates_d.empty() || rates_f.empty() || rates_r.empty() || loads.empty()) {
+             throw ConfigError(ConfigError::Kind::kBadValue, "lambda_d",
+                               "multi-node rate/workload lists must be non-empty");
+           }
+           mc::ScenarioConfig scenario;
+           scenario.workloads.resize(n);
+           scenario.params.nodes.resize(n);
+           for (std::size_t i = 0; i < n; ++i) {
+             scenario.params.nodes[i].lambda_d = rates_d[i % rates_d.size()];
+             scenario.params.nodes[i].lambda_f = rates_f[i % rates_f.size()];
+             scenario.params.nodes[i].lambda_r = rates_r[i % rates_r.size()];
+             scenario.workloads[i] = loads[i % loads.size()];
+           }
+           scenario.policy = make_policy(config, scenario.workloads);
+           apply_common(scenario, config);
+           markov::validate(scenario.params);
+           return scenario;
+         }});
+  }
+
+  {
+    Schema schema = two_node_schema("lbp2", 1.0);
+    schema
+        .add(opt("failure.scale", OptionType::kDouble, "10",
+                 "multiplier on both paper failure rates", 0.0, 1e6))
+        .add(opt("recovery.scale", OptionType::kDouble, "10",
+                 "multiplier on both paper recovery rates", 1e-6, 1e6));
+    registry.push_back(
+        {.name = "churn-storm",
+         .summary = "paper two-node under accelerated failure/recovery churn",
+         .schema = std::move(schema),
+         .build = [](const Config& config) {
+           return build_two_node(config, config.get_double("failure.scale"),
+                                 config.get_double("recovery.scale"));
+         }});
+  }
+
+  {
+    Schema schema = two_node_schema("lbp2", 1.0);
+    // cold start: node 0 begins down, so its queue drains only after recovery.
+    registry.push_back(
+        {.name = "cold-start",
+         .summary = "paper two-node with nodes initially down (down.mask, default node 0)",
+         .schema = std::move(schema),
+         .build = [](const Config& config) {
+           mc::ScenarioConfig scenario = build_two_node(config);
+           if (!config.supplied("down.mask")) scenario.initially_down = 0b01;
+           return scenario;
+         }});
+  }
+
+  registry.push_back(
+      {.name = "periodic-rebalance",
+       .summary = "paper two-node driven by the periodic re-balancing extension",
+       .schema = two_node_schema("periodic", 0.5),
+       .build = [](const Config& config) { return build_two_node(config); }});
+
+  {
+    Schema schema = two_node_schema("lbp1", 0.35);
+    registry.push_back(
+        {.name = "custom-delay",
+         .summary = "paper two-node under alternative bundle-delay laws (delay.*)",
+         .schema = std::move(schema),
+         .build = [](const Config& config) {
+           mc::ScenarioConfig scenario = build_two_node(config);
+           // The testbed's measured law (Fig. 2) is the scenario's point:
+           // default to Erlang per-task delays with the measured setup shift.
+           if (!config.supplied("delay.model") && !config.supplied("delay.shift")) {
+             scenario.delay_model = std::make_unique<net::ErlangPerTaskDelay>(
+                 scenario.params.per_task_delay_mean, 0.005);
+           }
+           return scenario;
+         }});
+  }
+
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& scenario_registry() {
+  static const std::vector<ScenarioSpec> registry = build_registry();
+  return registry;
+}
+
+const ScenarioSpec& find_scenario(const std::string& name) {
+  const auto& registry = scenario_registry();
+  const auto it = std::find_if(registry.begin(), registry.end(),
+                               [&](const ScenarioSpec& spec) { return spec.name == name; });
+  if (it != registry.end()) return *it;
+
+  std::string known;
+  for (const ScenarioSpec& spec : registry) {
+    known += (known.empty() ? "" : ", ") + spec.name;
+  }
+  throw ConfigError(ConfigError::Kind::kUnknownKey, name,
+                    "unknown scenario '" + name + "' (known: " + known + ")");
+}
+
+core::PolicyPtr make_policy(const Config& config, const std::vector<std::size_t>& workloads) {
+  const std::string policy = config.get_string("policy");
+  const double gain = config.get_double("gain");
+  if (policy == "none") return std::make_unique<core::NoBalancingPolicy>();
+  if (policy == "proportional") return std::make_unique<core::ProportionalOncePolicy>();
+  if (policy == "lbp2") return std::make_unique<core::Lbp2Policy>(gain);
+  if (policy == "periodic") {
+    return std::make_unique<core::PeriodicRebalancePolicy>(config.get_double("period"), gain,
+                                                           config.get_bool("compensate"));
+  }
+  // lbp1: the two-node form takes an explicit sender; -1 picks the more-loaded
+  // node (the paper's convention). n > 2 uses the one-shot excess-load form.
+  if (workloads.size() == 2) {
+    long long sender = config.get_int("sender");
+    if (sender < 0) sender = workloads[0] >= workloads[1] ? 0 : 1;
+    if (sender > 1) {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, "sender",
+                        "sender must be 0, 1, or -1 for a two-node scenario");
+    }
+    return std::make_unique<core::Lbp1Policy>(static_cast<int>(sender), gain);
+  }
+  return std::make_unique<core::Lbp1Policy>(gain);
+}
+
+}  // namespace lbsim::cli

@@ -1,0 +1,166 @@
+#include "cli/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "mc/engine.hpp"
+
+namespace lbsim::cli {
+namespace {
+
+/// Formats range-generated values compactly ("0.1", not "0.100000").
+std::string format_axis_value(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  return buffer;
+}
+
+/// Applies one assignment either to the engine options (mc.*) or the raw
+/// scenario config.
+void assign(const std::string& key, const std::string& value, RawConfig& raw,
+            SweepOptions& options) {
+  if (key == "mc.reps") {
+    const long long reps = parse_int(value, key);
+    if (reps < 1) {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, key, "mc.reps must be >= 1");
+    }
+    options.replications = static_cast<std::size_t>(reps);
+  } else if (key == "mc.threads") {
+    const long long threads = parse_int(value, key);
+    if (threads < 0) {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, key, "mc.threads must be >= 0");
+    }
+    options.threads = static_cast<unsigned>(threads);
+  } else if (key == "mc.seed") {
+    options.seed = static_cast<std::uint64_t>(parse_int(value, key));
+  } else {
+    raw.set(key, value);
+  }
+}
+
+}  // namespace
+
+SweepAxis parse_axis(const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+    throw ConfigError(ConfigError::Kind::kSyntax, spec,
+                      "sweep axis '" + spec + "' is not of the form key=values");
+  }
+  SweepAxis axis;
+  axis.key = spec.substr(0, eq);
+  const std::string body = spec.substr(eq + 1);
+
+  // lo:hi:step range? (two colons, all numeric)
+  const std::size_t c1 = body.find(':');
+  const std::size_t c2 = c1 == std::string::npos ? std::string::npos : body.find(':', c1 + 1);
+  if (c2 != std::string::npos && body.find(':', c2 + 1) == std::string::npos) {
+    const double lo = parse_double(body.substr(0, c1), axis.key);
+    const double hi = parse_double(body.substr(c1 + 1, c2 - c1 - 1), axis.key);
+    const double step = parse_double(body.substr(c2 + 1), axis.key);
+    if (step <= 0.0 || hi < lo) {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, axis.key,
+                        "range '" + body + "' needs step > 0 and hi >= lo");
+    }
+    // Half-step slack keeps hi inclusive under floating-point accumulation.
+    for (double v = lo; v <= hi + step * 0.5; v += step) {
+      axis.values.push_back(format_axis_value(std::min(v, hi)));
+    }
+  } else {
+    for (const std::string& item : split_list(body)) {
+      if (!item.empty()) axis.values.push_back(item);
+    }
+  }
+  if (axis.values.empty()) {
+    throw ConfigError(ConfigError::Kind::kSyntax, axis.key,
+                      "sweep axis '" + spec + "' has no values");
+  }
+  return axis;
+}
+
+std::vector<std::vector<std::pair<std::string, std::string>>> expand_grid(
+    const std::vector<SweepAxis>& axes) {
+  std::vector<std::vector<std::pair<std::string, std::string>>> grid;
+  std::size_t points = 1;
+  for (const SweepAxis& axis : axes) points *= axis.values.size();
+  grid.reserve(points);
+
+  std::vector<std::size_t> index(axes.size(), 0);
+  for (std::size_t p = 0; p < points; ++p) {
+    std::vector<std::pair<std::string, std::string>> assignment;
+    assignment.reserve(axes.size());
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      assignment.emplace_back(axes[a].key, axes[a].values[index[a]]);
+    }
+    grid.push_back(std::move(assignment));
+    // Odometer increment, last axis fastest.
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      if (++index[a] < axes[a].values.size()) break;
+      index[a] = 0;
+    }
+  }
+  return grid;
+}
+
+SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
+                      const std::vector<SweepAxis>& axes, const SweepOptions& options) {
+  const auto grid = expand_grid(axes);
+
+  std::vector<std::string> header;
+  for (const SweepAxis& axis : axes) header.push_back(axis.key);
+  if (options.dry_run) {
+    header.insert(header.end(), {"policy", "reps"});
+  } else {
+    header.insert(header.end(), {"mean_s", "ci95_s", "stderr_s", "reps", "mean_failures",
+                                 "mean_tasks_moved", "mean_bundles"});
+  }
+  SweepResult result{util::TextTable(header), {}};
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& assignment : grid) {
+    RawConfig raw = base;
+    SweepOptions point_options = options;
+    for (const auto& [key, value] : assignment) {
+      assign(key, value, raw, point_options);
+    }
+    const Config config = scenario.schema.resolve(raw);
+
+    std::vector<std::string> row;
+    for (const auto& [key, value] : assignment) {
+      (void)key;
+      row.push_back(value);
+    }
+    if (options.dry_run) {
+      // Build (but do not run) the scenario so every point is validated.
+      const mc::ScenarioConfig built = scenario.build(config);
+      row.push_back(built.policy->name());
+      row.push_back(std::to_string(point_options.replications));
+    } else {
+      mc::McConfig mc_config;
+      mc_config.replications = point_options.replications;
+      mc_config.threads = point_options.threads;
+      mc_config.seed = point_options.seed;
+      const mc::McResult mc_result = mc::run_monte_carlo(scenario.build(config), mc_config);
+      row.push_back(util::format_double(mc_result.mean(), 3));
+      row.push_back(util::format_double(mc_result.ci95(), 3));
+      row.push_back(util::format_double(mc_result.std_error(), 3));
+      row.push_back(std::to_string(mc_config.replications));
+      row.push_back(util::format_double(mc_result.mean_failures, 2));
+      row.push_back(util::format_double(mc_result.mean_tasks_moved, 2));
+      row.push_back(util::format_double(mc_result.mean_bundles, 2));
+    }
+    result.table.add_row(std::move(row));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  result.metadata.scenario = scenario.name;
+  result.metadata.seed = options.seed;
+  result.metadata.replications = options.replications;
+  result.metadata.threads = options.threads;
+  result.metadata.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+  return result;
+}
+
+}  // namespace lbsim::cli

@@ -1,0 +1,58 @@
+#pragma once
+/// \file
+/// Cartesian parameter sweeps over registered scenarios.
+///
+/// An axis is written `key=v1,v2,v3` (explicit list) or `key=lo:hi:step`
+/// (inclusive range). `lbsim sweep` expands the cartesian product of every
+/// axis, overrides each point's keys onto the scenario's base config, and runs
+/// the parallel Monte-Carlo engine per point. Axes may target any scenario key
+/// (gain, workloads, failure scales, delay parameters, ...) as well as the
+/// engine keys `mc.reps`, `mc.threads`, and `mc.seed`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cli/config.hpp"
+#include "cli/output.hpp"
+#include "cli/registry.hpp"
+
+namespace lbsim::cli {
+
+/// One sweep dimension: a key and its ordered list of textual values.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Parses `key=v1,v2` or `key=lo:hi:step` (inclusive, step > 0). Throws
+/// ConfigError on malformed specs or empty axes.
+[[nodiscard]] SweepAxis parse_axis(const std::string& spec);
+
+/// Expands the cartesian product, first axis slowest (row-major). Each point
+/// is the list of (key, value) assignments in axis order.
+[[nodiscard]] std::vector<std::vector<std::pair<std::string, std::string>>> expand_grid(
+    const std::vector<SweepAxis>& axes);
+
+/// Engine knobs for one sweep (defaults mirror mc::McConfig).
+struct SweepOptions {
+  std::size_t replications = 500;
+  unsigned threads = 0;
+  std::uint64_t seed = 0x5eed2006;
+  bool dry_run = false;  ///< list the points, run nothing
+};
+
+/// Result table of a sweep: one row per grid point (axis columns first, then
+/// MC statistics), plus the metadata block for the writers.
+struct SweepResult {
+  util::TextTable table;
+  RunMetadata metadata;
+};
+
+/// Runs the sweep of `axes` over `scenario` starting from `base` overrides.
+/// Throws ConfigError on invalid axes/keys before any point runs.
+[[nodiscard]] SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
+                                    const std::vector<SweepAxis>& axes,
+                                    const SweepOptions& options);
+
+}  // namespace lbsim::cli

@@ -1,5 +1,5 @@
 #pragma once
-/// \file baseline.hpp
+/// \file
 /// Baseline policies the paper's proposals are compared against (and two
 /// generic baselines every LB study wants): do nothing, and a speed-
 /// proportional one-shot balance that ignores both delays and failures

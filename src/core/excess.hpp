@@ -1,5 +1,5 @@
 #pragma once
-/// \file excess.hpp
+/// \file
 /// The arithmetic of LBP-2's balancing actions (paper eqs. (6)-(8)) as pure,
 /// separately-testable functions.
 

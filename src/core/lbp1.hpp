@@ -1,5 +1,5 @@
 #pragma once
-/// \file lbp1.hpp
+/// \file
 /// LBP-1 (paper Section 2.1): a single preemptive, one-way transfer at t = 0 of
 /// L = round(K * m_sender) tasks; no further balancing. The gain K and the
 /// sender are chosen against the failure-aware analytical model (use

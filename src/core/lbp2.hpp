@@ -1,5 +1,5 @@
 #pragma once
-/// \file lbp2.hpp
+/// \file
 /// LBP-2 (paper Section 2.2): a failure-agnostic initial balance at t = 0 —
 /// each node sends K * p_ij * excess_j tasks (eqs. (6)-(7)), with K chosen
 /// against the *no-failure* delay theory — followed by a compensating action at

@@ -1,5 +1,5 @@
 #pragma once
-/// \file optimizer.hpp
+/// \file
 /// Gain and sender/receiver optimisation against the analytical model.
 ///
 /// Because tasks are indivisible, the objective is piecewise constant in K:

@@ -1,5 +1,5 @@
 #pragma once
-/// \file periodic.hpp
+/// \file
 /// Periodic re-balancing: a natural extension the paper's Section 5 hints at.
 /// Every `period` seconds the policy re-runs the excess-load partition
 /// (eqs. (6)-(7)) against the current queues, optionally stacking LBP-2's

@@ -1,5 +1,5 @@
 #pragma once
-/// \file policy.hpp
+/// \file
 /// The load-balancing policy abstraction. A policy observes the system through
 /// a read-only SystemView and answers three questions with transfer directives:
 /// what to do at t = 0, at a node-failure instant, and at a recovery instant.

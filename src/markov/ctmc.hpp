@@ -1,5 +1,5 @@
 #pragma once
-/// \file ctmc.hpp
+/// \file
 /// A generic absorbing continuous-time Markov chain, used as an *independent*
 /// implementation of the completion-time analysis: instead of the lattice
 /// recursion of eq. (4), enumerate the full state space, assemble the

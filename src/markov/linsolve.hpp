@@ -1,5 +1,5 @@
 #pragma once
-/// \file linsolve.hpp
+/// \file
 /// Small dense linear solver for the per-lattice-point work-state systems
 /// (4x4 for two nodes, 2^n x 2^n for the multi-node extension).
 

@@ -1,5 +1,5 @@
 #pragma once
-/// \file multi_node_mean.hpp
+/// \file
 /// The paper's "straightforward extension" of the regeneration analysis to n
 /// nodes (Section 1/5), implemented as a memoised recursion.
 ///

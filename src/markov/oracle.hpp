@@ -1,5 +1,5 @@
 #pragma once
-/// \file oracle.hpp
+/// \file
 /// Closed-form expected completion times for degenerate configurations, used
 /// as independent oracles when testing the regeneration solvers.
 

@@ -1,5 +1,5 @@
 #pragma once
-/// \file params.hpp
+/// \file
 /// Stochastic parameters of the analytical model (Section 2 of the paper).
 /// All rates are in 1/seconds; a rate is the inverse of the corresponding mean.
 

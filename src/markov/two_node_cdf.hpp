@@ -1,5 +1,5 @@
 #pragma once
-/// \file two_node_cdf.hpp
+/// \file
 /// Completion-time distribution P{T <= t} for the two-node system, by
 /// integrating the linear ODE system of paper eq. (5) over the task lattice.
 ///

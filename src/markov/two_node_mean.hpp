@@ -1,5 +1,5 @@
 #pragma once
-/// \file two_node_mean.hpp
+/// \file
 /// Exact expected overall completion time for the two-node system of Section 2,
 /// via the regeneration-theory difference equations (paper eq. (4)).
 ///

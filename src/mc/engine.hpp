@@ -1,5 +1,5 @@
 #pragma once
-/// \file engine.hpp
+/// \file
 /// Parallel Monte-Carlo driver: runs N independent replications of a scenario
 /// (disjoint RNG streams, so the estimate is identical for any thread count)
 /// and aggregates completion-time statistics.

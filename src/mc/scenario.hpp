@@ -1,5 +1,5 @@
 #pragma once
-/// \file scenario.hpp
+/// \file
 /// One Monte-Carlo replication of the abstract model of Section 2: exponential
 /// service per task, alternating exponential failure/recovery per node, and
 /// exponential load-dependent bundle delays — exactly the laws the

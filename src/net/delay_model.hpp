@@ -1,5 +1,5 @@
 #pragma once
-/// \file delay_model.hpp
+/// \file
 /// Load-dependent transfer-delay laws for moving a bundle of L tasks between
 /// nodes.
 ///

@@ -1,5 +1,5 @@
 #pragma once
-/// \file link.hpp
+/// \file
 /// A one-directional point-to-point link delivering task bundles after a
 /// load-dependent random delay, with in-flight accounting.
 

@@ -1,5 +1,5 @@
 #pragma once
-/// \file message.hpp
+/// \file
 /// Wire messages of the emulated communication layer (Section 3 of the paper):
 /// small UDP state-information packets and TCP data transfers whose size depends
 /// on the tasks carried.

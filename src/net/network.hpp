@@ -1,5 +1,5 @@
 #pragma once
-/// \file network.hpp
+/// \file
 /// Full-mesh network between n nodes: one Link per ordered pair plus a UDP-like
 /// state-information channel with fixed small latency and optional loss.
 

@@ -1,5 +1,5 @@
 #pragma once
-/// \file compute_element.hpp
+/// \file
 /// A computational element (CE): FIFO task queue + service process + up/down
 /// state machine with checkpoint-resume.
 ///

@@ -1,5 +1,5 @@
 #pragma once
-/// \file failure_process.hpp
+/// \file
 /// Alternating-renewal failure/recovery driver for one CE.
 ///
 /// While the node is up, a failure fires after a time drawn from the

@@ -1,5 +1,5 @@
 #pragma once
-/// \file task.hpp
+/// \file
 /// The unit of workload. The paper defines a task as "the smallest indivisible
 /// unit of workload" (one matrix row multiplied by a static matrix); a load is a
 /// collection of tasks.

@@ -1,5 +1,5 @@
 #pragma once
-/// \file event_queue.hpp
+/// \file
 /// Cancellable priority queue of timestamped events with deterministic FIFO
 /// tie-breaking: events at equal times fire in scheduling order, so simulations
 /// are bit-reproducible given the same RNG streams.

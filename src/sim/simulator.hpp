@@ -1,5 +1,5 @@
 #pragma once
-/// \file simulator.hpp
+/// \file
 /// The discrete-event simulation kernel: a virtual clock plus the event loop.
 /// Model components hold a Simulator& and schedule callbacks; the owner drives
 /// the loop with run()/run_until()/step().

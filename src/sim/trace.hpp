@@ -1,5 +1,5 @@
 #pragma once
-/// \file trace.hpp
+/// \file
 /// Step-function time series recorder (queue lengths over time, Fig. 4) and a
 /// tagged event log for debugging simulations.
 

@@ -1,5 +1,5 @@
 #pragma once
-/// \file distributions.hpp
+/// \file
 /// Positive-valued delay/service-time distributions behind a small polymorphic
 /// interface, so simulators can be configured with the paper's exponential laws
 /// or with the ablation alternatives (Erlang, deterministic, Weibull, ...).

@@ -1,5 +1,5 @@
 #pragma once
-/// \file estimate.hpp
+/// \file
 /// Online parameter estimation. The paper assumes the service, failure and
 /// recovery rates are known; a deployed balancer has to learn them from its
 /// own event history. These estimators feed the policies' NodeParams with

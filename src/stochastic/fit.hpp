@@ -1,5 +1,5 @@
 #pragma once
-/// \file fit.hpp
+/// \file
 /// Parameter fits used when reproducing the measurement figures: exponential MLE
 /// (Fig. 1, Fig. 2 top) and least-squares lines (Fig. 2 bottom).
 

@@ -1,5 +1,5 @@
 #pragma once
-/// \file histogram.hpp
+/// \file
 /// Fixed-bin histogram with probability-density normalisation, used to reproduce
 /// the empirical pdfs of Figs. 1 and 2.
 

@@ -1,5 +1,5 @@
 #pragma once
-/// \file rng.hpp
+/// \file
 /// Deterministic, stream-splittable random number generation.
 ///
 /// We implement xoshiro256++ seeded through splitmix64 rather than relying on

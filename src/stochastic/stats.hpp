@@ -1,5 +1,5 @@
 #pragma once
-/// \file stats.hpp
+/// \file
 /// Streaming summary statistics, confidence intervals, quantiles, and ECDF/KS
 /// utilities used by the Monte-Carlo engine and the validation tests.
 

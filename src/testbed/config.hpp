@@ -1,5 +1,5 @@
 #pragma once
-/// \file config.hpp
+/// \file
 /// Configuration of the emulated wireless-LAN testbed (paper Section 3).
 ///
 /// The real experiments ran matrix-multiplication on two laptops over IEEE

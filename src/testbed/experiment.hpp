@@ -1,5 +1,5 @@
 #pragma once
-/// \file experiment.hpp
+/// \file
 /// The emulated end-to-end experiment: application layer (random-size
 /// matrix-row tasks, size-proportional execution), communication layer
 /// (Erlang per-task bundle delays with setup shift; periodic lossy UDP state

@@ -1,5 +1,5 @@
 #pragma once
-/// \file state_exchange.hpp
+/// \file
 /// The UDP state-information plane: every node periodically broadcasts its
 /// queue size and capability; every node keeps the last packet heard from each
 /// peer. Policies running *at* a node observe that node's true state and the

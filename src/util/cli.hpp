@@ -1,5 +1,5 @@
 #pragma once
-/// \file cli.hpp
+/// \file
 /// Tiny command-line flag parser used by benches and examples.
 ///
 /// Accepted forms: `--key=value`, `--key value`, and bare `--flag` (boolean true).

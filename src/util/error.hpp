@@ -1,5 +1,5 @@
 #pragma once
-/// \file error.hpp
+/// \file
 /// Contract-checking macros used across the library.
 ///
 /// LBSIM_REQUIRE  — precondition on public API arguments; throws std::invalid_argument.

@@ -1,5 +1,5 @@
 #pragma once
-/// \file format.hpp
+/// \file
 /// Fixed-width text tables and CSV emission for bench/report output.
 
 #include <iosfwd>
@@ -22,6 +22,7 @@ class TextTable {
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
   [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept { return header_; }
 
   /// Renders with column alignment, a header underline, and 2-space gutters.
   void print(std::ostream& os) const;

@@ -1,5 +1,5 @@
 #pragma once
-/// \file log.hpp
+/// \file
 /// Minimal leveled logger. Global level defaults to `warn` so library code may log
 /// diagnostics without polluting test or bench output.
 

@@ -1,5 +1,5 @@
 #pragma once
-/// \file math.hpp
+/// \file
 /// Small numeric helpers shared by the solvers and statistics code.
 
 #include <cstddef>

@@ -1,0 +1,213 @@
+// Unit tests for the cli config parser: INI parsing, overrides, and typed
+// schema validation (valid configs, syntax errors, unknown keys, type errors,
+// range/choice violations).
+
+#include <gtest/gtest.h>
+
+#include "cli/config.hpp"
+
+namespace lbsim::cli {
+namespace {
+
+Schema demo_schema() {
+  Schema schema;
+  OptionSpec name;
+  name.key = "name";
+  name.type = OptionType::kString;
+  name.default_value = "exp";
+  name.description = "experiment label";
+  schema.add(name);
+
+  OptionSpec gain;
+  gain.key = "gain";
+  gain.type = OptionType::kDouble;
+  gain.default_value = "0.35";
+  gain.min_value = 0.0;
+  gain.max_value = 1.0;
+  schema.add(gain);
+
+  OptionSpec reps;
+  reps.key = "mc.reps";
+  reps.type = OptionType::kSize;
+  reps.default_value = "500";
+  reps.min_value = 1.0;
+  schema.add(reps);
+
+  OptionSpec churn;
+  churn.key = "churn";
+  churn.type = OptionType::kBool;
+  churn.default_value = "true";
+  schema.add(churn);
+
+  OptionSpec loads;
+  loads.key = "workloads";
+  loads.type = OptionType::kSizeList;
+  loads.default_value = "100,60";
+  schema.add(loads);
+
+  OptionSpec rates;
+  rates.key = "rates";
+  rates.type = OptionType::kDoubleList;
+  rates.default_value = "";
+  rates.min_value = 0.0;
+  schema.add(rates);
+
+  OptionSpec model;
+  model.key = "model";
+  model.type = OptionType::kString;
+  model.default_value = "exponential";
+  model.choices = {"exponential", "erlang"};
+  schema.add(model);
+  return schema;
+}
+
+TEST(CliIni, ParsesKeysSectionsAndComments) {
+  const RawConfig raw = parse_ini(
+      "# comment\n"
+      "; also a comment\n"
+      "name = trial-7\n"
+      "\n"
+      "[mc]\n"
+      "  reps =  250 \n"
+      "[delay]\n"
+      "model=erlang\n");
+  EXPECT_EQ(raw.values.at("name"), "trial-7");
+  EXPECT_EQ(raw.values.at("mc.reps"), "250");
+  EXPECT_EQ(raw.values.at("delay.model"), "erlang");
+  EXPECT_EQ(raw.values.size(), 3u);
+}
+
+TEST(CliIni, SyntaxErrors) {
+  try {
+    (void)parse_ini("name no equals sign\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.kind(), ConfigError::Kind::kSyntax);
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_ini("[unclosed\n"), ConfigError);
+  EXPECT_THROW((void)parse_ini("[]\n"), ConfigError);
+  EXPECT_THROW((void)parse_ini("=value\n"), ConfigError);
+}
+
+TEST(CliIni, OverridesWinOverFileValues) {
+  RawConfig raw = parse_ini("gain = 0.2\n");
+  apply_override(raw, "gain=0.9");
+  EXPECT_EQ(raw.values.at("gain"), "0.9");
+  EXPECT_THROW(apply_override(raw, "justakey"), ConfigError);
+  EXPECT_THROW(apply_override(raw, "=0.5"), ConfigError);
+}
+
+TEST(CliSchema, AppliesDefaultsAndReportsSupplied) {
+  RawConfig raw;
+  raw.set("gain", "0.5");
+  const Config config = demo_schema().resolve(raw);
+  EXPECT_DOUBLE_EQ(config.get_double("gain"), 0.5);
+  EXPECT_TRUE(config.supplied("gain"));
+  EXPECT_EQ(config.get_string("name"), "exp");
+  EXPECT_FALSE(config.supplied("name"));
+  EXPECT_EQ(config.get_size("mc.reps"), 500u);
+  EXPECT_TRUE(config.get_bool("churn"));
+  EXPECT_EQ(config.get_size_list("workloads"), (std::vector<std::size_t>{100, 60}));
+  EXPECT_TRUE(config.get_double_list("rates").empty());
+}
+
+TEST(CliSchema, RejectsUnknownKeyWithSuggestion) {
+  RawConfig raw;
+  raw.set("gian", "0.5");
+  try {
+    (void)demo_schema().resolve(raw);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.kind(), ConfigError::Kind::kUnknownKey);
+    EXPECT_EQ(e.key(), "gian");
+    EXPECT_NE(std::string(e.what()).find("did you mean 'gain'"), std::string::npos);
+  }
+}
+
+TEST(CliSchema, TypedErrors) {
+  const Schema schema = demo_schema();
+  {
+    RawConfig raw;
+    raw.set("gain", "fast");  // not a number
+    try {
+      (void)schema.resolve(raw);
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+      EXPECT_EQ(e.kind(), ConfigError::Kind::kBadValue);
+      EXPECT_EQ(e.key(), "gain");
+    }
+  }
+  {
+    RawConfig raw;
+    raw.set("gain", "1.5");  // above max
+    try {
+      (void)schema.resolve(raw);
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+      EXPECT_EQ(e.kind(), ConfigError::Kind::kOutOfRange);
+    }
+  }
+  {
+    RawConfig raw;
+    raw.set("mc.reps", "-3");  // negative size
+    EXPECT_THROW((void)schema.resolve(raw), ConfigError);
+  }
+  {
+    RawConfig raw;
+    raw.set("churn", "maybe");  // not a bool
+    EXPECT_THROW((void)schema.resolve(raw), ConfigError);
+  }
+  {
+    RawConfig raw;
+    raw.set("workloads", "100,sixty");  // bad list element
+    EXPECT_THROW((void)schema.resolve(raw), ConfigError);
+  }
+  {
+    RawConfig raw;
+    raw.set("model", "uniform");  // not in the choice list
+    try {
+      (void)schema.resolve(raw);
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+      EXPECT_EQ(e.kind(), ConfigError::Kind::kOutOfRange);
+      EXPECT_NE(std::string(e.what()).find("erlang"), std::string::npos);
+    }
+  }
+}
+
+TEST(CliSchema, BoolSpellingsAndGetterTypeChecks) {
+  const Schema schema = demo_schema();
+  for (const char* truthy : {"true", "YES", "on", "1"}) {
+    RawConfig raw;
+    raw.set("churn", truthy);
+    EXPECT_TRUE(schema.resolve(raw).get_bool("churn")) << truthy;
+  }
+  for (const char* falsy : {"false", "No", "off", "0"}) {
+    RawConfig raw;
+    raw.set("churn", falsy);
+    EXPECT_FALSE(schema.resolve(raw).get_bool("churn")) << falsy;
+  }
+  const Config config = schema.resolve(RawConfig{});
+  EXPECT_THROW((void)config.get_double("name"), std::logic_error);    // wrong type
+  EXPECT_THROW((void)config.get_string("nothere"), std::logic_error);  // undeclared
+}
+
+TEST(CliSchema, DuplicateKeysRejectedAndMergeWorks) {
+  Schema a = demo_schema();
+  OptionSpec dup;
+  dup.key = "gain";
+  EXPECT_THROW(a.add(dup), std::logic_error);
+
+  Schema b;
+  OptionSpec extra;
+  extra.key = "extra";
+  extra.type = OptionType::kInt;
+  extra.default_value = "7";
+  b.add(extra);
+  a.merge(b);
+  EXPECT_EQ(a.resolve(RawConfig{}).get_int("extra"), 7);
+}
+
+}  // namespace
+}  // namespace lbsim::cli

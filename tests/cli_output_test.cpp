@@ -1,0 +1,87 @@
+// Unit tests for the CSV/JSON result writers and their run-metadata block.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "cli/output.hpp"
+
+namespace lbsim::cli {
+namespace {
+
+RunMetadata demo_meta() {
+  RunMetadata meta;
+  meta.command = "lbsim run paper-two-node";
+  meta.scenario = "paper-two-node";
+  meta.seed = 42;
+  meta.replications = 100;
+  meta.threads = 4;
+  meta.wall_seconds = 1.25;
+  meta.git_revision = "v0-test";
+  return meta;
+}
+
+util::TextTable demo_table() {
+  util::TextTable table({"gain", "mean_s", "note"});
+  table.add_row({"0.35", "116.749", "paper optimum"});
+  table.add_row({"0.50", "123.2", "with, comma"});
+  return table;
+}
+
+TEST(CliOutput, CsvCarriesMetadataCommentsAndQuotesCells) {
+  std::ostringstream os;
+  write_csv(os, demo_meta(), demo_table());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# command=lbsim run paper-two-node"), std::string::npos);
+  EXPECT_NE(text.find("# seed=42"), std::string::npos);
+  EXPECT_NE(text.find("# replications=100"), std::string::npos);
+  EXPECT_NE(text.find("# threads=4"), std::string::npos);
+  EXPECT_NE(text.find("# wall_seconds=1.250"), std::string::npos);
+  EXPECT_NE(text.find("# git=v0-test"), std::string::npos);
+  EXPECT_NE(text.find("gain,mean_s,note"), std::string::npos);
+  EXPECT_NE(text.find("\"with, comma\""), std::string::npos);  // RFC-4180 quoting
+}
+
+TEST(CliOutput, JsonEmitsNumbersUnquotedAndStringsQuoted) {
+  std::ostringstream os;
+  write_json(os, demo_meta(), demo_table());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"metadata\""), std::string::npos);
+  EXPECT_NE(text.find("\"scenario\": \"paper-two-node\""), std::string::npos);
+  EXPECT_NE(text.find("\"columns\": [\"gain\", \"mean_s\", \"note\"]"), std::string::npos);
+  EXPECT_NE(text.find("[0.35, 116.749, \"paper optimum\"]"), std::string::npos);
+  EXPECT_NE(text.find("\"with, comma\""), std::string::npos);
+}
+
+TEST(CliOutput, JsonEscapesControlCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(CliOutput, HardwareThreadsSpelledOut) {
+  RunMetadata meta = demo_meta();
+  meta.threads = 0;
+  std::ostringstream os;
+  write_csv(os, meta, demo_table());
+  EXPECT_NE(os.str().find("# threads=hardware"), std::string::npos);
+}
+
+TEST(CliOutput, GitRevisionIsConfigured) {
+  // The build stamps LBSIM_GIT_DESCRIBE; whatever it is, it must be non-empty
+  // and default into metadata when the caller leaves git_revision blank.
+  EXPECT_FALSE(git_revision().empty());
+  RunMetadata meta = demo_meta();
+  meta.git_revision.clear();
+  const auto items = meta.items();
+  const auto git = std::find_if(items.begin(), items.end(),
+                                [](const auto& kv) { return kv.first == "git"; });
+  ASSERT_NE(git, items.end());
+  EXPECT_FALSE(git->second.empty());
+}
+
+}  // namespace
+}  // namespace lbsim::cli

@@ -1,0 +1,146 @@
+// Unit tests for the scenario registry: lookup, per-family default builds,
+// key overrides reaching the built mc::ScenarioConfig, and policy selection.
+
+#include <gtest/gtest.h>
+
+#include "cli/registry.hpp"
+#include "core/periodic.hpp"
+#include "markov/params.hpp"
+#include "mc/engine.hpp"
+#include "net/delay_model.hpp"
+#include "test_support.hpp"
+
+namespace lbsim::cli {
+namespace {
+
+Config resolve(const ScenarioSpec& spec, const RawConfig& raw = {}) {
+  return spec.schema.resolve(raw);
+}
+
+TEST(CliRegistry, ListsTheSixFamilies) {
+  const auto& registry = scenario_registry();
+  ASSERT_GE(registry.size(), 6u);
+  for (const char* name : {"paper-two-node", "multi-node", "churn-storm", "cold-start",
+                           "periodic-rebalance", "custom-delay"}) {
+    EXPECT_NO_THROW((void)find_scenario(name)) << name;
+  }
+}
+
+TEST(CliRegistry, UnknownScenarioNamesKnownOnes) {
+  try {
+    (void)find_scenario("paper-2-node");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.kind(), ConfigError::Kind::kUnknownKey);
+    EXPECT_NE(std::string(e.what()).find("paper-two-node"), std::string::npos);
+  }
+}
+
+TEST(CliRegistry, EveryFamilyBuildsAndRunsWithDefaults) {
+  for (const ScenarioSpec& spec : scenario_registry()) {
+    const mc::ScenarioConfig scenario = spec.build(resolve(spec));
+    ASSERT_GE(scenario.workloads.size(), 2u) << spec.name;
+    ASSERT_NE(scenario.policy, nullptr) << spec.name;
+    // Two cheap replications prove the scenario is actually runnable.
+    mc::McConfig mc_config;
+    mc_config.replications = 2;
+    mc_config.seed = lbsim::test::kFixedSeed;
+    mc_config.threads = 1;
+    const mc::McResult result = mc::run_monte_carlo(scenario, mc_config);
+    EXPECT_GT(result.mean(), 0.0) << spec.name;
+  }
+}
+
+TEST(CliRegistry, PaperTwoNodeDefaultsMatchThePaper) {
+  const ScenarioSpec& spec = find_scenario("paper-two-node");
+  const mc::ScenarioConfig scenario = spec.build(resolve(spec));
+  const markov::TwoNodeParams paper = markov::ipdps2006_params();
+  ASSERT_EQ(scenario.params.nodes.size(), 2u);
+  EXPECT_DOUBLE_EQ(scenario.params.nodes[0].lambda_d, paper.nodes[0].lambda_d);
+  EXPECT_DOUBLE_EQ(scenario.params.nodes[1].lambda_d, paper.nodes[1].lambda_d);
+  EXPECT_EQ(scenario.workloads, (std::vector<std::size_t>{100, 60}));
+  EXPECT_EQ(scenario.policy->name(), "LBP-1(K=0.35, sender=0)");
+  EXPECT_TRUE(scenario.churn_enabled);
+  EXPECT_EQ(scenario.initially_down, 0u);
+  EXPECT_EQ(scenario.delay_model, nullptr);  // the analytical default law
+}
+
+TEST(CliRegistry, OverridesReachTheBuiltScenario) {
+  const ScenarioSpec& spec = find_scenario("paper-two-node");
+  RawConfig raw;
+  raw.set("m0", "30");
+  raw.set("m1", "70");
+  raw.set("policy", "lbp2");
+  raw.set("gain", "0.8");
+  raw.set("churn", "off");
+  raw.set("delay.model", "deterministic");
+  raw.set("delay.per_task", "0.1");
+  const mc::ScenarioConfig scenario = spec.build(resolve(spec, raw));
+  EXPECT_EQ(scenario.workloads, (std::vector<std::size_t>{30, 70}));
+  EXPECT_EQ(scenario.policy->name(), "LBP-2(K=0.8)");
+  EXPECT_FALSE(scenario.churn_enabled);
+  EXPECT_DOUBLE_EQ(scenario.params.per_task_delay_mean, 0.1);
+  ASSERT_NE(scenario.delay_model, nullptr);
+  EXPECT_DOUBLE_EQ(scenario.delay_model->mean(10), 1.0);  // deterministic 0.1 * 10
+}
+
+TEST(CliRegistry, MultiNodeCyclesRateAndWorkloadLists) {
+  const ScenarioSpec& spec = find_scenario("multi-node");
+  RawConfig raw;
+  raw.set("nodes", "5");
+  raw.set("lambda_d", "1.0,2.0");
+  raw.set("workloads", "10,20,30");
+  const mc::ScenarioConfig scenario = spec.build(resolve(spec, raw));
+  ASSERT_EQ(scenario.params.nodes.size(), 5u);
+  EXPECT_DOUBLE_EQ(scenario.params.nodes[0].lambda_d, 1.0);
+  EXPECT_DOUBLE_EQ(scenario.params.nodes[1].lambda_d, 2.0);
+  EXPECT_DOUBLE_EQ(scenario.params.nodes[4].lambda_d, 1.0);
+  EXPECT_EQ(scenario.workloads, (std::vector<std::size_t>{10, 20, 30, 10, 20}));
+}
+
+TEST(CliRegistry, ChurnStormScalesTheMeasuredRates) {
+  const ScenarioSpec& spec = find_scenario("churn-storm");
+  RawConfig raw;
+  raw.set("failure.scale", "4");
+  raw.set("recovery.scale", "2");
+  const mc::ScenarioConfig scenario = spec.build(resolve(spec, raw));
+  const markov::TwoNodeParams paper = markov::ipdps2006_params();
+  EXPECT_NEAR(scenario.params.nodes[0].lambda_f, 4.0 * paper.nodes[0].lambda_f, 1e-12);
+  EXPECT_NEAR(scenario.params.nodes[1].lambda_r, 2.0 * paper.nodes[1].lambda_r, 1e-12);
+}
+
+TEST(CliRegistry, ColdStartDefaultsNodeZeroDownButHonoursExplicitMask) {
+  const ScenarioSpec& spec = find_scenario("cold-start");
+  EXPECT_EQ(spec.build(resolve(spec)).initially_down, 0b01u);
+  RawConfig raw;
+  raw.set("down.mask", "2");
+  EXPECT_EQ(spec.build(resolve(spec, raw)).initially_down, 0b10u);
+}
+
+TEST(CliRegistry, PeriodicRebalanceWiresTheTimer) {
+  const ScenarioSpec& spec = find_scenario("periodic-rebalance");
+  RawConfig raw;
+  raw.set("period", "5");
+  const mc::ScenarioConfig scenario = spec.build(resolve(spec, raw));
+  EXPECT_DOUBLE_EQ(scenario.rebalance_period, 5.0);
+  EXPECT_NE(dynamic_cast<core::PeriodicRebalancePolicy*>(scenario.policy.get()), nullptr);
+}
+
+TEST(CliRegistry, CustomDelayDefaultsToTheTestbedErlangLaw) {
+  const ScenarioSpec& spec = find_scenario("custom-delay");
+  const mc::ScenarioConfig scenario = spec.build(resolve(spec));
+  ASSERT_NE(scenario.delay_model, nullptr);
+  EXPECT_NE(dynamic_cast<net::ErlangPerTaskDelay*>(scenario.delay_model.get()), nullptr);
+}
+
+TEST(CliRegistry, Lbp1SenderAutoPicksTheMoreLoadedNode) {
+  const ScenarioSpec& spec = find_scenario("paper-two-node");
+  RawConfig raw;
+  raw.set("m0", "10");
+  raw.set("m1", "90");
+  const mc::ScenarioConfig scenario = spec.build(resolve(spec, raw));
+  EXPECT_EQ(scenario.policy->name(), "LBP-1(K=0.35, sender=1)");
+}
+
+}  // namespace
+}  // namespace lbsim::cli

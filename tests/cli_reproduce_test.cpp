@@ -1,0 +1,158 @@
+// End-to-end tests of the lbsim dispatcher driven in-process, including the
+// golden CSV-output check: `lbsim reproduce table1/table2 --golden-only` must
+// emit exactly the solver values pinned in tests/markov_golden_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/lbsim.hpp"
+#include "test_support.hpp"
+
+namespace lbsim::cli {
+namespace {
+
+// The pins of tests/markov_golden_test.cpp (see the warning there before
+// editing): two-node solvers at (m0,m1) = (100,60), gain 0.35.
+constexpr double kGoldenMeanNoTransit = 141.21564887669729;
+constexpr double kGoldenMeanLbp1 = 116.74907081578611;
+constexpr double kGoldenCdfMedian = 108.65;
+constexpr double kGoldenCdfP90 = 169.85;
+
+struct CliResult {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::vector<std::string> args) {
+  args.insert(args.begin(), "lbsim");
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  std::ostringstream out, err;
+  CliResult result;
+  result.exit_code = run_lbsim(static_cast<int>(argv.size()), argv.data(), out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+/// Extracts the numeric value of the golden-CSV row whose metric contains
+/// `metric` (the value is the cell after the last comma).
+double golden_value(const std::string& csv, const std::string& metric) {
+  std::istringstream in(csv);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(metric) == std::string::npos) continue;
+    const std::size_t comma = line.rfind(',');
+    if (comma == std::string::npos) break;
+    return std::stod(line.substr(comma + 1));
+  }
+  ADD_FAILURE() << "metric '" << metric << "' not found in:\n" << csv;
+  return 0.0;
+}
+
+TEST(CliReproduce, Table1GoldenCsvMatchesThePinnedSolverValues) {
+  const CliResult result = run({"reproduce", "table1", "--golden-only", "--format=csv"});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("# command=lbsim reproduce table1"), std::string::npos);
+  EXPECT_NEAR_REL(golden_value(result.out, "mean_no_transit"), kGoldenMeanNoTransit, 1e-9);
+  EXPECT_NEAR_REL(golden_value(result.out, "lbp1_mean"), kGoldenMeanLbp1, 1e-9);
+}
+
+TEST(CliReproduce, Table2GoldenCsvMatchesThePinnedCdfQuantiles) {
+  const CliResult result = run({"reproduce", "table2", "--golden-only", "--format=csv"});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NEAR_REL(golden_value(result.out, "lbp1_cdf_median"), kGoldenCdfMedian, 1e-9);
+  EXPECT_NEAR_REL(golden_value(result.out, "lbp1_cdf_p90"), kGoldenCdfP90, 1e-9);
+}
+
+TEST(CliReproduce, GoldenOnlyRejectedForOtherArtifacts) {
+  const CliResult result = run({"reproduce", "fig1", "--golden-only"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("golden-only"), std::string::npos);
+}
+
+TEST(CliReproduce, RejectsUnknownFormats) {
+  const CliResult result = run({"reproduce", "table1", "--golden-only", "--format=xml"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("--format"), std::string::npos);
+}
+
+TEST(CliRun, TestbedEngineRejectsSemanticsItCannotEmulate) {
+  // cold-start defaults node 0 down; the testbed has no initially-down
+  // support, so silently running it would produce wrong numbers.
+  const CliResult down = run({"run", "cold-start", "--engine=testbed", "--reps=2"});
+  EXPECT_EQ(down.exit_code, 2);
+  EXPECT_NE(down.err.find("down.mask"), std::string::npos);
+
+  const CliResult periodic =
+      run({"run", "periodic-rebalance", "--engine=testbed", "--reps=2"});
+  EXPECT_EQ(periodic.exit_code, 2);
+  EXPECT_NE(periodic.err.find("periodic"), std::string::npos);
+
+  // Plain scenarios still run on the testbed.
+  const CliResult ok = run({"run", "paper-two-node", "--engine=testbed", "--reps=2"});
+  EXPECT_EQ(ok.exit_code, 0) << ok.err;
+}
+
+TEST(CliReproduce, UnknownArtifactFailsWithTheKnownList) {
+  const CliResult result = run({"reproduce", "table9"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("table1"), std::string::npos);
+}
+
+TEST(CliList, ShowsScenariosArtifactsAndSchemas) {
+  const CliResult list = run({"list"});
+  ASSERT_EQ(list.exit_code, 0);
+  for (const char* expected : {"paper-two-node", "churn-storm", "table1", "fig5"}) {
+    EXPECT_NE(list.out.find(expected), std::string::npos) << expected;
+  }
+  const CliResult schema = run({"list", "multi-node"});
+  ASSERT_EQ(schema.exit_code, 0);
+  EXPECT_NE(schema.out.find("lambda_d"), std::string::npos);
+  EXPECT_NE(schema.out.find("double-list"), std::string::npos);
+}
+
+TEST(CliRun, RunsAScenarioWithOverrides) {
+  const CliResult result = run({"run", "paper-two-node", "gain=0.4", "m0=40", "m1=20",
+                                "--reps=5", "--threads=1", "--format=csv"});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("# scenario=paper-two-node"), std::string::npos);
+  EXPECT_NE(result.out.find("LBP-1(K=0.4"), std::string::npos);
+  EXPECT_NE(result.out.find("# replications=5"), std::string::npos);
+}
+
+TEST(CliRun, ReportsConfigErrorsWithExitCode2) {
+  const CliResult unknown = run({"run", "paper-two-node", "gian=0.4"});
+  EXPECT_EQ(unknown.exit_code, 2);
+  EXPECT_NE(unknown.err.find("did you mean 'gain'"), std::string::npos);
+
+  const CliResult missing = run({"run"});
+  EXPECT_EQ(missing.exit_code, 2);
+
+  const CliResult badcmd = run({"frobnicate"});
+  EXPECT_EQ(badcmd.exit_code, 2);
+  EXPECT_NE(badcmd.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliSweepCommand, DryRunPrintsTheGrid) {
+  const CliResult result =
+      run({"sweep", "paper-two-node", "gain=0.1:0.3:0.1", "m0=50,100", "--dry-run"});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("dry run: 6 grid points"), std::string::npos);
+  EXPECT_NE(result.out.find("LBP-1"), std::string::npos);
+}
+
+TEST(CliHelp, UsageOnHelpFlagAndNoArgs) {
+  EXPECT_EQ(run({"--help"}).exit_code, 0);
+  const CliResult bare = run({});
+  EXPECT_EQ(bare.exit_code, 2);
+  EXPECT_NE(bare.out.find("Usage:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbsim::cli

@@ -1,0 +1,99 @@
+// Unit tests for the sweep engine: axis grammar, cartesian expansion, and
+// dry-run/real sweeps over a registered scenario.
+
+#include <gtest/gtest.h>
+
+#include "cli/sweep.hpp"
+#include "test_support.hpp"
+
+namespace lbsim::cli {
+namespace {
+
+TEST(CliSweepAxis, ParsesExplicitLists) {
+  const SweepAxis axis = parse_axis("gain=0.2,0.5,0.9");
+  EXPECT_EQ(axis.key, "gain");
+  EXPECT_EQ(axis.values, (std::vector<std::string>{"0.2", "0.5", "0.9"}));
+}
+
+TEST(CliSweepAxis, ParsesInclusiveRanges) {
+  const SweepAxis axis = parse_axis("gain=0.1:0.5:0.2");
+  EXPECT_EQ(axis.values, (std::vector<std::string>{"0.1", "0.3", "0.5"}));
+  // Endpoint reached exactly even with floating-point accumulation.
+  const SweepAxis fine = parse_axis("gain=0:1:0.1");
+  ASSERT_EQ(fine.values.size(), 11u);
+  EXPECT_EQ(fine.values.front(), "0");
+  EXPECT_EQ(fine.values.back(), "1");
+}
+
+TEST(CliSweepAxis, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_axis("gain"), ConfigError);
+  EXPECT_THROW((void)parse_axis("=1,2"), ConfigError);
+  EXPECT_THROW((void)parse_axis("gain="), ConfigError);
+  EXPECT_THROW((void)parse_axis("gain=1:0:0.1"), ConfigError);   // hi < lo
+  EXPECT_THROW((void)parse_axis("gain=0:1:-0.1"), ConfigError);  // step <= 0
+  EXPECT_THROW((void)parse_axis("gain=a:b:c"), ConfigError);
+}
+
+TEST(CliSweepGrid, ExpandsCartesianProductRowMajor) {
+  const std::vector<SweepAxis> axes = {{"a", {"1", "2"}}, {"b", {"x", "y", "z"}}};
+  const auto grid = expand_grid(axes);
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0], (std::vector<std::pair<std::string, std::string>>{{"a", "1"}, {"b", "x"}}));
+  EXPECT_EQ(grid[1][1].second, "y");
+  EXPECT_EQ(grid[2][1].second, "z");
+  EXPECT_EQ(grid[3][0].second, "2");  // first axis slowest
+  EXPECT_EQ(grid[5],
+            (std::vector<std::pair<std::string, std::string>>{{"a", "2"}, {"b", "z"}}));
+}
+
+TEST(CliSweep, DryRunValidatesEveryPointWithoutRunning) {
+  const ScenarioSpec& spec = find_scenario("paper-two-node");
+  SweepOptions options;
+  options.dry_run = true;
+  const SweepResult result =
+      run_sweep(spec, {}, {parse_axis("gain=0.1:0.9:0.2"), parse_axis("m0=50,100")}, options);
+  EXPECT_EQ(result.table.rows(), 10u);
+  // Dry-run rows carry the resolved policy name, proving the build ran
+  // (m0=50 < m1=60, so the auto-picked LBP-1 sender is node 1).
+  EXPECT_EQ(result.table.row(0).at(2), "LBP-1(K=0.1, sender=1)");
+  EXPECT_EQ(result.metadata.scenario, "paper-two-node");
+}
+
+TEST(CliSweep, DryRunStillRejectsInvalidPoints) {
+  const ScenarioSpec& spec = find_scenario("paper-two-node");
+  SweepOptions options;
+  options.dry_run = true;
+  EXPECT_THROW((void)run_sweep(spec, {}, {parse_axis("gain=0.5,11")}, options), ConfigError);
+  EXPECT_THROW((void)run_sweep(spec, {}, {parse_axis("bogus=1,2")}, options), ConfigError);
+}
+
+TEST(CliSweep, RunsTheGridAndReportsMeans) {
+  const ScenarioSpec& spec = find_scenario("paper-two-node");
+  SweepOptions options;
+  options.replications = 8;
+  options.threads = 1;
+  options.seed = lbsim::test::kFixedSeed;
+  const SweepResult result = run_sweep(spec, {}, {parse_axis("gain=0.2,0.4")}, options);
+  ASSERT_EQ(result.table.rows(), 2u);
+  for (std::size_t r = 0; r < result.table.rows(); ++r) {
+    const double mean = std::stod(result.table.row(r).at(1));
+    EXPECT_GT(mean, 0.0);
+    EXPECT_LT(mean, 1000.0);
+  }
+  EXPECT_GT(result.metadata.wall_seconds, 0.0);
+}
+
+TEST(CliSweep, McAxesTargetTheEngineNotTheScenario) {
+  const ScenarioSpec& spec = find_scenario("paper-two-node");
+  SweepOptions options;
+  options.threads = 1;
+  options.seed = lbsim::test::kFixedSeed;
+  const SweepResult result = run_sweep(spec, {}, {parse_axis("mc.reps=4,8")}, options);
+  ASSERT_EQ(result.table.rows(), 2u);
+  // The reps column (index 4: mean, ci95, stderr, reps) reflects the axis.
+  EXPECT_EQ(result.table.row(0).at(4), "4");
+  EXPECT_EQ(result.table.row(1).at(4), "8");
+}
+
+}  // namespace
+}  // namespace lbsim::cli
