@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: diff two `lbsim perf` JSON files.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--max-regression FRACTION]
+
+Compares per-bench throughput (the last numeric column of each row) of
+CURRENT against BASELINE. Exits 1 when any baseline bench regressed by more
+than --max-regression (default 0.30, i.e. current must keep >= 70% of the
+baseline throughput) or disappeared from CURRENT. New benches only present in
+CURRENT are reported but never fail the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path: str) -> dict[str, float]:
+    """bench name -> throughput (last numeric cell of the row)."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    rows = {}
+    for row in doc.get("rows", []):
+        numbers = [c for c in row if isinstance(c, (int, float))]
+        strings = [c for c in row if isinstance(c, str)]
+        if not numbers or not strings:
+            continue
+        rows[strings[0]] = float(numbers[-1])
+    if not rows:
+        raise SystemExit(f"error: no bench rows found in {path}")
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional throughput drop per bench (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+    floor = 1.0 - args.max_regression
+
+    width = max(len(name) for name in baseline | current)
+    header = f"{'bench':<{width}}  {'baseline/s':>12}  {'current/s':>12}  {'ratio':>7}  verdict"
+    print(header)
+    print("-" * len(header))
+
+    failures = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in current:
+            print(f"{name:<{width}}  {base:>12.1f}  {'-':>12}  {'-':>7}  MISSING")
+            failures.append(f"{name}: missing from {args.current}")
+            continue
+        now = current[name]
+        ratio = now / base if base > 0 else 1.0
+        verdict = "ok"
+        if ratio < floor:
+            verdict = "REGRESSED"
+            failures.append(f"{name}: {ratio:.3f}x of baseline (floor {floor:.2f}x)")
+        print(f"{name:<{width}}  {base:>12.1f}  {now:>12.1f}  {ratio:>7.3f}  {verdict}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<{width}}  {'-':>12}  {current[name]:>12.1f}  {'-':>7}  new")
+
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed: no bench below {floor:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

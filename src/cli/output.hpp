@@ -20,10 +20,16 @@ struct RunMetadata {
   std::string command;       ///< e.g. "lbsim run paper-two-node gain=0.5"
   std::string scenario;      ///< scenario or artefact name ("" when n/a)
   std::uint64_t seed = 0;
+  /// Replications of the single run this file describes. 0 means "not a
+  /// single-run artefact" (e.g. `lbsim perf`, which reports per-bench counts
+  /// through `extra` instead) and is omitted from the emitted metadata.
   std::size_t replications = 0;
   unsigned threads = 0;      ///< 0 = hardware concurrency
   double wall_seconds = 0.0;
   std::string git_revision;  ///< `git describe` at configure time
+  /// Additional ordered key=value pairs appended verbatim (e.g. the real
+  /// per-bench replication counts of a perf baseline).
+  std::vector<std::pair<std::string, std::string>> extra;
 
   /// Ordered key=value pairs, used identically by the CSV and JSON writers.
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> items() const;
@@ -43,5 +49,17 @@ void write_json(std::ostream& os, const RunMetadata& meta, const util::TextTable
 
 /// JSON string escaping (quotes, backslashes, control characters).
 [[nodiscard]] std::string json_escape(const std::string& text);
+
+/// One row of a `lbsim perf` JSON artefact.
+struct BenchRow {
+  std::string name;     ///< first (string) cell, e.g. "perf_mc"
+  double wall_ms = 0.0;     ///< first numeric cell
+  double throughput = 0.0;  ///< last numeric cell
+};
+
+/// Reads the rows of a file produced by write_json for `lbsim perf`
+/// (first string cell = bench name, first/last numeric cells = wall_ms /
+/// throughput). Throws std::runtime_error when no such rows are found.
+[[nodiscard]] std::vector<BenchRow> parse_bench_json(std::istream& is);
 
 }  // namespace lbsim::cli

@@ -48,7 +48,7 @@ Schema common_schema(const std::string& default_policy, double default_gain) {
                "stack LBP-2's on-failure compensation onto policy=periodic"))
       .add(opt("churn", OptionType::kBool, "true", "inject node failure/recovery"))
       .add(opt("down.mask", OptionType::kSize, "0",
-               "bitmask of nodes that start down (bit i = node i)", kNoMin, 4294967295.0))
+               "bitmask of nodes that start down (bit i = node i, 64-bit)", kNoMin, kNoMax))
       .add(opt("delay.model", OptionType::kString, "exponential", "bundle transfer-delay law",
                kNoMin, kNoMax, {"exponential", "erlang", "deterministic"}))
       .add(opt("delay.per_task", OptionType::kDouble, "0.02",
@@ -86,7 +86,7 @@ void apply_common(mc::ScenarioConfig& scenario, const Config& config) {
         scenario.params.per_task_delay_mean, shift);
   }  // plain exponential with no shift: leave null, the engine default
   scenario.churn_enabled = config.get_bool("churn");
-  scenario.initially_down = static_cast<unsigned>(config.get_size("down.mask"));
+  scenario.initially_down = static_cast<std::uint64_t>(config.get_size("down.mask"));
   if (config.get_string("policy") == "periodic") {
     scenario.rebalance_period = config.get_double("period");
   }
@@ -108,6 +108,52 @@ mc::ScenarioConfig build_two_node(const Config& config, double failure_scale = 1
   return scenario;
 }
 
+/// Shared keys of the n-node families: per-node rate/workload lists cycled to
+/// `nodes` entries. Defaults differ per family (small heterogeneous cluster vs
+/// many-node churn stress).
+Schema n_node_schema(const char* default_nodes, const char* default_lambda_r,
+                     const char* default_workloads) {
+  Schema schema = common_schema("lbp2", 1.0);
+  schema
+      .add(opt("nodes", OptionType::kSize, default_nodes, "number of compute nodes", 2.0,
+               64.0))
+      .add(opt("lambda_d", OptionType::kDoubleList, "1.08,1.86,1.5,1.2",
+               "per-node service rates, cycled to `nodes` entries", 1e-9, 1e6))
+      .add(opt("lambda_f", OptionType::kDoubleList, "0.05",
+               "per-node failure rates, cycled (0 = never fails)", 0.0, 1e6))
+      .add(opt("lambda_r", OptionType::kDoubleList, default_lambda_r,
+               "per-node recovery rates, cycled", 0.0, 1e6))
+      .add(opt("workloads", OptionType::kSizeList, default_workloads,
+               "initial tasks per node, cycled to `nodes` entries", kNoMin, 5000.0));
+  return schema;
+}
+
+/// Builder shared by `multi-node` and `many-node-churn`.
+mc::ScenarioConfig build_n_node(const Config& config) {
+  const std::size_t n = config.get_size("nodes");
+  const auto rates_d = config.get_double_list("lambda_d");
+  const auto rates_f = config.get_double_list("lambda_f");
+  const auto rates_r = config.get_double_list("lambda_r");
+  const auto loads = config.get_size_list("workloads");
+  if (rates_d.empty() || rates_f.empty() || rates_r.empty() || loads.empty()) {
+    throw ConfigError(ConfigError::Kind::kBadValue, "lambda_d",
+                      "multi-node rate/workload lists must be non-empty");
+  }
+  mc::ScenarioConfig scenario;
+  scenario.workloads.resize(n);
+  scenario.params.nodes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scenario.params.nodes[i].lambda_d = rates_d[i % rates_d.size()];
+    scenario.params.nodes[i].lambda_f = rates_f[i % rates_f.size()];
+    scenario.params.nodes[i].lambda_r = rates_r[i % rates_r.size()];
+    scenario.workloads[i] = loads[i % loads.size()];
+  }
+  scenario.policy = make_policy(config, scenario.workloads);
+  apply_common(scenario, config);
+  markov::validate(scenario.params);
+  return scenario;
+}
+
 std::vector<ScenarioSpec> build_registry() {
   std::vector<ScenarioSpec> registry;
 
@@ -117,47 +163,22 @@ std::vector<ScenarioSpec> build_registry() {
        .schema = two_node_schema("lbp1", 0.35),
        .build = [](const Config& config) { return build_two_node(config); }});
 
-  {
-    Schema schema = common_schema("lbp2", 1.0);
-    schema
-        .add(opt("nodes", OptionType::kSize, "4", "number of compute nodes", 2.0, 64.0))
-        .add(opt("lambda_d", OptionType::kDoubleList, "1.08,1.86,1.5,1.2",
-                 "per-node service rates, cycled to `nodes` entries", 1e-9, 1e6))
-        .add(opt("lambda_f", OptionType::kDoubleList, "0.05",
-                 "per-node failure rates, cycled (0 = never fails)", 0.0, 1e6))
-        .add(opt("lambda_r", OptionType::kDoubleList, "0.1", "per-node recovery rates, cycled",
-                 0.0, 1e6))
-        .add(opt("workloads", OptionType::kSizeList, "100,60",
-                 "initial tasks per node, cycled to `nodes` entries", kNoMin, 5000.0));
-    registry.push_back(
-        {.name = "multi-node",
-         .summary = "n-node heterogeneous cluster (the paper's Section 5 extension)",
-         .schema = std::move(schema),
-         .build = [](const Config& config) {
-           const std::size_t n = config.get_size("nodes");
-           const auto rates_d = config.get_double_list("lambda_d");
-           const auto rates_f = config.get_double_list("lambda_f");
-           const auto rates_r = config.get_double_list("lambda_r");
-           const auto loads = config.get_size_list("workloads");
-           if (rates_d.empty() || rates_f.empty() || rates_r.empty() || loads.empty()) {
-             throw ConfigError(ConfigError::Kind::kBadValue, "lambda_d",
-                               "multi-node rate/workload lists must be non-empty");
-           }
-           mc::ScenarioConfig scenario;
-           scenario.workloads.resize(n);
-           scenario.params.nodes.resize(n);
-           for (std::size_t i = 0; i < n; ++i) {
-             scenario.params.nodes[i].lambda_d = rates_d[i % rates_d.size()];
-             scenario.params.nodes[i].lambda_f = rates_f[i % rates_f.size()];
-             scenario.params.nodes[i].lambda_r = rates_r[i % rates_r.size()];
-             scenario.workloads[i] = loads[i % loads.size()];
-           }
-           scenario.policy = make_policy(config, scenario.workloads);
-           apply_common(scenario, config);
-           markov::validate(scenario.params);
-           return scenario;
-         }});
-  }
+  registry.push_back(
+      {.name = "multi-node",
+       .summary = "n-node heterogeneous cluster (the paper's Section 5 extension)",
+       .schema = n_node_schema("4", "0.1", "100,60"),
+       .build = [](const Config& config) { return build_n_node(config); }});
+
+  // Many-node MC stress family: the exact solver stops at 8 nodes (one
+  // 2^n x 2^n solve per lattice point), so past that the MC engine is the
+  // only source of truth. Defaults: 32 nodes, imbalanced workloads (so LBP-2
+  // actually transfers), brisk churn. Cross-checked against the solver on the
+  // n <= 6 overlap in mc_solver_crosscheck_test.
+  registry.push_back(
+      {.name = "many-node-churn",
+       .summary = "many-node (default 32) churn stress; MC-only past the solver's n<=8 range",
+       .schema = n_node_schema("32", "0.25", "120,20,60,40"),
+       .build = [](const Config& config) { return build_n_node(config); }});
 
   {
     Schema schema = two_node_schema("lbp2", 1.0);

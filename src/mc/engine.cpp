@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "sim/simulator.hpp"
 #include "util/error.hpp"
 
 namespace lbsim::mc {
@@ -26,11 +27,14 @@ McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
   const auto worker = [&](unsigned tid) {
     // Each worker clones the scenario once; per-replication state is rebuilt
     // inside run_scenario, and RNG streams are keyed by replication index.
+    // One simulator per worker: its pooled event slab and heap capacity are
+    // recycled across the whole replication loop.
     const ScenarioConfig local = config.clone();
+    des::Simulator sim;
     Partial& out = partials[tid];
     if (mc.collect_samples) out.samples.reserve(mc.replications / threads + 1);
     for (std::size_t rep = tid; rep < mc.replications; rep += threads) {
-      const RunResult run = run_scenario(local, mc.seed, rep);
+      const RunResult run = run_scenario(local, mc.seed, rep, nullptr, sim);
       out.completion.add(run.completion_time);
       out.failures += static_cast<double>(run.failures);
       out.tasks_moved += static_cast<double>(run.tasks_moved);

@@ -47,8 +47,27 @@ void validate_config(const ScenarioConfig& config) {
                 "workloads has " << config.workloads.size() << " entries for " << n
                                  << " nodes");
   LBSIM_REQUIRE(config.policy != nullptr, "scenario needs a policy");
-  LBSIM_REQUIRE(config.initially_down < (1u << n), "initially_down mask");
+  LBSIM_REQUIRE(n >= 64 || config.initially_down < (std::uint64_t{1} << n),
+                "initially_down mask");
 }
+
+/// Completion bookkeeping shared by all per-node handlers: the handlers
+/// capture one pointer to this, so their std::functions stay inside the
+/// small-object buffer (no heap allocation per node per replication).
+struct CompletionTracker {
+  des::Simulator* sim = nullptr;
+  std::size_t remaining = 0;
+  bool done = false;
+  double completion_time = 0.0;
+
+  void on_complete() {
+    LBSIM_CHECK(remaining > 0, "completed more tasks than injected");
+    if (--remaining == 0) {
+      done = true;
+      completion_time = sim->now();
+    }
+  }
+};
 
 }  // namespace
 
@@ -76,24 +95,26 @@ ScenarioConfig make_two_node_scenario(const markov::TwoNodeParams& params, std::
 
 RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
                        std::uint64_t replication, RunTrace* trace) {
+  des::Simulator sim;
+  return run_scenario(config, seed, replication, trace, sim);
+}
+
+RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
+                       std::uint64_t replication, RunTrace* trace, des::Simulator& sim) {
   validate_config(config);
   const std::size_t n = config.params.nodes.size();
+  sim.reset();  // recycles the pooled event slab when the caller reuses `sim`
 
   // Disjoint, deterministic RNG streams per (replication, role, node):
   // results do not depend on thread scheduling.
   const std::uint64_t streams_per_run = 2 * static_cast<std::uint64_t>(n) + 1;
   const std::uint64_t base = replication * streams_per_run;
-  std::vector<stoch::RngStream> service_rngs;
-  std::vector<stoch::RngStream> churn_rngs;
-  service_rngs.reserve(n);
-  churn_rngs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    service_rngs.emplace_back(seed, base + i);
-    churn_rngs.emplace_back(seed, base + n + i);
-  }
+  // One backing vector: entries [0, n) are the service streams, [n, 2n) the
+  // churn streams (same stream ids as always).
+  std::vector<stoch::RngStream> rngs;
+  rngs.reserve(2 * n);
+  for (std::size_t i = 0; i < 2 * n; ++i) rngs.emplace_back(seed, base + i);
   stoch::RngStream net_rng(seed, base + 2 * n);
-
-  des::Simulator sim;
 
   // --- nodes ---
   std::vector<std::unique_ptr<node::ComputeElement>> ces;
@@ -101,7 +122,7 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
   for (std::size_t i = 0; i < n; ++i) {
     ces.push_back(std::make_unique<node::ComputeElement>(
         sim, static_cast<int>(i),
-        app::exponential_service(config.params.nodes[i].lambda_d), service_rngs[i]));
+        app::exponential_service(config.params.nodes[i].lambda_d), rngs[i]));
   }
 
   if (trace != nullptr) {
@@ -111,48 +132,53 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
     }
   }
 
-  // --- links (full mesh, delay model cloned per directed pair) ---
+  // --- links (full mesh, built lazily: an n-node replication only pays for
+  //     the directed pairs the policy actually uses, which matters once
+  //     n*n outgrows the handful of transfers a run performs) ---
   const net::ExponentialBundleDelay default_delay(config.params.per_task_delay_mean);
   const net::TransferDelayModel& delay_proto =
       config.delay_model ? *config.delay_model
                          : static_cast<const net::TransferDelayModel&>(default_delay);
   std::vector<std::unique_ptr<net::Link>> links(n * n);
-  for (std::size_t from = 0; from < n; ++from) {
-    for (std::size_t to = 0; to < n; ++to) {
-      if (from == to) continue;
-      links[from * n + to] = std::make_unique<net::Link>(
-          sim, static_cast<int>(from), static_cast<int>(to), delay_proto.clone(), net_rng);
+  const auto link_for = [&](std::size_t from, std::size_t to) -> net::Link& {
+    std::unique_ptr<net::Link>& link = links[from * n + to];
+    if (!link) {
+      link = std::make_unique<net::Link>(sim, static_cast<int>(from), static_cast<int>(to),
+                                         delay_proto.clone(), net_rng);
     }
-  }
+    return *link;
+  };
 
   // --- completion tracking ---
-  std::size_t remaining = 0;
-  for (const std::size_t m : config.workloads) remaining += m;
-  double completion_time = 0.0;
-  bool done = remaining == 0;
+  CompletionTracker tracker;
+  tracker.sim = &sim;
+  for (const std::size_t m : config.workloads) tracker.remaining += m;
+  tracker.done = tracker.remaining == 0;
   for (std::size_t i = 0; i < n; ++i) {
-    ces[i]->set_completion_handler([&, i](const node::Task&) {
-      (void)i;
-      LBSIM_CHECK(remaining > 0, "completed more tasks than injected");
-      if (--remaining == 0) {
-        done = true;
-        completion_time = sim.now();
-      }
-    });
+    ces[i]->set_completion_handler(
+        [&tracker](const node::Task&) { tracker.on_complete(); });
   }
 
   // --- initial workloads (unit tasks; the abstract model draws service times
   //     from Exp(lambda_d) regardless of size) ---
   std::uint64_t next_id = 1;
   for (std::size_t i = 0; i < n; ++i) {
-    ces[i]->enqueue_batch(
-        node::make_unit_tasks(config.workloads[i], static_cast<int>(i), next_id));
+    ces[i]->enqueue_units(config.workloads[i], next_id);
     next_id += config.workloads[i];
   }
 
   // --- transfer plumbing ---
   LiveView view(config.params, ces);
   RunResult result;
+  // The delivery handler captures one pointer to this per-run context so the
+  // std::function stays in its small-object buffer (bundle size for the trace
+  // is recovered from the transfer itself).
+  struct DeliveryCtx {
+    std::vector<std::unique_ptr<node::ComputeElement>>* ces;
+    RunTrace* trace;
+    des::Simulator* sim;
+  };
+  DeliveryCtx delivery{&ces, trace, &sim};
   const auto execute = [&](const std::vector<core::TransferDirective>& directives) {
     for (const core::TransferDirective& d : directives) {
       LBSIM_REQUIRE(d.from >= 0 && static_cast<std::size_t>(d.from) < n, "from=" << d.from);
@@ -168,15 +194,15 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
         os << d.from << "->" << d.to << " x" << batch.size();
         trace->events.log(sim.now(), "transfer", os.str());
       }
-      const std::size_t batch_size = batch.size();
-      links[static_cast<std::size_t>(d.from) * n + static_cast<std::size_t>(d.to)]->send(
-          std::move(batch), [&, batch_size](net::DataTransfer&& xfer) {
-            if (trace != nullptr) {
+      link_for(static_cast<std::size_t>(d.from), static_cast<std::size_t>(d.to))
+          .send(std::move(batch), [ctx = &delivery](net::DataTransfer&& xfer) {
+            if (ctx->trace != nullptr) {
               std::ostringstream os;
-              os << xfer.from << "->" << xfer.to << " x" << batch_size;
-              trace->events.log(sim.now(), "arrival", os.str());
+              os << xfer.from << "->" << xfer.to << " x" << xfer.tasks.size();
+              ctx->trace->events.log(ctx->sim->now(), "arrival", os.str());
             }
-            ces[static_cast<std::size_t>(xfer.to)]->enqueue_batch(std::move(xfer.tasks));
+            (*ctx->ces)[static_cast<std::size_t>(xfer.to)]->enqueue_batch(
+                std::move(xfer.tasks));
           });
     }
   };
@@ -185,6 +211,30 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
   std::vector<std::unique_ptr<node::FailureProcess>> churn;
   churn.reserve(n);
   core::LoadBalancingPolicy& policy = *config.policy;
+  /// Shared churn-hook context: per-node handlers capture one pointer, so
+  /// their std::functions also stay inside the small-object buffer.
+  struct ChurnHooks {
+    RunResult* result;
+    RunTrace* trace;
+    des::Simulator* sim;
+    core::LoadBalancingPolicy* policy;
+    LiveView* view;
+    const decltype(execute)* execute_directives;
+
+    void on_failure(int node_id) const {
+      ++result->failures;
+      if (trace != nullptr) trace->events.log(sim->now(), "fail", std::to_string(node_id));
+      (*execute_directives)(policy->on_failure(node_id, *view));
+    }
+    void on_recovery(int node_id) const {
+      ++result->recoveries;
+      if (trace != nullptr) {
+        trace->events.log(sim->now(), "recover", std::to_string(node_id));
+      }
+      (*execute_directives)(policy->on_recovery(node_id, *view));
+    }
+  };
+  ChurnHooks hooks{&result, trace, &sim, &policy, &view, &execute};
   for (std::size_t i = 0; i < n; ++i) {
     const markov::NodeParams& np = config.params.nodes[i];
     stoch::DistributionPtr ttf;
@@ -197,17 +247,9 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
       ttr = std::make_unique<stoch::Exponential>(np.lambda_r);
     }
     auto process = std::make_unique<node::FailureProcess>(sim, *ces[i], std::move(ttf),
-                                                          std::move(ttr), churn_rngs[i]);
-    process->set_failure_handler([&](int node_id) {
-      ++result.failures;
-      if (trace != nullptr) trace->events.log(sim.now(), "fail", std::to_string(node_id));
-      execute(policy.on_failure(node_id, view));
-    });
-    process->set_recovery_handler([&](int node_id) {
-      ++result.recoveries;
-      if (trace != nullptr) trace->events.log(sim.now(), "recover", std::to_string(node_id));
-      execute(policy.on_recovery(node_id, view));
-    });
+                                                          std::move(ttr), rngs[n + i]);
+    process->set_failure_handler([&hooks](int node_id) { hooks.on_failure(node_id); });
+    process->set_recovery_handler([&hooks](int node_id) { hooks.on_recovery(node_id); });
     churn.push_back(std::move(process));
   }
 
@@ -220,7 +262,7 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
     // scope), so the rescheduling lambda can reference it directly — a
     // self-captured shared_ptr here leaks one cycle per replication.
     tick = [&] {
-      if (done) return;
+      if (tracker.done) return;
       execute(policy.on_periodic(view));
       sim.schedule_in(config.rebalance_period, tick);
     };
@@ -232,11 +274,11 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
     if (can_churn || starts_down) churn[i]->start(starts_down);
   }
 
-  sim.run_while_pending([&] { return done; });
-  LBSIM_CHECK(done, "simulation drained its event queue before completing "
-                        << remaining << " tasks");
+  sim.run_while_pending([&] { return tracker.done; });
+  LBSIM_CHECK(tracker.done, "simulation drained its event queue before completing "
+                                << tracker.remaining << " tasks");
 
-  result.completion_time = completion_time;
+  result.completion_time = tracker.completion_time;
   for (const auto& ce : ces) result.tasks_completed += ce->stats().tasks_completed;
   return result;
 }

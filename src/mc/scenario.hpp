@@ -14,6 +14,10 @@
 #include "net/delay_model.hpp"
 #include "sim/trace.hpp"
 
+namespace lbsim::des {
+class Simulator;
+}
+
 namespace lbsim::mc {
 
 /// A complete experiment description. Move-only (owns prototypes that are
@@ -28,8 +32,9 @@ struct ScenarioConfig {
   /// Master switch for churn (false reproduces the paper's no-failure runs
   /// without touching the per-node rates).
   bool churn_enabled = true;
-  /// Bitmask of nodes that start down (bit i); all-up by default.
-  unsigned initially_down = 0;
+  /// Bitmask of nodes that start down (bit i); all-up by default. 64 bits so
+  /// every node of the largest (n = 64) registry scenarios is addressable.
+  std::uint64_t initially_down = 0;
   /// When > 0, the policy's on_periodic() hook fires every this many seconds
   /// (for PeriodicRebalancePolicy and similar extensions).
   double rebalance_period = 0.0;
@@ -64,5 +69,12 @@ struct RunTrace {
 /// replications and identical regardless of threading.
 [[nodiscard]] RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
                                      std::uint64_t replication, RunTrace* trace = nullptr);
+
+/// Workspace-reusing form: `sim` is reset and driven in place, so its pooled
+/// event slab (and heap capacity) is recycled across a replication loop.
+/// Results are bit-identical to the fresh-simulator overload.
+[[nodiscard]] RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
+                                     std::uint64_t replication, RunTrace* trace,
+                                     des::Simulator& sim);
 
 }  // namespace lbsim::mc

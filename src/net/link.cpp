@@ -19,7 +19,9 @@ double Link::send(node::TaskBatch tasks, DeliveryHandler on_delivery) {
   const std::size_t n = tasks.size();
   const double delay = delay_->sample(n, rng_);
 
-  auto transfer = std::make_shared<DataTransfer>();
+  // The event callback is move-only (des::SmallCallback), so it can own the
+  // transfer outright — no shared_ptr control block per bundle.
+  auto transfer = std::make_unique<DataTransfer>();
   transfer->from = from_;
   transfer->to = to_;
   transfer->sent_at = sim_.now();
@@ -29,7 +31,8 @@ double Link::send(node::TaskBatch tasks, DeliveryHandler on_delivery) {
   in_flight_tasks_ += n;
   bytes_sent_ += transfer->wire_bytes();
 
-  sim_.schedule_in(delay, [this, transfer, handler = std::move(on_delivery), n] {
+  sim_.schedule_in(delay, [this, transfer = std::move(transfer),
+                           handler = std::move(on_delivery), n]() mutable {
     in_flight_bundles_ -= 1;
     in_flight_tasks_ -= n;
     delivered_bundles_ += 1;

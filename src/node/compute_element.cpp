@@ -38,6 +38,16 @@ void ComputeElement::enqueue_batch(TaskBatch batch) {
   maybe_start_service();
 }
 
+void ComputeElement::enqueue_units(std::size_t count, std::uint64_t first_id) {
+  if (count == 0) return;
+  for (std::size_t i = 0; i < count; ++i) {
+    queue_.push_back(Task{first_id + i, 1.0, id_});
+  }
+  stats_.tasks_received += count;
+  record_queue();
+  maybe_start_service();
+}
+
 TaskBatch ComputeElement::extract_tasks(std::size_t count) {
   TaskBatch out;
   const std::size_t take = std::min(count, queue_.size());

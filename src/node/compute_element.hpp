@@ -58,6 +58,11 @@ class ComputeElement {
   void enqueue(Task task);
   void enqueue_batch(TaskBatch batch);
 
+  /// Appends `count` unit-size tasks with ids `first_id`, `first_id`+1, ...
+  /// originating here — equivalent to enqueue_batch(make_unit_tasks(...))
+  /// without materialising the temporary batch.
+  void enqueue_units(std::size_t count, std::uint64_t first_id);
+
   /// Removes up to `count` tasks from the *back* of the queue (most recently
   /// queued work leaves first; the in-service task is only taken if the request
   /// drains the whole queue, in which case the service is aborted).

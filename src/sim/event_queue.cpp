@@ -7,23 +7,57 @@
 
 namespace lbsim::des {
 
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  LBSIM_CHECK(slots_.size() < kNilSlot, "event slab exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.callback.reset();
+  s.serial = 0;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
 EventId EventQueue::push(double time, Callback cb) {
   LBSIM_REQUIRE(std::isfinite(time) && time >= 0.0, "event time " << time);
-  LBSIM_REQUIRE(cb != nullptr, "null event callback");
+  LBSIM_REQUIRE(static_cast<bool>(cb), "null event callback");
   const std::uint64_t serial = next_serial_++;
-  heap_.push_back(Entry{time, serial, std::move(cb)});
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].callback = std::move(cb);
+  slots_[slot].serial = serial;
+  heap_.push_back(HeapItem{time, serial, slot});
   std::push_heap(heap_.begin(), heap_.end(), later);
-  pending_.insert(serial);
-  return EventId{serial};
+  ++live_;
+  return EventId{serial, slot};
 }
 
 bool EventQueue::cancel(EventId id) noexcept {
-  if (!id.valid()) return false;
-  return pending_.erase(id.serial_) > 0;
+  if (!id.valid() || id.slot_ >= slots_.size()) return false;
+  if (slots_[id.slot_].serial != id.serial_) return false;  // already fired/cancelled
+  release_slot(id.slot_);
+  --live_;
+  // The heap record stays behind as a corpse; rebuild once corpses dominate.
+  if (heap_.size() >= kCompactMin && heap_.size() > 2 * live_) compact();
+  return true;
+}
+
+void EventQueue::compact() noexcept {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapItem& item) { return is_dead(item); }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), later);
 }
 
 void EventQueue::drop_dead_top() {
-  while (!heap_.empty() && pending_.count(heap_.front().serial) == 0) {
+  while (!heap_.empty() && is_dead(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), later);
     heap_.pop_back();
   }
@@ -39,15 +73,20 @@ EventQueue::Entry EventQueue::pop() {
   LBSIM_REQUIRE(!empty(), "pop on empty queue");
   drop_dead_top();
   std::pop_heap(heap_.begin(), heap_.end(), later);
-  Entry out = std::move(heap_.back());
+  const HeapItem item = heap_.back();
   heap_.pop_back();
-  pending_.erase(out.serial);
+  Entry out{item.time, item.serial, std::move(slots_[item.slot].callback)};
+  release_slot(item.slot);
+  --live_;
   return out;
 }
 
 void EventQueue::clear() noexcept {
   heap_.clear();
-  pending_.clear();
+  slots_.clear();  // capacity (the slab) is retained for the next run
+  free_head_ = kNilSlot;
+  live_ = 0;
+  // next_serial_ is never reset: a stale EventId must not alias a new event.
 }
 
 }  // namespace lbsim::des

@@ -3,11 +3,16 @@
 /// Cancellable priority queue of timestamped events with deterministic FIFO
 /// tie-breaking: events at equal times fire in scheduling order, so simulations
 /// are bit-reproducible given the same RNG streams.
+///
+/// Storage is pooled: callbacks live in a slot slab recycled across pushes
+/// (and, via clear(), across Monte-Carlo replications), and the binary heap
+/// holds plain (time, serial, slot) records. See docs/ARCHITECTURE.md,
+/// "Event memory model".
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
+
+#include "sim/small_callback.hpp"
 
 namespace lbsim::des {
 
@@ -20,16 +25,20 @@ class EventId {
 
  private:
   friend class EventQueue;
-  explicit EventId(std::uint64_t serial) noexcept : serial_(serial) {}
+  EventId(std::uint64_t serial, std::uint32_t slot) noexcept
+      : serial_(serial), slot_(slot) {}
   std::uint64_t serial_ = 0;
+  std::uint32_t slot_ = 0;
 };
 
-/// Binary min-heap on (time, serial). Cancellation is lazy: cancelled entries
-/// stay in the heap and are skipped on pop, so cancel is O(1) and pop stays
-/// O(log n) amortised.
+/// Binary min-heap on (time, serial) over a pooled slot slab. Cancellation is
+/// lazy — the heap record stays behind and is skipped on pop — but the slot
+/// (and its callback) is released immediately, and the heap is compacted when
+/// dead records outnumber live events, so long churny runs cannot accumulate
+/// unbounded garbage.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
 
   struct Entry {
     double time = 0.0;
@@ -44,10 +53,13 @@ class EventQueue {
   bool cancel(EventId id) noexcept;
 
   /// True when no live (non-cancelled) event remains.
-  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  /// Heap records including dead (cancelled) ones — compaction diagnostics.
+  [[nodiscard]] std::size_t heap_records() const noexcept { return heap_.size(); }
 
   /// Time of the earliest live event; queue must not be empty.
   [[nodiscard]] double next_time();
@@ -55,19 +67,49 @@ class EventQueue {
   /// Removes and returns the earliest live event; queue must not be empty.
   Entry pop();
 
-  /// Drops everything (live and cancelled).
+  /// Drops everything (live and cancelled). Slab and heap capacity are kept,
+  /// and serial numbers keep counting up, so stale EventIds can never alias a
+  /// later event. Safe to call from inside a running callback.
   void clear() noexcept;
 
  private:
-  static bool later(const Entry& a, const Entry& b) noexcept {
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+  /// Compaction threshold: rebuild once the heap is mostly corpses.
+  static constexpr std::size_t kCompactMin = 64;
+
+  struct HeapItem {
+    double time;
+    std::uint64_t serial;
+    std::uint32_t slot;
+  };
+
+  struct Slot {
+    Callback callback;
+    std::uint64_t serial = 0;  ///< 0 = free; else the serial occupying this slot
+    std::uint32_t next_free = kNilSlot;
+  };
+
+  static bool later(const HeapItem& a, const HeapItem& b) noexcept {
     return a.time > b.time || (a.time == b.time && a.serial > b.serial);
   }
 
-  /// Pops cancelled entries off the heap top.
+  [[nodiscard]] bool is_dead(const HeapItem& item) const noexcept {
+    return slots_[item.slot].serial != item.serial;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) noexcept;
+
+  /// Pops cancelled records off the heap top.
   void drop_dead_top();
 
-  std::vector<Entry> heap_;
-  std::unordered_set<std::uint64_t> pending_;
+  /// Removes every dead record and re-heapifies (called when dead dominates).
+  void compact() noexcept;
+
+  std::vector<HeapItem> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t live_ = 0;
   std::uint64_t next_serial_ = 1;
 };
 

@@ -17,11 +17,11 @@ Config resolve(const ScenarioSpec& spec, const RawConfig& raw = {}) {
   return spec.schema.resolve(raw);
 }
 
-TEST(CliRegistry, ListsTheSixFamilies) {
+TEST(CliRegistry, ListsTheRegisteredFamilies) {
   const auto& registry = scenario_registry();
-  ASSERT_GE(registry.size(), 6u);
-  for (const char* name : {"paper-two-node", "multi-node", "churn-storm", "cold-start",
-                           "periodic-rebalance", "custom-delay"}) {
+  ASSERT_GE(registry.size(), 7u);
+  for (const char* name : {"paper-two-node", "multi-node", "many-node-churn", "churn-storm",
+                           "cold-start", "periodic-rebalance", "custom-delay"}) {
     EXPECT_NO_THROW((void)find_scenario(name)) << name;
   }
 }
@@ -96,6 +96,34 @@ TEST(CliRegistry, MultiNodeCyclesRateAndWorkloadLists) {
   EXPECT_DOUBLE_EQ(scenario.params.nodes[1].lambda_d, 2.0);
   EXPECT_DOUBLE_EQ(scenario.params.nodes[4].lambda_d, 1.0);
   EXPECT_EQ(scenario.workloads, (std::vector<std::size_t>{10, 20, 30, 10, 20}));
+}
+
+TEST(CliRegistry, ManyNodeChurnDefaultsCycleAndBalance) {
+  const ScenarioSpec& spec = find_scenario("many-node-churn");
+  const mc::ScenarioConfig scenario = spec.build(resolve(spec));
+  ASSERT_EQ(scenario.params.nodes.size(), 32u);
+  EXPECT_EQ(scenario.policy->name(), "LBP-2(K=1)");
+  // Imbalanced default workloads cycle with period 4.
+  EXPECT_EQ(scenario.workloads[0], 120u);
+  EXPECT_EQ(scenario.workloads[1], 20u);
+  EXPECT_EQ(scenario.workloads[4], 120u);
+  EXPECT_DOUBLE_EQ(scenario.params.nodes[0].lambda_r, 0.25);
+  EXPECT_TRUE(scenario.churn_enabled);
+}
+
+TEST(CliRegistry, DownMaskAddressesNodesPastBit31) {
+  const ScenarioSpec& spec = find_scenario("many-node-churn");
+  RawConfig raw;
+  raw.set("nodes", "40");
+  raw.set("down.mask", std::to_string(std::uint64_t{1} << 35));
+  const mc::ScenarioConfig scenario = spec.build(resolve(spec, raw));
+  EXPECT_EQ(scenario.initially_down, std::uint64_t{1} << 35);
+  // Two cheap replications prove a 40-node scenario with a wide mask runs.
+  mc::McConfig mc_config;
+  mc_config.replications = 2;
+  mc_config.seed = lbsim::test::kFixedSeed;
+  mc_config.threads = 1;
+  EXPECT_GT(mc::run_monte_carlo(scenario, mc_config).mean(), 0.0);
 }
 
 TEST(CliRegistry, ChurnStormScalesTheMeasuredRates) {

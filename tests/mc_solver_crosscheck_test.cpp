@@ -1,0 +1,116 @@
+// MC-vs-exact-solver cross-check on the small-n overlap of the many-node-churn
+// registry family. The multi-node regeneration solver is limited to n <= 8
+// (one 2^n x 2^n work-state solve per lattice point); for the family's real
+// target (tens of nodes) the MC engine is the only source of truth, so this
+// suite pins the two engines together exactly where both exist: with
+// policy=none (no transfers) the family's laws — Exp(lambda_d) service,
+// alternating Exp(lambda_f)/Exp(lambda_r) churn — are precisely the solver's
+// model, and the MC mean must land within Monte-Carlo error of the solver.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cli/registry.hpp"
+#include "markov/multi_node_mean.hpp"
+#include "mc/engine.hpp"
+#include "test_support.hpp"
+
+namespace lbsim {
+namespace {
+
+mc::ScenarioConfig family_scenario(std::size_t nodes, const std::string& workloads,
+                                   const std::string& policy = "none",
+                                   bool churn = true) {
+  const cli::ScenarioSpec& spec = cli::find_scenario("many-node-churn");
+  cli::RawConfig raw;
+  raw.set("nodes", std::to_string(nodes));
+  raw.set("workloads", workloads);
+  raw.set("policy", policy);
+  if (!churn) raw.set("churn", "false");
+  return spec.build(spec.schema.resolve(raw));
+}
+
+/// Runs the MC engine and the exact solver on the same scenario; the MC mean
+/// must be within 4 standard errors of the solver (the law is identical, so
+/// only Monte-Carlo noise separates them).
+void expect_mc_matches_solver(std::size_t nodes, const std::string& workloads,
+                              std::size_t replications) {
+  mc::ScenarioConfig scenario = family_scenario(nodes, workloads);
+
+  mc::McConfig mc_cfg;
+  mc_cfg.seed = test::kFixedSeed;
+  mc_cfg.replications = replications;
+  const mc::McResult result = mc::run_monte_carlo(scenario, mc_cfg);
+
+  markov::MultiNodeMeanSolver solver(scenario.params);
+  const double theory = solver.expected_completion(scenario.workloads);
+
+  EXPECT_PRED4(test::within_sigmas, result.mean(), result.std_error(), theory, 4.0)
+      << "n=" << nodes << " workloads=" << workloads << " theory=" << theory
+      << " mc=" << result.mean();
+}
+
+TEST(McSolverCrosscheck, ThreeNodesUnderChurn) {
+  expect_mc_matches_solver(3, "8,5,3", 2000);
+}
+
+TEST(McSolverCrosscheck, FourNodesUnderChurn) {
+  expect_mc_matches_solver(4, "5,4,3,2", 2000);
+}
+
+TEST(McSolverCrosscheck, FiveNodesUnderChurn) {
+  expect_mc_matches_solver(5, "4,3,2,2,1", 1500);
+}
+
+TEST(McSolverCrosscheck, SixNodesUnderChurn) {
+  expect_mc_matches_solver(6, "3,2,2,1,1,1", 1500);
+}
+
+TEST(McSolverCrosscheck, FourNodesNoChurn) {
+  // churn=false zeroes the effective failure process; the solver sees the
+  // same thing through lambda_f = 0.
+  mc::ScenarioConfig scenario = family_scenario(4, "6,4,2,2", "none", /*churn=*/false);
+  for (auto& node : scenario.params.nodes) node.lambda_f = 0.0;
+
+  mc::McConfig mc_cfg;
+  mc_cfg.seed = test::kFixedSeed;
+  mc_cfg.replications = 2000;
+  const mc::McResult result = mc::run_monte_carlo(scenario, mc_cfg);
+
+  markov::MultiNodeMeanSolver solver(scenario.params);
+  const double theory = solver.expected_completion(scenario.workloads);
+  EXPECT_PRED4(test::within_sigmas, result.mean(), result.std_error(), theory, 4.0);
+}
+
+TEST(McSolverCrosscheck, ChurnIsNotFree) {
+  // Sanity on the family defaults: the same workload takes longer under churn
+  // than with perfectly reliable nodes.
+  mc::ScenarioConfig churny = family_scenario(4, "8,4,2,2");
+  mc::ScenarioConfig reliable = family_scenario(4, "8,4,2,2", "none", /*churn=*/false);
+  mc::McConfig mc_cfg;
+  mc_cfg.seed = test::kFixedSeed;
+  mc_cfg.replications = 800;
+  EXPECT_GT(mc::run_monte_carlo(churny, mc_cfg).mean(),
+            mc::run_monte_carlo(reliable, mc_cfg).mean());
+}
+
+TEST(McSolverCrosscheck, ManyNodeDefaultsRunAndBalance) {
+  // The family's raison d'être: defaults must run way past the solver's
+  // n <= 8 ceiling and actually move tasks (imbalanced workloads + LBP-2).
+  const cli::ScenarioSpec& spec = cli::find_scenario("many-node-churn");
+  const mc::ScenarioConfig scenario = spec.build(spec.schema.resolve({}));
+  ASSERT_EQ(scenario.params.nodes.size(), 32u);
+  EXPECT_EQ(scenario.policy->name(), "LBP-2(K=1)");
+
+  mc::McConfig mc_cfg;
+  mc_cfg.seed = test::kFixedSeed;
+  mc_cfg.replications = 10;
+  const mc::McResult result = mc::run_monte_carlo(scenario, mc_cfg);
+  EXPECT_GT(result.mean(), 0.0);
+  EXPECT_GT(result.mean_tasks_moved, 0.0);   // LBP-2 actually balanced
+  EXPECT_GT(result.mean_failures, 0.0);      // churn actually fired
+}
+
+}  // namespace
+}  // namespace lbsim

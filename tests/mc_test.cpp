@@ -10,6 +10,7 @@
 #include "markov/two_node_mean.hpp"
 #include "mc/engine.hpp"
 #include "mc/scenario.hpp"
+#include "sim/simulator.hpp"
 #include "test_support.hpp"
 
 namespace lbsim::mc {
@@ -37,6 +38,20 @@ TEST(ScenarioTest, DeterministicGivenSeedAndReplication) {
   const RunResult b = run_scenario(config, 7, 3);
   EXPECT_DOUBLE_EQ(a.completion_time, b.completion_time);
   EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(ScenarioTest, ReusedSimulatorBitIdenticalToFreshOne) {
+  // The engine recycles one simulator (and its pooled event slab) across a
+  // worker's replication loop; recycling must not change a single bit.
+  const ScenarioConfig config = fig3_scenario(0.35);
+  des::Simulator reused;
+  for (std::uint64_t rep = 0; rep < 5; ++rep) {
+    const RunResult fresh = run_scenario(config, 7, rep);
+    const RunResult recycled = run_scenario(config, 7, rep, nullptr, reused);
+    EXPECT_DOUBLE_EQ(fresh.completion_time, recycled.completion_time) << "rep " << rep;
+    EXPECT_EQ(fresh.failures, recycled.failures) << "rep " << rep;
+    EXPECT_EQ(fresh.tasks_moved, recycled.tasks_moved) << "rep " << rep;
+  }
 }
 
 TEST(ScenarioTest, DifferentReplicationsDiffer) {

@@ -59,6 +59,85 @@ TEST(EventQueueTest, CancelledEntrySkippedOnPop) {
   EXPECT_EQ(fired, std::vector<int>{2});
 }
 
+TEST(EventQueueTest, CancelOfAlreadyFiredEventReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.pop().callback();  // fires the 1.0 event
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, CancelOfFiredEventNeverHitsARecycledSlot) {
+  // The fired event's pool slot is recycled by the next push; a stale handle
+  // must not cancel the new occupant.
+  EventQueue q;
+  const EventId stale = q.push(1.0, [] {});
+  q.pop().callback();
+  bool ran = false;
+  q.push(1.0, [&] { ran = true; });  // reuses the freed slot
+  EXPECT_FALSE(q.cancel(stale));
+  ASSERT_EQ(q.size(), 1u);
+  q.pop().callback();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, FifoTieBreakSurvivesSlotRecycling) {
+  // Interleave pushes, cancels, and pops so slots are recycled mid-sequence;
+  // events at the same timestamp must still fire in scheduling order.
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(q.push(5.0, [&fired, i] { fired.push_back(i); }));
+  q.cancel(ids[0]);
+  q.cancel(ids[3]);
+  // These reuse the two freed slots but must still fire after 1..7.
+  for (int i = 8; i < 10; ++i) q.push(5.0, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(EventQueueTest, ClearDuringDispatchIsSafe) {
+  // A callback may clear() the queue it is firing from (the popped callback
+  // was moved out of the pool before invocation).
+  EventQueue q;
+  bool later_ran = false;
+  q.push(1.0, [&] { q.clear(); });
+  q.push(2.0, [&] { later_ran = true; });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_FALSE(later_ran);
+  EXPECT_TRUE(q.empty());
+  // The queue is fully usable afterwards, and old handles stay dead.
+  bool ran = false;
+  q.push(3.0, [&] { ran = true; });
+  q.pop().callback();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, MassCancellationCompactsTheHeap) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  ids.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.push(static_cast<double>(i % 97), [] {}));
+  }
+  // Cancel 90%: lazy cancellation must not leave ~900 corpses in the heap.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 10 != 0) {
+      EXPECT_TRUE(q.cancel(ids[i]));
+    }
+  }
+  EXPECT_EQ(q.size(), 100u);
+  EXPECT_LE(q.heap_records(), 2 * q.size());
+  // Survivors still pop in (time, serial) order.
+  double last = -1.0;
+  while (!q.empty()) {
+    EventQueue::Entry e = q.pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+  }
+}
+
 TEST(EventQueueTest, RejectsBadTimesAndNullCallbacks) {
   EventQueue q;
   EXPECT_THROW(q.push(-1.0, [] {}), std::invalid_argument);
