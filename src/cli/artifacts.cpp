@@ -19,6 +19,7 @@
 #include "stochastic/histogram.hpp"
 #include "stochastic/stats.hpp"
 #include "testbed/experiment.hpp"
+#include "util/error.hpp"
 
 namespace lbsim::cli {
 namespace {
@@ -27,6 +28,18 @@ namespace {
 constexpr std::size_t kGoldenM0 = 100;
 constexpr std::size_t kGoldenM1 = 60;
 constexpr double kGoldenGain = 0.35;
+
+/// Formats a CDF quantile for an artefact, failing fast with an actionable
+/// message when the integration horizon left the requested mass unreached
+/// (CdfCurve::quantile returns a +inf tail sentinel there; an artefact must
+/// not silently print "inf" into a golden/report table).
+std::string format_quantile(const markov::CdfCurve& curve, double q, int digits) {
+  const double value = curve.quantile(q);
+  LBSIM_REQUIRE(std::isfinite(value), "quantile " << q << " beyond the CDF horizon (tail="
+                                                  << curve.tail_mass()
+                                                  << "); extend Config::horizon");
+  return util::format_double(value, digits);
+}
 
 std::size_t pick(std::size_t requested, std::size_t quick_default, std::size_t full_default,
                  bool quick) {
@@ -477,8 +490,8 @@ void fig5_show_workload(std::ostream& os, util::TextTable& all, std::size_t m0, 
                  util::format_double(no_fail.values[k], 3)});
   }
   table.print(os);
-  os << "median: failure " << util::format_double(with_fail.quantile(0.5), 1)
-     << " s, no-failure " << util::format_double(no_fail.quantile(0.5), 1) << " s\n"
+  os << "median: failure " << format_quantile(with_fail, 0.5, 1) << " s, no-failure "
+     << format_quantile(no_fail, 0.5, 1) << " s\n"
      << "mean from CDF: failure " << util::format_double(with_fail.mean_estimate(), 1)
      << " s, no-failure " << util::format_double(no_fail.mean_estimate(), 1) << " s\n";
 
@@ -610,10 +623,8 @@ util::TextTable table2_golden_block() {
   const markov::CdfCurve curve =
       cdf_solver.lbp1_cdf(kGoldenM0, kGoldenM1, 0, kGoldenGain);
   util::TextTable table({"metric", "value_s"});
-  table.add_row({"lbp1_cdf_median(m0=100,m1=60,K=0.35)",
-                 util::format_double(curve.quantile(0.5), 9)});
-  table.add_row({"lbp1_cdf_p90(m0=100,m1=60,K=0.35)",
-                 util::format_double(curve.quantile(0.9), 9)});
+  table.add_row({"lbp1_cdf_median(m0=100,m1=60,K=0.35)", format_quantile(curve, 0.5, 9)});
+  table.add_row({"lbp1_cdf_p90(m0=100,m1=60,K=0.35)", format_quantile(curve, 0.9, 9)});
   return table;
 }
 

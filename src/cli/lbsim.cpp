@@ -10,6 +10,7 @@
 #include "cli/output.hpp"
 #include "cli/registry.hpp"
 #include "cli/sweep.hpp"
+#include "cli/validate.hpp"
 #include "core/lbp1.hpp"
 #include "core/lbp2.hpp"
 #include "markov/two_node_mean.hpp"
@@ -32,7 +33,18 @@ Usage:
         [--seed=S] [--format=table|csv|json] [--out=FILE]
   lbsim sweep <scenario> [key=v1,v2 | key=lo:hi:step ...]
         [--reps=N] [--threads=N] [--seed=S] [--dry-run]
+        [--quantiles] [--ecdf[=K]] [--compare=theory]
         [--format=table|csv|json] [--out=FILE]
+        --quantiles adds p50/p90/p99 columns (streaming P2 estimates);
+        --ecdf=K adds the empirical quantile function at K+1 evenly spaced
+        probabilities (exact, collects samples); --compare=theory joins the
+        exact-solver prediction (theory_mean, abs_err, sigma_err) onto every
+        grid point, with "-" where no solver applies
+  lbsim validate [family] [--strict] [--reps=N] [--seed=S] [--threads=N]
+        [--sigma=F] [--ks-slack=F] [--format=table|csv|json] [--out=FILE]
+        runs every registry family (or one) against the exact solvers at a
+        fixed seed; exits nonzero when a z-score or KS gate fails. --strict is
+        the CI configuration (1500 reps, 4-sigma mean gate)
   lbsim reproduce <table1|table2|table3|fig1..fig5>
         [--quick] [--golden-only] [--reps=N] [--realizations=N] [--seed=S]
         [--format=table|csv|json] [--out=FILE]
@@ -205,8 +217,8 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
   mc::ScenarioConfig scenario = invocation.spec->build(config);
 
   util::TextTable table({"scenario", "policy", "engine", "reps", "mean_s", "ci95_s",
-                         "stderr_s", "min_s", "max_s", "mean_failures", "mean_tasks_moved",
-                         "mean_bundles"});
+                         "stderr_s", "min_s", "max_s", "p50_s", "p90_s", "p99_s",
+                         "mean_failures", "mean_tasks_moved", "mean_bundles"});
   RunMetadata meta;
   meta.command = joined_command(argc, argv);
   meta.scenario = invocation.spec->name;
@@ -227,6 +239,8 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
                    util::format_double(result.std_error(), 3),
                    util::format_double(result.completion.min(), 3),
                    util::format_double(result.completion.max(), 3),
+                   util::format_double(result.p50, 3), util::format_double(result.p90, 3),
+                   util::format_double(result.p99, 3),
                    util::format_double(result.mean_failures, 2),
                    util::format_double(result.mean_tasks_moved, 2),
                    util::format_double(result.mean_bundles, 2)});
@@ -264,7 +278,7 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
                    util::format_double(result.ci95(), 3),
                    util::format_double(result.completion.std_error(), 3),
                    util::format_double(result.completion.min(), 3),
-                   util::format_double(result.completion.max(), 3),
+                   util::format_double(result.completion.max(), 3), "-", "-", "-",
                    util::format_double(result.mean_failures, 2),
                    util::format_double(result.mean_tasks_moved, 2), "-"});
     meta.seed = seed;
@@ -306,6 +320,24 @@ int cmd_sweep(int argc, const char* const* argv, const util::CliArgs& args,
   if (engine.seed != 0) options.seed = engine.seed;
   options.threads = engine.threads;
   options.dry_run = args.get_bool("dry-run", false);
+  options.quantiles = args.has("quantiles") && args.get_bool("quantiles", true);
+  if (args.has("ecdf")) {
+    // Bare --ecdf keeps the default decile grid; --ecdf=K picks the resolution.
+    const std::string spec = args.get_string("ecdf", "");
+    const long long k = (spec.empty() || spec == "true") ? 10 : parse_int(spec, "ecdf");
+    if (k < 2 || k > 1000) {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, "ecdf",
+                        "--ecdf resolution must be in [2, 1000]");
+    }
+    options.ecdf_points = static_cast<std::size_t>(k);
+  }
+  if (const std::string compare = args.get_string("compare", ""); !compare.empty()) {
+    if (compare != "theory") {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, "compare",
+                        "--compare supports 'theory' only");
+    }
+    options.compare_theory = true;
+  }
 
   SweepResult result = run_sweep(*invocation.spec, invocation.raw, axes, options);
   result.metadata.command = joined_command(argc, argv);
@@ -314,6 +346,49 @@ int cmd_sweep(int argc, const char* const* argv, const util::CliArgs& args,
         << " axes (nothing executed)\n";
   }
   emit(args, result.metadata, result.table, out);
+  return 0;
+}
+
+int cmd_validate(int argc, const char* const* argv, const util::CliArgs& args,
+                 std::ostream& out) {
+  ValidationOptions options;
+  const auto& positional = args.positional();
+  if (positional.size() > 2) {
+    throw ConfigError(ConfigError::Kind::kSyntax, "validate",
+                      "usage: lbsim validate [family] [--strict]");
+  }
+  if (positional.size() == 2) options.family = positional[1];
+  options.strict = args.has("strict") && args.get_bool("strict", true);
+  const long long reps = args.get_int64("reps", 0);
+  if (reps < 0) {
+    throw ConfigError(ConfigError::Kind::kOutOfRange, "reps", "--reps must be >= 1");
+  }
+  options.replications = static_cast<std::size_t>(reps);
+  if (const long long seed = args.get_int64("seed", 0); seed != 0) {
+    options.seed = static_cast<std::uint64_t>(seed);
+  }
+  const int threads = args.get_int("threads", 0);
+  if (threads < 0) {
+    throw ConfigError(ConfigError::Kind::kOutOfRange, "threads", "--threads must be >= 0");
+  }
+  options.threads = static_cast<unsigned>(threads);
+  options.sigma_gate = args.get_double("sigma", 0.0);
+  if (options.sigma_gate < 0.0) {
+    throw ConfigError(ConfigError::Kind::kOutOfRange, "sigma", "--sigma must be > 0");
+  }
+  options.ks_slack = args.get_double("ks-slack", options.ks_slack);
+
+  ValidationReport report = run_validation(options);
+  report.metadata.command = joined_command(argc, argv);
+  emit(args, report.metadata, report.table, out);
+  out << "\nvalidate: " << report.checked << " theory-checked, " << report.skipped
+      << " past the solver boundary, " << report.failures << " failure(s)\n";
+  if (!report.passed()) {
+    out << "validate FAILED: the MC engine disagrees with the exact solvers beyond "
+           "the statistical gates\n";
+    return 1;
+  }
+  out << "validate passed\n";
   return 0;
 }
 
@@ -549,6 +624,7 @@ int run_lbsim(int argc, const char* const* argv, std::ostream& out, std::ostream
     if (command == "list") return cmd_list(args, out);
     if (command == "run") return cmd_run(argc, argv, args, out);
     if (command == "sweep") return cmd_sweep(argc, argv, args, out);
+    if (command == "validate") return cmd_validate(argc, argv, args, out);
     if (command == "reproduce") return cmd_reproduce(argc, argv, args, out);
     if (command == "perf") return cmd_perf(argc, argv, args, out);
     err << "lbsim: unknown command '" << command << "'\n\n" << kUsage;

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <cstdio>
 
+#include "markov/theory_oracle.hpp"
 #include "mc/engine.hpp"
+#include "mc/theory.hpp"
+#include "stochastic/stats.hpp"
 
 namespace lbsim::cli {
 namespace {
@@ -38,6 +41,26 @@ void assign(const std::string& key, const std::string& value, RawConfig& raw,
   } else {
     raw.set(key, value);
   }
+}
+
+/// Joins the exact-solver prediction onto one MC row: theory_mean, abs_err,
+/// and sigma_err (error in MC standard errors). Grid points the oracle
+/// declines — no closed form for the policy/delay semantics, or past the
+/// n <= 8 tractability boundary — carry the "-" no-solver marker instead.
+void append_theory_cells(const mc::ScenarioConfig& built, const mc::McResult& mc_result,
+                         std::vector<std::string>& row) {
+  const mc::TheoryMapping mapping = mc::map_to_theory(built);
+  markov::TheoryPrediction prediction;
+  if (mapping.ok) prediction = markov::TheoryOracle{}.mean(mapping.query);
+  if (!mapping.ok || !prediction.applicable) {
+    row.insert(row.end(), {"-", "-", "-"});
+    return;
+  }
+  const double abs_err = std::fabs(mc_result.mean() - prediction.mean);
+  row.push_back(util::format_double(prediction.mean, 3));
+  row.push_back(util::format_double(abs_err, 3));
+  const double std_error = mc_result.std_error();
+  row.push_back(std_error > 0.0 ? util::format_double(abs_err / std_error, 2) : "-");
 }
 
 }  // namespace
@@ -114,6 +137,25 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
   } else {
     header.insert(header.end(), {"mean_s", "ci95_s", "stderr_s", "reps", "mean_failures",
                                  "mean_tasks_moved", "mean_bundles"});
+    if (options.quantiles) {
+      header.insert(header.end(), {"p50_s", "p90_s", "p99_s"});
+    }
+    if (options.ecdf_points > 0) {
+      // Quantile-function columns on a uniform grid: together they ARE the
+      // point's ECDF at resolution K (q0_s = min, q100_s = max).
+      for (std::size_t i = 0; i <= options.ecdf_points; ++i) {
+        // Built with += (not operator+ chains): gcc-12's -Wrestrict trips on
+        // the inlined concatenation otherwise.
+        std::string name = "q";
+        name += format_axis_value(100.0 * static_cast<double>(i) /
+                                  static_cast<double>(options.ecdf_points));
+        name += "_s";
+        header.push_back(std::move(name));
+      }
+    }
+    if (options.compare_theory) {
+      header.insert(header.end(), {"theory_mean", "abs_err", "sigma_err"});
+    }
   }
   SweepResult result{util::TextTable(header), {}};
 
@@ -141,7 +183,9 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
       mc_config.replications = point_options.replications;
       mc_config.threads = point_options.threads;
       mc_config.seed = point_options.seed;
-      const mc::McResult mc_result = mc::run_monte_carlo(scenario.build(config), mc_config);
+      mc_config.collect_samples = options.ecdf_points > 0;
+      const mc::ScenarioConfig built = scenario.build(config);
+      const mc::McResult mc_result = mc::run_monte_carlo(built, mc_config);
       row.push_back(util::format_double(mc_result.mean(), 3));
       row.push_back(util::format_double(mc_result.ci95(), 3));
       row.push_back(util::format_double(mc_result.std_error(), 3));
@@ -149,6 +193,20 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
       row.push_back(util::format_double(mc_result.mean_failures, 2));
       row.push_back(util::format_double(mc_result.mean_tasks_moved, 2));
       row.push_back(util::format_double(mc_result.mean_bundles, 2));
+      if (options.quantiles) {
+        row.push_back(util::format_double(mc_result.p50, 3));
+        row.push_back(util::format_double(mc_result.p90, 3));
+        row.push_back(util::format_double(mc_result.p99, 3));
+      }
+      if (options.ecdf_points > 0) {
+        for (std::size_t i = 0; i <= options.ecdf_points; ++i) {
+          const double q = static_cast<double>(i) / static_cast<double>(options.ecdf_points);
+          row.push_back(util::format_double(mc_result.sample_quantile(q), 3));
+        }
+      }
+      if (options.compare_theory) {
+        append_theory_cells(built, mc_result, row);
+      }
     }
     result.table.add_row(std::move(row));
   }

@@ -40,6 +40,17 @@ struct SweepOptions {
   unsigned threads = 0;
   std::uint64_t seed = 0x5eed2006;
   bool dry_run = false;  ///< list the points, run nothing
+  /// Append p50_s/p90_s/p99_s columns: exact type-7 values up to
+  /// mc::kExactQuantileCap replications per point, P² streaming estimates
+  /// (O(1) memory) beyond.
+  bool quantiles = false;
+  /// When K > 0, collect raw samples and append K+1 empirical-quantile
+  /// columns q0_s..q100_s at q = i/K — the point's ECDF at resolution K.
+  std::size_t ecdf_points = 0;
+  /// Append theory_mean/abs_err/sigma_err columns by dispatching each grid
+  /// point to the matching exact solver (markov::TheoryOracle); points past
+  /// the tractability boundary carry the "-" no-solver marker.
+  bool compare_theory = false;
 };
 
 /// Result table of a sweep: one row per grid point (axis columns first, then

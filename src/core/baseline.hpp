@@ -15,6 +15,7 @@ class NoBalancingPolicy final : public LoadBalancingPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "NoBalancing"; }
   [[nodiscard]] std::vector<TransferDirective> on_start(const SystemView& view) override;
+  [[nodiscard]] bool start_only() const noexcept override { return true; }
   [[nodiscard]] PolicyPtr clone() const override;
 };
 
@@ -23,6 +24,7 @@ class ProportionalOncePolicy final : public LoadBalancingPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "ProportionalOnce"; }
   [[nodiscard]] std::vector<TransferDirective> on_start(const SystemView& view) override;
+  [[nodiscard]] bool start_only() const noexcept override { return true; }
   [[nodiscard]] PolicyPtr clone() const override;
 };
 

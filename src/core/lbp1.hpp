@@ -25,6 +25,7 @@ class Lbp1Policy final : public LoadBalancingPolicy {
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::vector<TransferDirective> on_start(const SystemView& view) override;
+  [[nodiscard]] bool start_only() const noexcept override { return true; }
   [[nodiscard]] PolicyPtr clone() const override;
 
   [[nodiscard]] double gain() const noexcept { return gain_; }

@@ -43,6 +43,13 @@ class LoadBalancingPolicy {
   /// Balancing action at t = 0 (all policies act here, possibly with nothing).
   [[nodiscard]] virtual std::vector<TransferDirective> on_start(const SystemView& view) = 0;
 
+  /// True when the policy's entire action is its t = 0 directives (the
+  /// failure/recovery/periodic hooks never move a task). Start-only policies
+  /// stay inside the regeneration solvers' model, so the theory oracle can
+  /// predict them exactly; event-driven ones (LBP-2, periodic) cannot be
+  /// expressed there. Conservative default: false.
+  [[nodiscard]] virtual bool start_only() const noexcept { return false; }
+
   /// Balancing action at the instant node `node` fails (default: none).
   [[nodiscard]] virtual std::vector<TransferDirective> on_failure(int node,
                                                                   const SystemView& view);

@@ -1,0 +1,147 @@
+#include "markov/theory_oracle.hpp"
+
+#include <string>
+
+#include "markov/two_node_mean.hpp"
+#include "util/error.hpp"
+
+namespace lbsim::markov {
+namespace {
+
+/// Builds the TwoNodeParams view of a two-node multi-node parameter set.
+TwoNodeParams two_node_view(const MultiNodeParams& params) {
+  TwoNodeParams two;
+  two.nodes[0] = params.nodes[0];
+  two.nodes[1] = params.nodes[1];
+  two.per_task_delay_mean = params.per_task_delay_mean;
+  return two;
+}
+
+std::string node_label(std::size_t i) { return "node " + std::to_string(i); }
+
+}  // namespace
+
+unsigned TheoryQuery::resolved_state() const noexcept {
+  if (initial_state != kAllUpSentinel) return initial_state;
+  return all_up_state(params.nodes.size());
+}
+
+std::string TheoryOracle::screen(const TheoryQuery& query) const {
+  const std::size_t n = query.params.nodes.size();
+  LBSIM_REQUIRE(n >= 1, "theory query without nodes");
+  LBSIM_REQUIRE(query.queues.size() == n,
+                "queue vector has " << query.queues.size() << " entries for " << n
+                                    << " nodes");
+  if (n > kMaxSolverNodes) {
+    return "no exact solver for n=" + std::to_string(n) +
+           " > " + std::to_string(kMaxSolverNodes) +
+           " nodes (one 2^n x 2^n work-state solve per lattice point)";
+  }
+  if (query.transfers.size() > kMaxTransfers) {
+    return "more than " + std::to_string(kMaxTransfers) + " simultaneous bundles";
+  }
+  const unsigned state = query.resolved_state();
+  if (state >= (1u << n)) {
+    return "initial state mask " + std::to_string(state) +
+           " addresses nodes beyond n=" + std::to_string(n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool up = (state >> i) & 1u;
+    if (!up && query.params.nodes[i].lambda_f == 0.0) {
+      // The regeneration solvers pin "never-failing node down" work states to
+      // zero (they are unreachable from any churn path), so a run that STARTS
+      // there is outside their state space.
+      return node_label(i) + " starts down but never fails (outside the solvers' "
+                             "reachable work states)";
+    }
+  }
+  for (const TransferSpec& t : query.transfers) {
+    if (t.count == 0) return "empty bundle in the transfer list";
+    if (t.from < 0 || static_cast<std::size_t>(t.from) >= n || t.to < 0 ||
+        static_cast<std::size_t>(t.to) >= n || t.to == t.from) {
+      return "bundle endpoints outside the node set";
+    }
+  }
+
+  // Tractability: every solver's work scales with the task lattice — the
+  // product over nodes of (queue + incoming bundles + 1). The dedicated
+  // two-node solver affords a larger budget than the 2^n-coupled multi-node
+  // recursion; past either, declining beats hanging a sweep.
+  std::vector<std::size_t> extents = query.queues;
+  for (const TransferSpec& t : query.transfers) {
+    extents[static_cast<std::size_t>(t.to)] += t.count;
+  }
+  double lattice = 1.0;
+  for (const std::size_t e : extents) lattice *= static_cast<double>(e + 1);
+  const bool dedicated_two_node = n == 2 && query.transfers.size() <= 1;
+  const double budget = dedicated_two_node ? 4e6 : 2e5;
+  if (lattice > budget) {
+    return "task lattice of ~" + std::to_string(static_cast<long long>(lattice)) +
+           " points exceeds the exact solvers' budget";
+  }
+  return "";
+}
+
+TheoryPrediction TheoryOracle::mean(const TheoryQuery& query) const {
+  TheoryPrediction prediction;
+  if (std::string reason = screen(query); !reason.empty()) {
+    prediction.reason = std::move(reason);
+    return prediction;
+  }
+  const std::size_t n = query.params.nodes.size();
+  const unsigned state = query.resolved_state();
+
+  // Two-node queries with at most one bundle take the dedicated eq. (4)
+  // solver (faster and independently golden-pinned); everything else up to
+  // n = 8 goes through the multi-node recursion.
+  if (n == 2 && query.transfers.size() <= 1) {
+    TwoNodeMeanSolver solver(two_node_view(query.params));
+    if (query.transfers.empty()) {
+      prediction.mean = solver.mean_no_transit(query.queues[0], query.queues[1], state);
+    } else {
+      const TransferSpec& t = query.transfers[0];
+      prediction.mean = solver.mean_with_transit(query.queues[0], query.queues[1], t.count,
+                                                 t.to, state);
+    }
+    prediction.method = "two-node regeneration (eq. 4)";
+  } else {
+    MultiNodeMeanSolver solver(query.params);
+    prediction.mean = solver.expected_completion(query.queues, query.transfers, state);
+    prediction.method = "multi-node regeneration (n=" + std::to_string(n) + ")";
+  }
+  prediction.applicable = true;
+  return prediction;
+}
+
+TheoryCdfPrediction TheoryOracle::cdf(const TheoryQuery& query,
+                                      const TwoNodeCdfSolver::Config& config) const {
+  TheoryCdfPrediction prediction;
+  if (std::string reason = screen(query); !reason.empty()) {
+    prediction.reason = std::move(reason);
+    return prediction;
+  }
+  const std::size_t n = query.params.nodes.size();
+  if (n != 2) {
+    prediction.reason =
+        "the eq. (5) distribution solver covers two-node systems only (n=" +
+        std::to_string(n) + ")";
+    return prediction;
+  }
+  if (query.transfers.size() > 1) {
+    prediction.reason = "the eq. (5) distribution solver handles at most one bundle";
+    return prediction;
+  }
+  const TwoNodeCdfSolver solver(two_node_view(query.params), config);
+  const unsigned state = query.resolved_state();
+  if (query.transfers.empty()) {
+    prediction.curve = solver.cdf_no_transit(query.queues[0], query.queues[1], state);
+  } else {
+    const TransferSpec& t = query.transfers[0];
+    prediction.curve = solver.cdf_with_transit(query.queues[0], query.queues[1], t.count,
+                                               t.to, state);
+  }
+  prediction.applicable = true;
+  return prediction;
+}
+
+}  // namespace lbsim::markov

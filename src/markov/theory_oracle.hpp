@@ -1,0 +1,86 @@
+#pragma once
+/// \file
+/// The theory oracle: one front door to every exact solver in this module.
+///
+/// A TheoryQuery is a solver-neutral description of an initial condition —
+/// per-node rates, queue lengths net of departed bundles, the bundles in
+/// flight at t = 0, and the initial work-state mask. The oracle dispatches it
+/// to the tightest applicable solver (the eq. (4) two-node regeneration
+/// solver, the eq. (5) ODE distribution solver, or the multi-node memoised
+/// recursion for n <= 8) and answers with either a prediction or a precise
+/// reason why no closed form exists, so callers (`lbsim sweep
+/// --compare=theory`, `lbsim validate`, the validation tests) can print a
+/// clean "no solver applies" marker past the tractability boundary instead of
+/// guessing at it.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "markov/multi_node_mean.hpp"
+#include "markov/params.hpp"
+#include "markov/two_node_cdf.hpp"
+
+namespace lbsim::markov {
+
+/// Work-state mask with the first `n` nodes up.
+[[nodiscard]] constexpr unsigned all_up_state(std::size_t n) noexcept {
+  return n >= 32 ? ~0u : (1u << n) - 1u;
+}
+
+/// A solver-neutral initial condition: what every exact solver needs and
+/// nothing any particular solver owns.
+struct TheoryQuery {
+  MultiNodeParams params;
+  /// Queue lengths at t = 0, net of any tasks already in flight.
+  std::vector<std::size_t> queues;
+  /// Bundles in flight at t = 0, each delayed Exp(1/(d * count)).
+  std::vector<TransferSpec> transfers;
+  /// Initial work state, bit i = node i up. Defaults to "resolve from n" —
+  /// callers that leave it untouched get the all-up state.
+  unsigned initial_state = kAllUpSentinel;
+
+  static constexpr unsigned kAllUpSentinel = ~0u;
+
+  /// The effective initial state (sentinel resolved against params size).
+  [[nodiscard]] unsigned resolved_state() const noexcept;
+};
+
+/// Outcome of a mean-completion-time query.
+struct TheoryPrediction {
+  bool applicable = false;
+  double mean = 0.0;    ///< E[T] in seconds (valid iff applicable)
+  std::string method;   ///< solver used, e.g. "two-node regeneration (eq. 4)"
+  std::string reason;   ///< why no solver applies (valid iff !applicable)
+};
+
+/// Outcome of a completion-time-distribution query.
+struct TheoryCdfPrediction {
+  bool applicable = false;
+  CdfCurve curve;       ///< P{T <= t} on a uniform grid (valid iff applicable)
+  std::string reason;   ///< why no solver applies (valid iff !applicable)
+};
+
+class TheoryOracle {
+ public:
+  /// The multi-node recursion solves one 2^n x 2^n system per lattice point;
+  /// past this it is intractable and the MC engine is the only truth.
+  static constexpr std::size_t kMaxSolverNodes = 8;
+  static constexpr std::size_t kMaxTransfers = 16;
+
+  /// Exact mean completion time, or the reason none of the solvers applies.
+  /// Never throws on out-of-model queries; malformed ones (queue/params size
+  /// mismatch, invalid rates) still throw like the solvers do.
+  [[nodiscard]] TheoryPrediction mean(const TheoryQuery& query) const;
+
+  /// Exact completion-time CDF (two-node systems with at most one bundle in
+  /// flight; the eq. (5) ODE solver), or the reason it does not apply.
+  [[nodiscard]] TheoryCdfPrediction cdf(
+      const TheoryQuery& query, const TwoNodeCdfSolver::Config& config = {}) const;
+
+ private:
+  /// Shared applicability screen; returns a non-empty reason to decline.
+  [[nodiscard]] std::string screen(const TheoryQuery& query) const;
+};
+
+}  // namespace lbsim::markov

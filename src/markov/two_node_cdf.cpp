@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "markov/two_node_mean.hpp"
 #include "util/error.hpp"
@@ -60,8 +61,12 @@ double CdfCurve::quantile(double q) const {
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (values[i] >= q) return grid[i];
   }
-  LBSIM_REQUIRE(false, "quantile " << q << " beyond horizon (tail=" << tail_mass() << ")");
-  return 0.0;  // unreachable
+  // Tail-aware sentinel: the requested mass lies beyond the integration
+  // horizon. +infinity is the honest order statistic of "later than every
+  // grid time" and keeps sweep/validation callers total — they can test
+  // std::isinf (or compare tail_mass()) instead of catching a hard failure;
+  // re-solve with a longer Config::horizon for a finite answer.
+  return std::numeric_limits<double>::infinity();
 }
 
 TwoNodeParams swap_nodes(const TwoNodeParams& params) {

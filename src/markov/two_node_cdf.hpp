@@ -34,7 +34,9 @@ struct CdfCurve {
   /// by at most tail_mass() * (true tail length).
   [[nodiscard]] double mean_estimate() const;
 
-  /// Smallest grid time with p >= q (q in (0,1]); throws if not reached.
+  /// Smallest grid time with p >= q (q in (0,1]). When the accumulated mass
+  /// never reaches q within the horizon, returns +infinity (a tail-aware
+  /// sentinel; check tail_mass() or extend Config::horizon for a finite value).
   [[nodiscard]] double quantile(double q) const;
 };
 

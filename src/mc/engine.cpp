@@ -4,11 +4,17 @@
 #include <thread>
 
 #include "sim/simulator.hpp"
+#include "stochastic/quantile_sketch.hpp"
 #include "util/error.hpp"
 
 namespace lbsim::mc {
 
 double McResult::ci95() const noexcept { return stoch::ci_half_width(completion); }
+
+double McResult::sample_quantile(double q) const {
+  LBSIM_REQUIRE(!samples.empty(), "sample_quantile needs collect_samples");
+  return stoch::quantile_sorted(samples, q);
+}
 
 McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
   LBSIM_REQUIRE(mc.replications >= 1, "replications=" << mc.replications);
@@ -21,8 +27,18 @@ McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
     double tasks_moved = 0.0;
     double bundles = 0.0;
     std::vector<double> samples;
+    // Streaming quantile sketches (used when raw samples are not kept).
+    stoch::P2Quantile p50{0.5};
+    stoch::P2Quantile p90{0.9};
+    stoch::P2Quantile p99{0.99};
   };
   std::vector<Partial> partials(threads);
+
+  // Exact (thread-count-independent) quantiles are kept whenever the sample
+  // buffer stays bounded: always under collect_samples, and transiently up to
+  // kExactQuantileCap replications. Only past the cap does the per-worker P²
+  // streaming path take over.
+  const bool keep_samples = mc.collect_samples || mc.replications <= kExactQuantileCap;
 
   const auto worker = [&](unsigned tid) {
     // Each worker clones the scenario once; per-replication state is rebuilt
@@ -32,14 +48,20 @@ McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
     const ScenarioConfig local = config.clone();
     des::Simulator sim;
     Partial& out = partials[tid];
-    if (mc.collect_samples) out.samples.reserve(mc.replications / threads + 1);
+    if (keep_samples) out.samples.reserve(mc.replications / threads + 1);
     for (std::size_t rep = tid; rep < mc.replications; rep += threads) {
       const RunResult run = run_scenario(local, mc.seed, rep, nullptr, sim);
       out.completion.add(run.completion_time);
       out.failures += static_cast<double>(run.failures);
       out.tasks_moved += static_cast<double>(run.tasks_moved);
       out.bundles += static_cast<double>(run.bundles_sent);
-      if (mc.collect_samples) out.samples.push_back(run.completion_time);
+      if (keep_samples) {
+        out.samples.push_back(run.completion_time);
+      } else {
+        out.p50.add(run.completion_time);
+        out.p90.add(run.completion_time);
+        out.p99.add(run.completion_time);
+      }
     }
   };
 
@@ -67,7 +89,32 @@ McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
   result.mean_failures = failures / n;
   result.mean_tasks_moved = moved / n;
   result.mean_bundles = bundles / n;
-  if (mc.collect_samples) std::sort(result.samples.begin(), result.samples.end());
+  if (keep_samples) {
+    std::sort(result.samples.begin(), result.samples.end());
+    result.p50 = stoch::quantile_sorted(result.samples, 0.5);
+    result.p90 = stoch::quantile_sorted(result.samples, 0.9);
+    result.p99 = stoch::quantile_sorted(result.samples, 0.99);
+    // The transient buffer was only for the exact quantiles; the caller did
+    // not ask for samples.
+    if (!mc.collect_samples) {
+      result.samples.clear();
+      result.samples.shrink_to_fit();
+    }
+  } else {
+    const auto combine = [&partials](stoch::P2Quantile Partial::* sketch) {
+      std::vector<std::pair<std::size_t, double>> parts;
+      parts.reserve(partials.size());
+      for (const Partial& p : partials) {
+        if ((p.*sketch).count() > 0) {
+          parts.emplace_back((p.*sketch).count(), (p.*sketch).estimate());
+        }
+      }
+      return stoch::combine_estimates(parts);
+    };
+    result.p50 = combine(&Partial::p50);
+    result.p90 = combine(&Partial::p90);
+    result.p99 = combine(&Partial::p99);
+  }
   return result;
 }
 

@@ -19,20 +19,40 @@ struct McConfig {
   bool collect_samples = false;    ///< keep raw completion times (ECDF/quantiles)
 };
 
+/// Largest replication count for which the engine computes its quantile
+/// summary exactly even without collect_samples (a transient, bounded sample
+/// buffer — ~512 KiB — merged across workers and discarded). Past this the
+/// streaming P² path takes over so unbounded sweeps stay O(1) memory.
+inline constexpr std::size_t kExactQuantileCap = 65536;
+
 struct McResult {
   stoch::RunningStats completion;   ///< completion-time statistics
   double mean_failures = 0.0;       ///< average churn events per run
   double mean_tasks_moved = 0.0;    ///< average migrated tasks per run
   double mean_bundles = 0.0;        ///< average transfers per run
-  std::vector<double> samples;      ///< raw times (empty unless collect_samples)
+  std::vector<double> samples;      ///< raw times, sorted (empty unless collect_samples)
+  /// Completion-time quantiles, always populated. Exact type-7 values (and
+  /// thread-count independent, like every other statistic) when
+  /// collect_samples is on or replications <= kExactQuantileCap; beyond the
+  /// cap they are count-weighted P² streaming estimates — O(1) memory, good
+  /// to roughly a percent at the cap's per-worker sample sizes, and the one
+  /// statistic that may vary slightly with the thread count.
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
 
   [[nodiscard]] double mean() const noexcept { return completion.mean(); }
   [[nodiscard]] double std_error() const noexcept { return completion.std_error(); }
   /// 95% normal-approximation half width.
   [[nodiscard]] double ci95() const noexcept;
+
+  /// Exact type-7 quantile of the collected samples; requires collect_samples.
+  [[nodiscard]] double sample_quantile(double q) const;
 };
 
-/// Runs the experiment. Deterministic in (config, mc.seed, mc.replications).
+/// Runs the experiment. Deterministic in (config, mc.seed, mc.replications) —
+/// except the p50/p90/p99 summary above kExactQuantileCap replications, which
+/// is a streaming estimate (see McResult).
 [[nodiscard]] McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc);
 
 }  // namespace lbsim::mc

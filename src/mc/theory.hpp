@@ -1,0 +1,31 @@
+#pragma once
+/// \file
+/// Bridge from a runnable mc::ScenarioConfig to a markov::TheoryQuery: decides
+/// whether the scenario's semantics stay inside the regeneration solvers'
+/// model (start-only policy, exponential load-dependent bundle delays, no
+/// periodic timer) and, when they do, replays the policy's t = 0 action
+/// against the initial workloads to produce the solver-neutral initial
+/// condition the theory oracle consumes.
+
+#include <string>
+
+#include "markov/theory_oracle.hpp"
+#include "mc/scenario.hpp"
+
+namespace lbsim::mc {
+
+/// The bridge's answer: either a query the oracle can dispatch, or the exact
+/// scenario semantics that put the run outside every closed form.
+struct TheoryMapping {
+  bool ok = false;
+  markov::TheoryQuery query;  ///< valid iff ok
+  std::string reason;         ///< valid iff !ok
+};
+
+/// Maps `config` onto the solvers' model. Pure: does not run the simulation,
+/// only the policy's deterministic t = 0 decision. Note `ok` means "the MC
+/// run and the query describe the same stochastic law"; whether an exact
+/// solver is tractable for the query (n <= 8, ...) is the oracle's verdict.
+[[nodiscard]] TheoryMapping map_to_theory(const ScenarioConfig& config);
+
+}  // namespace lbsim::mc

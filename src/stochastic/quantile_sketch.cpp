@@ -1,0 +1,97 @@
+#include "stochastic/quantile_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stochastic/stats.hpp"
+#include "util/error.hpp"
+
+namespace lbsim::stoch {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  LBSIM_REQUIRE(q >= 0.0 && q <= 1.0, "q=" << q);
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increment_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i) positions_[i] = static_cast<double>(i + 1);
+    }
+    return;
+  }
+
+  // Locate the cell k with heights[k] <= x < heights[k+1], clamping the
+  // extreme markers to the observed extremes.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increment_[i];
+  ++count_;
+
+  // Nudge the three interior markers toward their desired positions with the
+  // piecewise-parabolic (P²) height update, falling back to linear when the
+  // parabola would leave the bracketing heights.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double gap = desired_[i] - positions_[i];
+    const bool right = gap >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool left = gap <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (!right && !left) continue;
+    const double d = right ? 1.0 : -1.0;
+    const double np1 = positions_[i + 1];
+    const double nm1 = positions_[i - 1];
+    const double ni = positions_[i];
+    const double candidate =
+        heights_[i] +
+        d / (np1 - nm1) *
+            ((ni - nm1 + d) * (heights_[i + 1] - heights_[i]) / (np1 - ni) +
+             (np1 - ni - d) * (heights_[i] - heights_[i - 1]) / (ni - nm1));
+    if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+      heights_[i] = candidate;
+    } else {
+      const std::size_t j = right ? i + 1 : i - 1;
+      heights_[i] += d * (heights_[j] - heights_[i]) / (positions_[j] - ni);
+    }
+    positions_[i] += d;
+  }
+}
+
+double P2Quantile::estimate() const {
+  LBSIM_REQUIRE(count_ >= 1, "estimate of empty P2Quantile");
+  if (count_ < 5) {
+    // Exact type-7 quantile over the stored prefix.
+    std::vector<double> sorted(heights_.begin(),
+                               heights_.begin() + static_cast<long>(count_));
+    std::sort(sorted.begin(), sorted.end());
+    return quantile_sorted(sorted, q_);
+  }
+  if (q_ <= 0.0) return heights_[0];
+  if (q_ >= 1.0) return heights_[4];
+  return heights_[2];
+}
+
+double combine_estimates(const std::vector<std::pair<std::size_t, double>>& parts) {
+  double total = 0.0;
+  double weighted = 0.0;
+  for (const auto& [count, estimate] : parts) {
+    if (count == 0) continue;
+    total += static_cast<double>(count);
+    weighted += static_cast<double>(count) * estimate;
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+}  // namespace lbsim::stoch

@@ -1,0 +1,49 @@
+#pragma once
+/// \file
+/// Streaming quantile estimation for the Monte-Carlo engine: the P-square
+/// (P²) algorithm of Jain & Chlamtac (CACM 1985) tracks one quantile with
+/// five markers in O(1) memory and O(1) work per observation, so large sweeps
+/// can report p50/p90/p99 without retaining every completion-time sample.
+///
+/// The estimate is exact while fewer than five observations have been seen
+/// (the markers simply hold the sorted sample) and an interpolation-based
+/// approximation afterwards. For exact (type-7) quantiles, collect the raw
+/// samples instead (`mc.collect_samples`) and use stoch::quantile.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace lbsim::stoch {
+
+/// One P² estimator for a fixed quantile q in [0, 1].
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate: exact for count() < 5, the P² middle marker otherwise.
+  /// Requires count() >= 1.
+  [[nodiscard]] double estimate() const;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double target() const noexcept { return q_; }
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights (ascending)
+  std::array<double, 5> positions_{};  // actual marker positions (1-based)
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increment_{};  // per-observation desired-position steps
+};
+
+/// Count-weighted combination of independent partial estimates, used to fold
+/// the per-worker P² sketches of a parallel Monte-Carlo run into one value.
+/// Each entry is (observation count, quantile estimate); entries with zero
+/// count are ignored. Returns 0 when every entry is empty.
+[[nodiscard]] double combine_estimates(
+    const std::vector<std::pair<std::size_t, double>>& parts);
+
+}  // namespace lbsim::stoch

@@ -53,15 +53,19 @@ double ci_half_width(const RunningStats& stats, double z) noexcept {
 }
 
 double quantile(std::vector<double> data, double q) {
-  LBSIM_REQUIRE(!data.empty(), "quantile of empty sample");
-  LBSIM_REQUIRE(q >= 0.0 && q <= 1.0, "q=" << q);
   std::sort(data.begin(), data.end());
-  if (data.size() == 1) return data[0];
-  const double pos = q * static_cast<double>(data.size() - 1);
+  return quantile_sorted(data, q);
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  LBSIM_REQUIRE(!sorted.empty(), "quantile of empty sample");
+  LBSIM_REQUIRE(q >= 0.0 && q <= 1.0, "q=" << q);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, data.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return data[lo] * (1.0 - frac) + data[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {

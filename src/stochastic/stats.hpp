@@ -40,6 +40,10 @@ class RunningStats {
 /// Linear-interpolation sample quantile (type 7); q in [0,1]; data need not be sorted.
 [[nodiscard]] double quantile(std::vector<double> data, double q);
 
+/// Same quantile over data that is already sorted ascending (no copy, no sort);
+/// the form the MC engine uses on its sorted sample vector.
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted, double q);
+
 /// Empirical CDF over a fixed sample. Construction sorts a copy.
 class Ecdf {
  public:

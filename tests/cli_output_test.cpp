@@ -62,6 +62,34 @@ TEST(CliOutput, JsonEscapesControlCharacters) {
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
 }
 
+TEST(CliOutput, TheoryColumnsRoundTripThroughCsv) {
+  // A sweep row with the theory join: numeric cells plus the "-" no-solver
+  // marker. CSV must emit both verbatim (the marker needs no quoting) so the
+  // table parses back cell-for-cell.
+  util::TextTable table({"gain", "mean_s", "theory_mean", "abs_err", "sigma_err"});
+  table.add_row({"0.35", "116.749", "116.749", "0.862", "0.28"});
+  table.add_row({"0.5", "123.2", "-", "-", "-"});
+  std::ostringstream os;
+  write_csv(os, demo_meta(), table);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("gain,mean_s,theory_mean,abs_err,sigma_err"), std::string::npos);
+  EXPECT_NE(text.find("0.35,116.749,116.749,0.862,0.28"), std::string::npos);
+  EXPECT_NE(text.find("0.5,123.2,-,-,-"), std::string::npos);
+}
+
+TEST(CliOutput, TheoryAndQuantileColumnsInJson) {
+  // JSON keeps numbers unquoted and the no-solver marker as the string "-",
+  // so downstream tooling can distinguish "no prediction" from 0.
+  util::TextTable table({"p50_s", "p90_s", "theory_mean"});
+  table.add_row({"108.133", "171.061", "-"});
+  std::ostringstream os;
+  write_json(os, demo_meta(), table);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"columns\": [\"p50_s\", \"p90_s\", \"theory_mean\"]"),
+            std::string::npos);
+  EXPECT_NE(text.find("[108.133, 171.061, \"-\"]"), std::string::npos);
+}
+
 TEST(CliOutput, HardwareThreadsSpelledOut) {
   RunMetadata meta = demo_meta();
   meta.threads = 0;

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 #include "cli/sweep.hpp"
 #include "test_support.hpp"
 
@@ -81,6 +84,85 @@ TEST(CliSweep, RunsTheGridAndReportsMeans) {
     EXPECT_LT(mean, 1000.0);
   }
   EXPECT_GT(result.metadata.wall_seconds, 0.0);
+}
+
+TEST(CliSweep, QuantileColumnsAreOrderedAndBracketTheMean) {
+  const ScenarioSpec& spec = find_scenario("paper-two-node");
+  SweepOptions options;
+  options.replications = 60;
+  options.threads = 1;
+  options.seed = lbsim::test::kFixedSeed;
+  options.quantiles = true;
+  const SweepResult result = run_sweep(spec, {}, {parse_axis("gain=0.2,0.4")}, options);
+  const auto& header = result.table.header();
+  // Columns: gain + 7 MC stats, then the quantile block.
+  ASSERT_EQ(header.size(), 11u);
+  EXPECT_EQ(header[8], "p50_s");
+  EXPECT_EQ(header[9], "p90_s");
+  EXPECT_EQ(header[10], "p99_s");
+  for (std::size_t r = 0; r < result.table.rows(); ++r) {
+    const double p50 = std::stod(result.table.row(r).at(8));
+    const double p90 = std::stod(result.table.row(r).at(9));
+    const double p99 = std::stod(result.table.row(r).at(10));
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+  }
+}
+
+TEST(CliSweep, EcdfColumnsAreTheExactQuantileFunction) {
+  const ScenarioSpec& spec = find_scenario("paper-two-node");
+  SweepOptions options;
+  options.replications = 40;
+  options.threads = 1;
+  options.seed = lbsim::test::kFixedSeed;
+  options.ecdf_points = 4;
+  const SweepResult result = run_sweep(spec, {}, {parse_axis("gain=0.3,0.5")}, options);
+  const auto& header = result.table.header();
+  ASSERT_EQ(header.size(), 13u);  // gain + 7 stats + 5 quantile-grid columns
+  EXPECT_EQ(header[8], "q0_s");
+  EXPECT_EQ(header[9], "q25_s");
+  EXPECT_EQ(header[12], "q100_s");
+  for (std::size_t r = 0; r < result.table.rows(); ++r) {
+    // q0..q100 is the sorted sample's quantile function: non-decreasing, and
+    // its extremes are the run's min/max (also available to cross-check the
+    // ECDF semantics end-to-end).
+    double last = 0.0;
+    for (std::size_t c = 8; c <= 12; ++c) {
+      const double v = std::stod(result.table.row(r).at(c));
+      EXPECT_GE(v, last) << "row " << r << " col " << c;
+      last = v;
+    }
+  }
+}
+
+TEST(CliSweep, CompareTheoryJoinsSolverAndMarksNoSolverPoints) {
+  // policy=none stays inside the regeneration model; policy=lbp2 reacts to
+  // failures, so its row must carry the "-" no-solver marker in all three
+  // theory columns.
+  const ScenarioSpec& spec = find_scenario("paper-two-node");
+  SweepOptions options;
+  options.replications = 120;
+  options.threads = 1;
+  options.seed = lbsim::test::kFixedSeed;
+  options.compare_theory = true;
+  const SweepResult result =
+      run_sweep(spec, {}, {parse_axis("policy=none,lbp2")}, options);
+  const auto& header = result.table.header();
+  ASSERT_EQ(header.size(), 11u);
+  EXPECT_EQ(header[8], "theory_mean");
+  EXPECT_EQ(header[9], "abs_err");
+  EXPECT_EQ(header[10], "sigma_err");
+
+  const auto& theory_row = result.table.row(0);
+  // The no-transfer (100, 60) golden pin, joined onto the MC row.
+  EXPECT_NEAR(std::stod(theory_row.at(8)), 141.2156, 1e-3);
+  EXPECT_LT(std::fabs(std::stod(theory_row.at(10))), 4.0);  // |sigma_err| gate
+
+  const auto& marker_row = result.table.row(1);
+  EXPECT_EQ(marker_row.at(8), "-");
+  EXPECT_EQ(marker_row.at(9), "-");
+  EXPECT_EQ(marker_row.at(10), "-");
 }
 
 TEST(CliSweep, McAxesTargetTheEngineNotTheScenario) {

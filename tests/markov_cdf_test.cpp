@@ -121,6 +121,24 @@ TEST(CdfSolverTest, QuantileAndTail) {
   EXPECT_NEAR(curve.quantile(0.5), std::log(2.0), 0.02);
   EXPECT_NEAR(curve.quantile(0.95), -std::log(0.05), 0.05);
   EXPECT_THROW((void)curve.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)curve.quantile(1.5), std::invalid_argument);
+}
+
+TEST(CdfSolverTest, QuantileBeyondHorizonReturnsTailSentinel) {
+  // A 2-second horizon on an Exp(1) completion leaves ~13.5% of the mass in
+  // the tail: quantiles inside the reached mass stay finite, ones beyond it
+  // come back as the +infinity sentinel instead of a hard failure.
+  const TwoNodeCdfSolver solver(reliable_params(1.0, 1.0), fast_config(2.0, 0.01));
+  const CdfCurve curve = solver.cdf_no_transit(1, 0);
+  ASSERT_GT(curve.tail_mass(), 0.10);
+  EXPECT_TRUE(std::isfinite(curve.quantile(0.5)));
+  EXPECT_TRUE(std::isinf(curve.quantile(0.99)));
+  EXPECT_TRUE(std::isinf(curve.quantile(1.0)));
+  // Extending the horizon turns the same quantile finite again.
+  const CdfCurve longer =
+      TwoNodeCdfSolver(reliable_params(1.0, 1.0), fast_config(20.0, 0.01))
+          .cdf_no_transit(1, 0);
+  EXPECT_NEAR(longer.quantile(0.99), -std::log(0.01), 0.05);
 }
 
 TEST(CdfSolverTest, MoreWorkShiftsCurveRight) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/baseline.hpp"
 #include "core/lbp1.hpp"
 #include "core/lbp2.hpp"
@@ -152,6 +154,55 @@ TEST(EngineTest, CollectSamplesSortedAndSized) {
   ASSERT_EQ(result.samples.size(), 50u);
   EXPECT_TRUE(std::is_sorted(result.samples.begin(), result.samples.end()));
   EXPECT_EQ(result.completion.count(), 50u);
+}
+
+TEST(EngineTest, QuantilesExactAndThreadCountIndependentBelowCap) {
+  // Below kExactQuantileCap the p50/p90/p99 summary must be the exact type-7
+  // quantiles of the (thread-count-independent) sample multiset — identical
+  // across thread counts and to a collect_samples run, with no samples kept.
+  const ScenarioConfig config = fig3_scenario(0.35);
+  McConfig serial;
+  serial.seed = test::kFixedSeed;
+  serial.replications = 40;
+  serial.threads = 1;
+  McConfig parallel = serial;
+  parallel.threads = 4;
+  McConfig sampled = serial;
+  sampled.collect_samples = true;
+
+  const McResult a = run_monte_carlo(config, serial);
+  const McResult b = run_monte_carlo(config, parallel);
+  const McResult c = run_monte_carlo(config, sampled);
+  EXPECT_TRUE(a.samples.empty());
+  EXPECT_TRUE(b.samples.empty());
+  EXPECT_DOUBLE_EQ(a.p50, b.p50);
+  EXPECT_DOUBLE_EQ(a.p90, b.p90);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+  EXPECT_DOUBLE_EQ(a.p50, c.sample_quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.p90, c.sample_quantile(0.9));
+  EXPECT_DOUBLE_EQ(a.p99, c.sample_quantile(0.99));
+  EXPECT_LE(a.p50, a.p90);
+  EXPECT_LE(a.p90, a.p99);
+}
+
+TEST(EngineTest, StreamingQuantilesKickInPastTheCapAndStayAccurate) {
+  // One reliable node holding a single task: each replication is one
+  // Exp(lambda_d0) draw, so kExactQuantileCap+1 replications stay cheap and
+  // the analytic quantiles ln(1/(1-q))/lambda are known. The streaming P²
+  // path (no samples kept) must land within a few percent of them.
+  markov::TwoNodeParams params = markov::without_failures(markov::ipdps2006_params());
+  ScenarioConfig config =
+      make_two_node_scenario(params, 1, 0, std::make_unique<core::NoBalancingPolicy>());
+  config.churn_enabled = false;
+  McConfig mc;
+  mc.seed = test::kFixedSeed;
+  mc.replications = kExactQuantileCap + 1;
+  const McResult result = run_monte_carlo(config, mc);
+  EXPECT_TRUE(result.samples.empty());
+  const double rate = params.nodes[0].lambda_d;
+  EXPECT_NEAR(result.p50, std::log(2.0) / rate, 0.05 * std::log(2.0) / rate);
+  EXPECT_NEAR(result.p90, std::log(10.0) / rate, 0.05 * std::log(10.0) / rate);
+  EXPECT_NEAR(result.p99, std::log(100.0) / rate, 0.10 * std::log(100.0) / rate);
 }
 
 TEST(EngineTest, CiShrinksWithReplications) {

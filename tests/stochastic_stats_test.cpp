@@ -5,8 +5,11 @@
 
 #include <cmath>
 
+#include <algorithm>
+
 #include "stochastic/fit.hpp"
 #include "stochastic/histogram.hpp"
+#include "stochastic/quantile_sketch.hpp"
 #include "stochastic/rng.hpp"
 #include "stochastic/stats.hpp"
 
@@ -70,6 +73,58 @@ TEST(QuantileTest, Interpolates) {
   EXPECT_THROW((void)quantile(data, 1.5), std::invalid_argument);
 }
 
+TEST(QuantileTest, SingleSampleIsEveryQuantile) {
+  for (const double q : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile({7.5}, q), 7.5);
+  }
+}
+
+TEST(QuantileTest, DuplicatesAndUnsortedInput) {
+  // Ties collapse the interpolation; order of the input must not matter.
+  const std::vector<double> data{3.0, 1.0, 3.0, 3.0, 1.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 1.0), 3.0);
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.1, 0.37, 0.5, 0.82, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(data, q), quantile_sorted(sorted, q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileTest, RandomDataMatchesSortedDefinition) {
+  // Property: for any sample, quantile() == the type-7 formula applied to the
+  // sorted data, and quantiles are monotone in q.
+  RngStream rng(13);
+  std::vector<double> data;
+  for (int i = 0; i < 257; ++i) data.push_back(rng.exponential(0.5));
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  double last = sorted.front();
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double value = quantile(data, q);
+    EXPECT_DOUBLE_EQ(value, quantile_sorted(sorted, q));
+    EXPECT_GE(value + 1e-15, last);
+    last = value;
+  }
+}
+
+TEST(EcdfTest, SingleSampleAndDuplicates) {
+  const Ecdf one({2.0});
+  EXPECT_DOUBLE_EQ(one(1.9), 0.0);
+  EXPECT_DOUBLE_EQ(one(2.0), 1.0);
+  const Ecdf dup({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(dup(0.999), 0.0);
+  EXPECT_DOUBLE_EQ(dup(1.0), 1.0);
+  EXPECT_THROW(Ecdf({}), std::invalid_argument);
+}
+
+TEST(EcdfTest, UnsortedInputSortsOnConstruction) {
+  const Ecdf ecdf({4.0, 1.0, 3.0, 2.0});
+  EXPECT_TRUE(std::is_sorted(ecdf.sorted_samples().begin(), ecdf.sorted_samples().end()));
+  EXPECT_DOUBLE_EQ(ecdf(2.5), 0.5);
+}
+
 TEST(EcdfTest, StepFunctionValues) {
   const Ecdf ecdf({1.0, 2.0, 2.0, 4.0});
   EXPECT_DOUBLE_EQ(ecdf(0.5), 0.0);
@@ -107,6 +162,76 @@ TEST(EcdfTest, KsAgainstTrueCurveSmallForMatchingLaw) {
     ref.push_back(1.0 - std::exp(-2.0 * t));
   }
   EXPECT_LT(ks_distance_to_curve(ecdf, grid, ref), 0.03);
+}
+
+// ---------- streaming quantiles (P²) ----------
+
+TEST(P2QuantileTest, ExactBelowFiveObservations) {
+  P2Quantile median(0.5);
+  EXPECT_THROW((void)median.estimate(), std::invalid_argument);
+  median.add(9.0);
+  EXPECT_DOUBLE_EQ(median.estimate(), 9.0);
+  median.add(1.0);
+  EXPECT_DOUBLE_EQ(median.estimate(), 5.0);  // type-7 over {1, 9}
+  median.add(5.0);
+  median.add(3.0);
+  EXPECT_DOUBLE_EQ(median.estimate(), 4.0);  // type-7 over {1, 3, 5, 9}
+}
+
+TEST(P2QuantileTest, RejectsOutOfRangeTarget) {
+  EXPECT_THROW(P2Quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.1), std::invalid_argument);
+}
+
+TEST(P2QuantileTest, DuplicateHeavySampleStaysInRange) {
+  P2Quantile p90(0.9);
+  for (int i = 0; i < 1000; ++i) p90.add(i % 10 == 0 ? 2.0 : 1.0);
+  EXPECT_GE(p90.estimate(), 1.0);
+  EXPECT_LE(p90.estimate(), 2.0);
+}
+
+TEST(P2QuantileTest, TracksExactQuantilesOnRandomData) {
+  // Property: on iid exponential data the streaming estimate lands within a
+  // few percent of the exact type-7 quantile, for several targets and sizes.
+  RngStream rng(14);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    for (const int n : {500, 5000}) {
+      P2Quantile sketch(q);
+      std::vector<double> data;
+      data.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(1.0);
+        sketch.add(x);
+        data.push_back(x);
+      }
+      const double exact = quantile(data, q);
+      EXPECT_NEAR(sketch.estimate(), exact, 0.12 * exact + 0.02)
+          << "q=" << q << " n=" << n;
+    }
+  }
+}
+
+TEST(P2QuantileTest, ExtremeTargetsTrackMinAndMax) {
+  RngStream rng(15);
+  P2Quantile lo(0.0);
+  P2Quantile hi(1.0);
+  double min = 1e300;
+  double max = -1e300;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    lo.add(x);
+    hi.add(x);
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  EXPECT_DOUBLE_EQ(lo.estimate(), min);
+  EXPECT_DOUBLE_EQ(hi.estimate(), max);
+}
+
+TEST(P2QuantileTest, CombineEstimatesIsCountWeighted) {
+  EXPECT_DOUBLE_EQ(combine_estimates({{100, 2.0}, {300, 4.0}}), 3.5);
+  EXPECT_DOUBLE_EQ(combine_estimates({{0, 99.0}, {10, 1.0}}), 1.0);
+  EXPECT_DOUBLE_EQ(combine_estimates({}), 0.0);
 }
 
 // ---------- histogram ----------

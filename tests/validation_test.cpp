@@ -1,0 +1,283 @@
+// The statistical backbone of the theory-vs-simulation validation subsystem:
+// distributional (Kolmogorov–Smirnov) agreement between the MC engine and the
+// eq. (5) CDF solver at the paper's operating point, z-score gates for the
+// multi-node mean solver across its whole n = 3..8 range, the TheoryOracle
+// dispatch/decline rules, the scenario → theory bridge, and the
+// `lbsim validate` gate itself (including that a tightened tolerance trips a
+// failure — the property CI relies on).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cli/registry.hpp"
+#include "cli/validate.hpp"
+#include "core/baseline.hpp"
+#include "core/lbp1.hpp"
+#include "core/lbp2.hpp"
+#include "markov/theory_oracle.hpp"
+#include "markov/two_node_cdf.hpp"
+#include "mc/engine.hpp"
+#include "mc/theory.hpp"
+#include "net/delay_model.hpp"
+#include "stochastic/stats.hpp"
+#include "test_support.hpp"
+
+namespace lbsim {
+namespace {
+
+mc::ScenarioConfig family_scenario(const std::string& family,
+                                   std::vector<std::pair<std::string, std::string>> keys) {
+  const cli::ScenarioSpec& spec = cli::find_scenario(family);
+  cli::RawConfig raw;
+  for (auto& [key, value] : keys) raw.set(key, value);
+  return spec.build(spec.schema.resolve(raw));
+}
+
+// ---------- KS: MC ECDF vs the eq. (5) distribution solver ----------
+
+TEST(ValidationKs, PaperPointEcdfMatchesCdfSolver) {
+  // LBP-1 at the paper's (100, 60) operating point, gain 0.35: the MC
+  // empirical CDF must sit within the alpha = 0.001 Kolmogorov band (plus
+  // dt-grid slack) of the exact distribution.
+  mc::ScenarioConfig scenario = family_scenario("paper-two-node", {});
+  mc::McConfig mc_cfg;
+  mc_cfg.seed = test::kFixedSeed;
+  mc_cfg.replications = 600;
+  mc_cfg.collect_samples = true;
+  const mc::McResult result = mc::run_monte_carlo(scenario, mc_cfg);
+
+  const mc::TheoryMapping mapping = mc::map_to_theory(scenario);
+  ASSERT_TRUE(mapping.ok) << mapping.reason;
+  // dt = 0.1 halves the ODE work vs the default grid; the coarser sampling
+  // costs at most ~F'·dt ≈ 0.002 of KS resolution, well inside the slack.
+  markov::TwoNodeCdfSolver::Config cdf_config;
+  cdf_config.dt = 0.1;
+  const markov::TheoryCdfPrediction cdf =
+      markov::TheoryOracle{}.cdf(mapping.query, cdf_config);
+  ASSERT_TRUE(cdf.applicable) << cdf.reason;
+  EXPECT_LT(cdf.curve.tail_mass(), 0.01);
+
+  const stoch::Ecdf ecdf(result.samples);
+  const double ks = stoch::ks_distance_to_curve(ecdf, cdf.curve.grid, cdf.curve.values);
+  const double gate = cli::ks_critical(mc_cfg.replications, 0.001) + 0.01;
+  EXPECT_LT(ks, gate);
+  // Sanity: the gate actually discriminates — the no-failure distribution is
+  // far more than one band away from the churny empirical sample.
+  markov::TheoryQuery no_churn = mapping.query;
+  for (auto& node : no_churn.params.nodes) node.lambda_f = 0.0;
+  const markov::TheoryCdfPrediction wrong =
+      markov::TheoryOracle{}.cdf(no_churn, cdf_config);
+  ASSERT_TRUE(wrong.applicable);
+  EXPECT_GT(stoch::ks_distance_to_curve(ecdf, wrong.curve.grid, wrong.curve.values), gate);
+}
+
+// ---------- z-score gates: multi-node mean across n = 3..8 ----------
+
+void expect_oracle_matches_mc(std::size_t nodes, const std::string& workloads,
+                              std::size_t replications) {
+  mc::ScenarioConfig scenario = family_scenario(
+      "many-node-churn",
+      {{"nodes", std::to_string(nodes)}, {"workloads", workloads}, {"policy", "none"}});
+
+  mc::McConfig mc_cfg;
+  mc_cfg.seed = test::kFixedSeed;
+  mc_cfg.replications = replications;
+  const mc::McResult result = mc::run_monte_carlo(scenario, mc_cfg);
+
+  const mc::TheoryMapping mapping = mc::map_to_theory(scenario);
+  ASSERT_TRUE(mapping.ok) << mapping.reason;
+  const markov::TheoryPrediction prediction = markov::TheoryOracle{}.mean(mapping.query);
+  ASSERT_TRUE(prediction.applicable) << prediction.reason;
+  EXPECT_EQ(prediction.method, "multi-node regeneration (n=" + std::to_string(nodes) + ")");
+  EXPECT_PRED4(test::within_sigmas, result.mean(), result.std_error(), prediction.mean, 4.0)
+      << "n=" << nodes << " workloads=" << workloads << " theory=" << prediction.mean
+      << " mc=" << result.mean();
+}
+
+TEST(ValidationSigma, ThreeNodes) { expect_oracle_matches_mc(3, "10,6,4", 1500); }
+TEST(ValidationSigma, FourNodes) { expect_oracle_matches_mc(4, "8,5,3,2", 1500); }
+TEST(ValidationSigma, FiveNodes) { expect_oracle_matches_mc(5, "6,4,3,2,1", 1200); }
+TEST(ValidationSigma, SixNodes) { expect_oracle_matches_mc(6, "4,3,2,2,1,1", 1000); }
+TEST(ValidationSigma, SevenNodes) { expect_oracle_matches_mc(7, "3,2,2,1,1,1,1", 800); }
+TEST(ValidationSigma, EightNodes) { expect_oracle_matches_mc(8, "2,1,1,1,1,1,1,1", 600); }
+
+// ---------- TheoryOracle dispatch and decline rules ----------
+
+markov::TheoryQuery two_node_query(std::size_t q0, std::size_t q1) {
+  markov::TheoryQuery query;
+  query.params.nodes = {markov::ipdps2006_params().nodes[0],
+                        markov::ipdps2006_params().nodes[1]};
+  query.params.per_task_delay_mean = markov::ipdps2006_params().per_task_delay_mean;
+  query.queues = {q0, q1};
+  return query;
+}
+
+TEST(TheoryOracle, TwoNodeDispatchHitsGoldenPins) {
+  const markov::TheoryOracle oracle;
+  // No transit: the golden mean pin of the (100, 60) operating point.
+  markov::TheoryQuery query = two_node_query(100, 60);
+  markov::TheoryPrediction prediction = oracle.mean(query);
+  ASSERT_TRUE(prediction.applicable) << prediction.reason;
+  EXPECT_EQ(prediction.method, "two-node regeneration (eq. 4)");
+  EXPECT_NEAR(prediction.mean, 141.21564887669729, 1e-9);
+  // LBP-1's bundle in flight: 35 tasks toward node 1 reproduces lbp1_mean.
+  query = two_node_query(65, 60);
+  query.transfers = {{.from = 0, .to = 1, .count = 35}};
+  prediction = oracle.mean(query);
+  ASSERT_TRUE(prediction.applicable);
+  EXPECT_NEAR(prediction.mean, 116.74907081578611, 1e-9);
+}
+
+TEST(TheoryOracle, CdfDispatchMatchesGoldenQuantiles) {
+  markov::TheoryQuery query = two_node_query(65, 60);
+  query.transfers = {{.from = 0, .to = 1, .count = 35}};
+  const markov::TheoryCdfPrediction cdf = markov::TheoryOracle{}.cdf(query);
+  ASSERT_TRUE(cdf.applicable) << cdf.reason;
+  EXPECT_NEAR(cdf.curve.quantile(0.5), 108.65, 0.051);
+  EXPECT_NEAR(cdf.curve.quantile(0.9), 169.85, 0.051);
+}
+
+TEST(TheoryOracle, DeclinesPastTractabilityBoundary) {
+  const markov::TheoryOracle oracle;
+  markov::TheoryQuery query;
+  query.params.nodes.assign(9, markov::NodeParams{1.0, 0.05, 0.1});
+  query.queues.assign(9, 2);
+  const markov::TheoryPrediction prediction = oracle.mean(query);
+  EXPECT_FALSE(prediction.applicable);
+  EXPECT_NE(prediction.reason.find("n=9"), std::string::npos);
+  // The same boundary reason surfaces from the CDF entry point.
+  EXPECT_FALSE(oracle.cdf(query).applicable);
+}
+
+TEST(TheoryOracle, DeclinesHugeLattices) {
+  markov::TheoryQuery query;
+  query.params.nodes.assign(4, markov::NodeParams{1.0, 0.05, 0.1});
+  query.queues = {100, 60, 100, 60};
+  const markov::TheoryPrediction prediction = markov::TheoryOracle{}.mean(query);
+  EXPECT_FALSE(prediction.applicable);
+  EXPECT_NE(prediction.reason.find("lattice"), std::string::npos);
+}
+
+TEST(TheoryOracle, DeclinesDownStartOfNeverFailingNode) {
+  markov::TheoryQuery query = two_node_query(10, 10);
+  for (auto& node : query.params.nodes) node.lambda_f = 0.0;
+  query.initial_state = 0b10;  // node 0 down, but it can never fail
+  const markov::TheoryPrediction prediction = markov::TheoryOracle{}.mean(query);
+  EXPECT_FALSE(prediction.applicable);
+  EXPECT_NE(prediction.reason.find("starts down"), std::string::npos);
+}
+
+TEST(TheoryOracle, MultiNodeCdfDeclinedButMeanServed) {
+  markov::TheoryQuery query;
+  query.params.nodes.assign(3, markov::NodeParams{1.0, 0.05, 0.1});
+  query.queues = {3, 2, 1};
+  const markov::TheoryOracle oracle;
+  EXPECT_TRUE(oracle.mean(query).applicable);
+  const markov::TheoryCdfPrediction cdf = oracle.cdf(query);
+  EXPECT_FALSE(cdf.applicable);
+  EXPECT_NE(cdf.reason.find("two-node"), std::string::npos);
+}
+
+// ---------- scenario → theory bridge ----------
+
+TEST(TheoryBridge, Lbp2DeclinedUnderChurnButMappedWithoutIt) {
+  // LBP-2 compensates at failure instants: no closed form while churn lives.
+  mc::ScenarioConfig churny = family_scenario("paper-two-node", {{"policy", "lbp2"}});
+  const mc::TheoryMapping declined = mc::map_to_theory(churny);
+  EXPECT_FALSE(declined.ok);
+  EXPECT_NE(declined.reason.find("LBP-2"), std::string::npos);
+  // With churn off its failure hook is dead code and the t = 0 split remains.
+  mc::ScenarioConfig calm =
+      family_scenario("paper-two-node", {{"policy", "lbp2"}, {"churn", "false"}});
+  const mc::TheoryMapping mapped = mc::map_to_theory(calm);
+  ASSERT_TRUE(mapped.ok) << mapped.reason;
+  EXPECT_FALSE(mapped.query.transfers.empty());
+  for (const auto& node : mapped.query.params.nodes) EXPECT_EQ(node.lambda_f, 0.0);
+}
+
+TEST(TheoryBridge, ReplaysPolicyStartAndNetsQueues) {
+  mc::ScenarioConfig scenario = family_scenario("paper-two-node", {});
+  const mc::TheoryMapping mapping = mc::map_to_theory(scenario);
+  ASSERT_TRUE(mapping.ok) << mapping.reason;
+  // LBP-1(K=0.35) from (100, 60): 35 tasks leave node 0.
+  ASSERT_EQ(mapping.query.transfers.size(), 1u);
+  EXPECT_EQ(mapping.query.transfers[0].from, 0);
+  EXPECT_EQ(mapping.query.transfers[0].to, 1);
+  EXPECT_EQ(mapping.query.transfers[0].count, 35u);
+  EXPECT_EQ(mapping.query.queues, (std::vector<std::size_t>{65, 60}));
+  EXPECT_EQ(mapping.query.resolved_state(), markov::kBothUp);
+}
+
+TEST(TheoryBridge, PeriodicAndCustomDelayDeclined) {
+  EXPECT_FALSE(mc::map_to_theory(family_scenario("periodic-rebalance", {})).ok);
+  EXPECT_FALSE(mc::map_to_theory(family_scenario("custom-delay", {})).ok);
+  // ... but a custom delay law with nothing in flight is irrelevant.
+  const mc::TheoryMapping idle =
+      mc::map_to_theory(family_scenario("custom-delay", {{"policy", "none"}}));
+  EXPECT_TRUE(idle.ok) << idle.reason;
+}
+
+TEST(TheoryBridge, ColdStartMapsTheDownMask) {
+  const mc::TheoryMapping mapping =
+      mc::map_to_theory(family_scenario("cold-start", {{"policy", "none"}}));
+  ASSERT_TRUE(mapping.ok) << mapping.reason;
+  EXPECT_EQ(mapping.query.resolved_state(), 0b10u);  // node 0 starts down
+}
+
+// ---------- the lbsim validate gate ----------
+
+TEST(ValidateCommand, PaperFamilyPassesAtDefaultGates) {
+  cli::ValidationOptions options;
+  options.family = "paper-two-node";
+  options.replications = 200;
+  options.seed = test::kFixedSeed;
+  const cli::ValidationReport report = cli::run_validation(options);
+  EXPECT_EQ(report.checked, 2u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_TRUE(report.passed());
+}
+
+TEST(ValidateCommand, ArtificiallyTightenedToleranceTripsTheGate) {
+  cli::ValidationOptions options;
+  options.family = "paper-two-node";
+  options.replications = 200;
+  options.seed = test::kFixedSeed;
+  options.sigma_gate = 1e-4;   // no finite-sample MC run can pass this
+  options.ks_slack = -1.0;     // drives the KS threshold negative
+  const cli::ValidationReport report = cli::run_validation(options);
+  EXPECT_GT(report.failures, 0u);
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(ValidateCommand, BoundaryPointsReportSkipNotFailure) {
+  cli::ValidationOptions options;
+  options.family = "periodic-rebalance";
+  const cli::ValidationReport report = cli::run_validation(options);
+  EXPECT_EQ(report.checked, 0u);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_TRUE(report.passed());
+}
+
+TEST(ValidateCommand, EveryRegistryFamilyHasValidationPoints) {
+  // run_validation fails loudly at runtime when a family has no points; this
+  // static check catches the same omission at test time, without running MC.
+  const std::vector<std::string> covered = cli::validation_families();
+  for (const cli::ScenarioSpec& spec : cli::scenario_registry()) {
+    EXPECT_NE(std::find(covered.begin(), covered.end(), spec.name), covered.end())
+        << "registry family '" << spec.name
+        << "' has no validation point in src/cli/validate.cpp";
+  }
+}
+
+TEST(ValidateCommand, UnknownFamilyThrows) {
+  cli::ValidationOptions options;
+  options.family = "no-such-family";
+  EXPECT_THROW((void)cli::run_validation(options), cli::ConfigError);
+}
+
+}  // namespace
+}  // namespace lbsim
