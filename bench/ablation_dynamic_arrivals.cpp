@@ -1,178 +1,61 @@
 // Ablation (paper Section 5, future work): "if new external workloads arrive
 // regularly ... one simplified approach is to execute load-balancing episodes
-// at every external arrival of new workloads." We graft Poisson batch
-// arrivals onto the two-node system and compare (a) balancing only at t = 0
-// vs (b) re-running the LBP-2 initial balance at every arrival episode, both
-// with the LBP-2 on-failure compensation active.
+// at every external arrival of new workloads." Poisson batch arrivals land on
+// the two-node system and we compare (a) balancing only at t = 0 vs (b)
+// re-running the LBP-2 initial balance at every arrival episode, both with
+// the LBP-2 on-failure compensation active.
+//
+// Thin wrapper over the `open-arrivals` registry family (src/env owns the
+// arrival process); `arrivals.rebalance` is the ablation's toggle.
 
 #include <iostream>
+#include <string>
 
+#include "cli/registry.hpp"
 #include "cli/report.hpp"
-#include "core/lbp2.hpp"
 #include "mc/engine.hpp"
-#include "node/compute_element.hpp"
-#include "node/failure_process.hpp"
-#include "net/link.hpp"
-#include "sim/simulator.hpp"
-#include "stochastic/stats.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 
 using namespace lbsim;
 
-namespace {
-
-struct DynamicResult {
-  double makespan = 0.0;
-  std::uint64_t episodes = 0;
-};
-
-/// One replication: initial load plus `n_batches` Poisson-arriving batches;
-/// completion when everything (including late arrivals) is processed.
-DynamicResult run_dynamic(bool rebalance_on_arrival, std::uint64_t seed, std::uint64_t rep,
-                          std::size_t n_batches, std::size_t batch_size) {
-  const markov::TwoNodeParams p = markov::ipdps2006_params();
-  des::Simulator sim;
-  stoch::RngStream svc0(seed, rep * 8 + 0), svc1(seed, rep * 8 + 1);
-  stoch::RngStream churn0(seed, rep * 8 + 2), churn1(seed, rep * 8 + 3);
-  stoch::RngStream net_rng(seed, rep * 8 + 4), arrivals(seed, rep * 8 + 5);
-
-  std::vector<std::unique_ptr<node::ComputeElement>> ces;
-  ces.push_back(std::make_unique<node::ComputeElement>(
-      sim, 0, [&](const node::Task&, stoch::RngStream& r) { return r.exponential(1.08); },
-      svc0));
-  ces.push_back(std::make_unique<node::ComputeElement>(
-      sim, 1, [&](const node::Task&, stoch::RngStream& r) { return r.exponential(1.86); },
-      svc1));
-
-  net::Link link01(sim, 0, 1, std::make_unique<net::ExponentialBundleDelay>(0.02), net_rng);
-  net::Link link10(sim, 1, 0, std::make_unique<net::ExponentialBundleDelay>(0.02), net_rng);
-
-  std::size_t remaining = 0;
-  bool all_injected = false;
-  double completion = 0.0;
-  bool done = false;
-  for (auto& ce : ces) {
-    ce->set_completion_handler([&](const node::Task&) {
-      if (--remaining == 0 && all_injected) {
-        done = true;
-        completion = sim.now();
-      }
-    });
-  }
-
-  DynamicResult result;
-  core::Lbp2Policy policy(1.0);
-  class View final : public core::SystemView {
-   public:
-    View(const markov::TwoNodeParams& p,
-         const std::vector<std::unique_ptr<node::ComputeElement>>& ces)
-        : p_(p), ces_(ces) {}
-    [[nodiscard]] std::size_t node_count() const override { return 2; }
-    [[nodiscard]] std::size_t queue_length(int n) const override {
-      return ces_[static_cast<std::size_t>(n)]->queue_length();
-    }
-    [[nodiscard]] bool is_up(int n) const override {
-      return ces_[static_cast<std::size_t>(n)]->is_up();
-    }
-    [[nodiscard]] markov::NodeParams node_params(int n) const override {
-      return p_.nodes[n];
-    }
-    [[nodiscard]] double per_task_delay_mean() const override {
-      return p_.per_task_delay_mean;
-    }
-
-   private:
-    const markov::TwoNodeParams& p_;
-    const std::vector<std::unique_ptr<node::ComputeElement>>& ces_;
-  };
-  View view(p, ces);
-
-  const auto execute = [&](const std::vector<core::TransferDirective>& directives) {
-    for (const auto& d : directives) {
-      node::TaskBatch batch =
-          ces[static_cast<std::size_t>(d.from)]->extract_tasks(d.count);
-      if (batch.empty()) continue;
-      net::Link& link = d.from == 0 ? link01 : link10;
-      link.send(std::move(batch), [&](net::DataTransfer&& xfer) {
-        ces[static_cast<std::size_t>(xfer.to)]->enqueue_batch(std::move(xfer.tasks));
-      });
-    }
-  };
-
-  // Churn + LBP-2 on-failure compensation (both variants keep this).
-  std::vector<std::unique_ptr<node::FailureProcess>> churn;
-  stoch::RngStream* churn_rngs[2] = {&churn0, &churn1};
-  for (int i = 0; i < 2; ++i) {
-    auto process = std::make_unique<node::FailureProcess>(
-        sim, *ces[i], std::make_unique<stoch::Exponential>(p.nodes[i].lambda_f),
-        std::make_unique<stoch::Exponential>(p.nodes[i].lambda_r), *churn_rngs[i]);
-    process->set_failure_handler([&](int who) { execute(policy.on_failure(who, view)); });
-    churn.push_back(std::move(process));
-  }
-
-  // Initial workload + t = 0 balance.
-  std::uint64_t next_id = 1;
-  const auto inject = [&](std::size_t at, std::size_t count) {
-    remaining += count;
-    ces[at]->enqueue_batch(node::make_unit_tasks(count, static_cast<int>(at), next_id));
-    next_id += count;
-  };
-  inject(0, 100);
-  inject(1, 60);
-  execute(policy.on_start(view));
-  ++result.episodes;
-  for (auto& process : churn) process->start();
-
-  // Poisson batch arrivals (mean gap 25 s), always landing on node 0 — the
-  // worst case for a stale balance.
-  double t_arrival = 0.0;
-  for (std::size_t b = 0; b < n_batches; ++b) {
-    t_arrival += arrivals.exponential(1.0 / 25.0);
-    const bool last = (b + 1 == n_batches);
-    sim.schedule_at(t_arrival, [&, last] {
-      inject(0, batch_size);
-      if (rebalance_on_arrival) {
-        execute(policy.on_start(view));
-        ++result.episodes;
-      }
-      if (last) all_injected = true;
-    });
-  }
-
-  sim.run_while_pending([&] { return done; });
-  result.makespan = completion;
-  return result;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   const bool quick = args.has("quick");
   const auto reps = static_cast<std::size_t>(args.get_int64("mc-reps", quick ? 100 : 400));
-  const auto n_batches = static_cast<std::size_t>(args.get_int64("batches", 4));
-  const auto batch_size = static_cast<std::size_t>(args.get_int64("batch-size", 40));
+  const auto n_batches = args.get_int64("batches", 4);
+  const auto batch_size = args.get_int64("batch-size", 40);
 
   cli::print_banner(std::cout, "Ablation: dynamic arrivals (paper Section 5 future work)",
-                      "re-running the LB episode at every external arrival");
+                    "re-running the LB episode at every external arrival");
 
-  util::TextTable table(
-      {"variant", "mean makespan (s)", "+-95%", "mean LB episodes"});
+  const cli::ScenarioSpec& spec = cli::find_scenario("open-arrivals");
+  util::TextTable table({"variant", "mean makespan (s)", "+-95%", "mean LB episodes"});
   double once = 0.0, every = 0.0;
   for (const bool rebalance : {false, true}) {
-    stoch::RunningStats stats;
-    double episodes = 0.0;
-    for (std::size_t r = 0; r < reps; ++r) {
-      const DynamicResult result = run_dynamic(rebalance, 0xd1a, r, n_batches, batch_size);
-      stats.add(result.makespan);
-      episodes += static_cast<double>(result.episodes);
-    }
+    cli::RawConfig raw;
+    raw.set("policy", "lbp2");
+    raw.set("arrivals.process", "poisson");
+    raw.set("arrivals.rate", "0.04");  // mean gap 25 s
+    raw.set("arrivals.count", std::to_string(n_batches));
+    raw.set("arrivals.batch", std::to_string(batch_size));
+    raw.set("arrivals.target", "0");  // always node 0 — worst case for a stale balance
+    raw.set("arrivals.rebalance", rebalance ? "true" : "false");
+    const mc::ScenarioConfig scenario = spec.build(spec.schema.resolve(raw));
+
+    mc::McConfig mc_config;
+    mc_config.replications = reps;
+    mc_config.seed = 0xd1a;
+    const mc::McResult result = mc::run_monte_carlo(scenario, mc_config);
+
+    // Episode count is deterministic: the t = 0 balance plus, in variant (b),
+    // one episode per arrival epoch.
+    const auto episodes = 1 + (rebalance ? n_batches : 0);
     table.add_row({rebalance ? "LB episode at every arrival" : "LB at t=0 only",
-                   util::format_double(stats.mean(), 2),
-                   util::format_double(stoch::ci_half_width(stats), 2),
-                   util::format_double(episodes / static_cast<double>(reps), 1)});
-    (rebalance ? every : once) = stats.mean();
+                   util::format_double(result.mean(), 2),
+                   util::format_double(result.ci95(), 2),
+                   util::format_double(static_cast<double>(episodes), 1)});
+    (rebalance ? every : once) = result.mean();
   }
   table.print(std::cout);
   std::cout << "\nShape check: re-balancing at arrivals beats a single t=0 episode -> "

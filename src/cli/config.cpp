@@ -5,7 +5,10 @@
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
+
+#include "util/math.hpp"
 
 namespace lbsim::cli {
 namespace {
@@ -176,21 +179,27 @@ const OptionSpec* Schema::find(const std::string& key) const {
   return it == options_.end() ? nullptr : &*it;
 }
 
+std::string Schema::suggest(const std::string& key) const {
+  std::string best;
+  std::size_t best_distance = 3;  // suggest only close matches
+  for (const OptionSpec& candidate : options_) {
+    const std::size_t d = edit_distance(key, candidate.key);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate.key;
+    }
+  }
+  return best;
+}
+
 Config Schema::resolve(const RawConfig& raw) const {
   for (const auto& [key, value] : raw.values) {
     const OptionSpec* spec = find(key);
     if (spec == nullptr) {
-      std::string best;
-      std::size_t best_distance = 3;  // suggest only close matches
-      for (const OptionSpec& candidate : options_) {
-        const std::size_t d = edit_distance(key, candidate.key);
-        if (d < best_distance) {
-          best_distance = d;
-          best = candidate.key;
-        }
-      }
       std::string msg = "unknown key '" + key + "'";
-      if (!best.empty()) msg += " (did you mean '" + best + "'?)";
+      if (const std::string best = suggest(key); !best.empty()) {
+        msg += " (did you mean '" + best + "'?)";
+      }
       throw ConfigError(ConfigError::Kind::kUnknownKey, key, msg);
     }
     validate_value(value, *spec);
@@ -284,14 +293,12 @@ long long parse_int(const std::string& text, const std::string& key) {
 }
 
 double parse_double(const std::string& text, const std::string& key) {
-  errno = 0;
-  char* end = nullptr;
-  const double value = std::strtod(text.c_str(), &end);
-  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+  const std::optional<double> value = util::try_parse_double(text);
+  if (!value) {
     throw ConfigError(ConfigError::Kind::kBadValue, key,
                       "value '" + text + "' for key '" + key + "' is not a number");
   }
-  return value;
+  return *value;
 }
 
 std::vector<std::string> split_list(const std::string& text) {

@@ -103,6 +103,11 @@ class Schema {
   [[nodiscard]] const std::vector<OptionSpec>& options() const noexcept { return options_; }
   [[nodiscard]] const OptionSpec* find(const std::string& key) const;
 
+  /// Closest declared key within edit distance 2 of `key` ("" if none) — the
+  /// did-you-mean suggestion used for unknown keys here and by the sweep's
+  /// fail-fast axis check.
+  [[nodiscard]] std::string suggest(const std::string& key) const;
+
   /// Validates `raw` against the schema: applies defaults, rejects unknown
   /// keys (kUnknownKey, with a did-you-mean suggestion), parses and
   /// range-checks every value. Throws ConfigError.

@@ -49,7 +49,8 @@ Usage:
         [--quick] [--golden-only] [--reps=N] [--realizations=N] [--seed=S]
         [--format=table|csv|json] [--out=FILE]
   lbsim perf [--quick] [--out=FILE] [--check[=BASELINE]] [--max-regression=F]
-        timing baseline (perf_solver/perf_mc/perf_des + many-node perf_mc_n16/32/64);
+        timing baseline (perf_solver/perf_mc/perf_des, many-node perf_mc_n16/32/64,
+        env-modulated perf_mc_env);
         --check exits nonzero when any bench regresses >F (default 0.30) vs the
         baseline JSON (default BENCH_baseline.json)
 
@@ -257,6 +258,15 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
     }
     if (scenario.delay_model != nullptr) {
       unsupported += std::string(unsupported.empty() ? "" : ", ") + "delay.model/delay.shift";
+    }
+    if (scenario.environment.enabled()) {
+      unsupported += std::string(unsupported.empty() ? "" : ", ") + "env.*";
+    }
+    if (scenario.arrivals.active()) {
+      unsupported += std::string(unsupported.empty() ? "" : ", ") + "arrivals.*";
+    }
+    if (!scenario.schedule.empty()) {
+      unsupported += std::string(unsupported.empty() ? "" : ", ") + "schedule";
     }
     if (!unsupported.empty()) {
       throw ConfigError(ConfigError::Kind::kOutOfRange, "engine",
@@ -573,6 +583,37 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
                        " nodes, mean " + util::format_double(mean, 2) + " s",
                    util::format_double(reps * 1000.0 / ms, 1)});
     note_reps(name, reps);
+  }
+
+  // perf_mc_env: the environment-modulated hot path (correlated-churn at
+  // n=16) — guards the env subsystem's per-event cost (hazard re-arms, CTMC
+  // transitions) against allocation/regression creep, next to its unmodulated
+  // perf_mc_n16 sibling.
+  {
+    const std::size_t reps = quick ? 50 : 500;
+    const ScenarioSpec& spec = find_scenario("correlated-churn");
+    RawConfig raw;
+    raw.set("nodes", "16");
+    // Pinned to perf_mc_n16's exact workloads/rates with a mild, brisk storm:
+    // the two rows then differ only in the modulation machinery (CTMC
+    // transitions, hazard re-arms, the extra RNG stream), not in how much
+    // churn the storm physically causes.
+    raw.set("workloads", "120,20,60,40");
+    raw.set("lambda_r", "0.25");
+    raw.set("env.storm.mult", "2");
+    raw.set("env.storm.on", "0.1");
+    raw.set("env.storm.off", "1.5");
+    mc::ScenarioConfig scenario = spec.build(spec.schema.resolve(raw));
+    mc::McConfig mc_config;
+    mc_config.replications = reps;
+    double mean = 0.0;
+    const double ms =
+        time_ms(3, [&] { mean = mc::run_monte_carlo(scenario, mc_config).mean(); });
+    table.add_row({"perf_mc_env", util::format_double(ms, 2),
+                   std::to_string(reps) + " reps x 16 nodes correlated churn, mean " +
+                       util::format_double(mean, 2) + " s",
+                   util::format_double(reps * 1000.0 / ms, 1)});
+    note_reps("perf_mc_env", reps);
   }
 
   meta.command = joined_command(argc, argv);

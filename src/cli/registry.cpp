@@ -128,6 +128,148 @@ Schema n_node_schema(const char* default_nodes, const char* default_lambda_r,
   return schema;
 }
 
+/// Environment-CTMC key group (the env.* keys shared by the env-modulated
+/// families). The canonical 2-state calm/storm chain is parameterised by the
+/// scalar env.storm.* keys — sweepable as axes — while env.mult/env.gen give
+/// the general K-state form.
+Schema env_schema(const char* default_storm_mult) {
+  Schema schema;
+  schema
+      .add(opt("env.states", OptionType::kSize, "2", "environment CTMC state count K", 2.0,
+               16.0))
+      .add(opt("env.storm.mult", OptionType::kDouble, default_storm_mult,
+               "failure-hazard multiplier of the storm state (2-state form)", 1e-6, 1e6))
+      .add(opt("env.storm.on", OptionType::kDouble, "0.05",
+               "calm->storm transition rate (2-state form)", 1e-9, 1e6))
+      .add(opt("env.storm.off", OptionType::kDouble, "0.2",
+               "storm->calm transition rate (2-state form)", 1e-9, 1e6))
+      .add(opt("env.mult", OptionType::kDoubleList, "",
+               "per-state failure-hazard multipliers, cycled to env.states "
+               "(overrides env.storm.mult)",
+               1e-6, 1e6))
+      .add(opt("env.gen", OptionType::kDoubleList, "",
+               "row-major K x K generator rates, diagonals ignored "
+               "(empty = 2-state calm/storm from env.storm.*)",
+               0.0, 1e6))
+      .add(opt("env.start", OptionType::kSize, "0", "environment state at t = 0", 0.0,
+               15.0));
+  return schema;
+}
+
+/// True when the user supplied any env.* key (so a family with optional
+/// modulation knows to build the environment at all).
+bool env_supplied(const Config& config) {
+  for (const char* key : {"env.states", "env.storm.mult", "env.storm.on", "env.storm.off",
+                          "env.mult", "env.gen", "env.start"}) {
+    if (config.supplied(key)) return true;
+  }
+  return false;
+}
+
+/// Cycles `values` to exactly `n` entries (the list-key idiom used by the
+/// n-node rate lists).
+std::vector<double> cycled(std::vector<double> values, std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = values[i % values.size()];
+  return out;
+}
+
+env::EnvironmentSpec build_environment(const Config& config) {
+  env::EnvironmentSpec spec;
+  spec.states = config.get_size("env.states");
+  const std::vector<double> mult = config.get_double_list("env.mult");
+  if (mult.empty()) {
+    if (spec.states != 2) {
+      throw ConfigError(ConfigError::Kind::kBadValue, "env.mult",
+                        "env.states=" + std::to_string(spec.states) +
+                            " needs an explicit env.mult list (env.storm.mult only "
+                            "parameterises the 2-state form)");
+    }
+    spec.failure_mult = {1.0, config.get_double("env.storm.mult")};
+  } else {
+    spec.failure_mult = cycled(mult, spec.states);
+  }
+  const std::vector<double> gen = config.get_double_list("env.gen");
+  if (gen.empty()) {
+    if (spec.states != 2) {
+      throw ConfigError(ConfigError::Kind::kBadValue, "env.gen",
+                        "env.states=" + std::to_string(spec.states) +
+                            " needs an explicit K x K env.gen generator");
+    }
+    spec.generator = {0.0, config.get_double("env.storm.on"),
+                      config.get_double("env.storm.off"), 0.0};
+  } else {
+    if (gen.size() != spec.states * spec.states) {
+      throw ConfigError(ConfigError::Kind::kBadValue, "env.gen",
+                        "env.gen has " + std::to_string(gen.size()) + " entries, expected " +
+                            std::to_string(spec.states * spec.states));
+    }
+    spec.generator = gen;
+  }
+  spec.initial_state = config.get_size("env.start");
+  if (spec.initial_state >= spec.states) {
+    throw ConfigError(ConfigError::Kind::kOutOfRange, "env.start",
+                      "env.start=" + std::to_string(spec.initial_state) +
+                          " is not a state of the " + std::to_string(spec.states) +
+                          "-state environment");
+  }
+  env::validate(spec);
+  return spec;
+}
+
+/// External-arrival key group (open-system families).
+Schema arrivals_schema() {
+  Schema schema;
+  schema
+      .add(opt("arrivals.process", OptionType::kString, "poisson",
+               "external arrival process", kNoMin, kNoMax, {"none", "poisson", "mmpp"}))
+      .add(opt("arrivals.rate", OptionType::kDouble, "0.04",
+               "Poisson arrival-epoch rate (1/s)", 1e-9, 1e6))
+      .add(opt("arrivals.rates", OptionType::kDoubleList, "0.01,0.16",
+               "MMPP per-environment-state epoch rates, cycled to env.states", 0.0, 1e6))
+      .add(opt("arrivals.count", OptionType::kSize, "4",
+               "arrival epochs per replication (finite keeps completion defined)", 0.0,
+               100000.0))
+      .add(opt("arrivals.batch", OptionType::kSize, "40",
+               "tasks per arrival epoch (the mean when geometric)", 1.0, 5000.0))
+      .add(opt("arrivals.batch.law", OptionType::kString, "fixed", "batch-size law", kNoMin,
+               kNoMax, {"fixed", "geometric"}))
+      .add(opt("arrivals.target", OptionType::kInt, "0",
+               "node receiving each bundle (-1 = uniform random)", -1.0, 63.0))
+      .add(opt("arrivals.rebalance", OptionType::kBool, "false",
+               "re-run the policy's t=0 balancing episode after every arrival"));
+  return schema;
+}
+
+env::ArrivalSpec build_arrivals(const Config& config, const env::EnvironmentSpec& environment) {
+  env::ArrivalSpec spec;
+  const std::string process = config.get_string("arrivals.process");
+  if (process == "none") return spec;
+  spec.process = process == "mmpp" ? env::ArrivalSpec::Process::kMmpp
+                                   : env::ArrivalSpec::Process::kPoisson;
+  spec.rate = config.get_double("arrivals.rate");
+  if (spec.process == env::ArrivalSpec::Process::kMmpp) {
+    if (!environment.enabled()) {
+      throw ConfigError(ConfigError::Kind::kBadValue, "arrivals.process",
+                        "arrivals.process=mmpp needs the env.* environment keys");
+    }
+    const std::vector<double> rates = config.get_double_list("arrivals.rates");
+    if (rates.empty()) {
+      throw ConfigError(ConfigError::Kind::kBadValue, "arrivals.rates",
+                        "arrivals.rates must be a non-empty rate list for MMPP");
+    }
+    spec.state_rates = cycled(rates, environment.states);
+  }
+  spec.count = config.get_size("arrivals.count");
+  spec.batch = config.get_size("arrivals.batch");
+  spec.batch_law = config.get_string("arrivals.batch.law") == "geometric"
+                       ? env::ArrivalSpec::BatchLaw::kGeometric
+                       : env::ArrivalSpec::BatchLaw::kFixed;
+  spec.target = static_cast<int>(config.get_int("arrivals.target"));
+  spec.rebalance = config.get_bool("arrivals.rebalance");
+  return spec;
+}
+
 /// Builder shared by `multi-node` and `many-node-churn`.
 mc::ScenarioConfig build_n_node(const Config& config) {
   const std::size_t n = config.get_size("nodes");
@@ -216,6 +358,76 @@ std::vector<ScenarioSpec> build_registry() {
        .summary = "paper two-node driven by the periodic re-balancing extension",
        .schema = two_node_schema("periodic", 0.5),
        .build = [](const Config& config) { return build_two_node(config); }});
+
+  // --- env-driven families (src/env subsystem) ---
+
+  {
+    // Common-shock churn: paper rates by default (n-node lists cycle to the
+    // two paper nodes), scaled to n=16/32 for the MC stress rows. With
+    // env.storm.mult=1 this reduces to independent churn (pinned against
+    // churn-storm in env_test).
+    Schema schema = n_node_schema("2", "0.1,0.05", "100,60");
+    schema.merge(env_schema("10"));
+    registry.push_back(
+        {.name = "correlated-churn",
+         .summary = "common-shock churn: calm/storm environment CTMC multiplies every "
+                    "failure hazard",
+         .schema = std::move(schema),
+         .build = [](const Config& config) {
+           mc::ScenarioConfig scenario = build_n_node(config);
+           scenario.environment = build_environment(config);
+           return scenario;
+         }});
+  }
+
+  {
+    // Open system: Poisson / MMPP / batch task arrivals on the paper two-node
+    // system (Section 5's dynamic-workload future work, promoted from
+    // bench/ablation_dynamic_arrivals).
+    Schema schema = two_node_schema("lbp2", 1.0);
+    schema.merge(arrivals_schema()).merge(env_schema("1"));
+    registry.push_back(
+        {.name = "open-arrivals",
+         .summary = "paper two-node with external task arrivals (Poisson / MMPP / batch)",
+         .schema = std::move(schema),
+         .build = [](const Config& config) {
+           mc::ScenarioConfig scenario = build_two_node(config);
+           // MMPP needs the environment; otherwise it is built only when the
+           // user asked for modulation (env.storm.mult defaults to 1 here, so
+           // arrival burstiness can be studied without correlated churn).
+           if (config.get_string("arrivals.process") == "mmpp" || env_supplied(config)) {
+             scenario.environment = build_environment(config);
+           }
+           scenario.arrivals = build_arrivals(config, scenario.environment);
+           return scenario;
+         }});
+  }
+
+  {
+    // Aspnes-style adversarial churn: deterministic up/down timelines replace
+    // the alternating-renewal processes (stochastic churn defaults off; nodes
+    // without a clause stay up unless churn=true is supplied).
+    Schema schema = two_node_schema("lbp2", 1.0);
+    schema.add(opt("schedule", OptionType::kString, "0:down@10-30",
+                   "deterministic timeline per node: n:down@A[-B],up@T;... "
+                   "(down@0-... = starts down)"));
+    registry.push_back(
+        {.name = "scheduled-churn",
+         .summary = "paper two-node under deterministic up/down schedules (adversarial "
+                    "churn)",
+         .schema = std::move(schema),
+         .build = [](const Config& config) {
+           mc::ScenarioConfig scenario = build_two_node(config);
+           if (!config.supplied("churn")) scenario.churn_enabled = false;
+           try {
+             scenario.schedule = env::parse_schedule(config.get_string("schedule"));
+             env::validate(scenario.schedule, scenario.params.nodes.size());
+           } catch (const std::invalid_argument& e) {
+             throw ConfigError(ConfigError::Kind::kBadValue, "schedule", e.what());
+           }
+           return scenario;
+         }});
+  }
 
   {
     Schema schema = two_node_schema("lbp1", 0.35);

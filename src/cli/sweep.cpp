@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <optional>
 
 #include "markov/theory_oracle.hpp"
 #include "mc/engine.hpp"
 #include "mc/theory.hpp"
 #include "stochastic/stats.hpp"
+#include "util/math.hpp"
 
 namespace lbsim::cli {
 namespace {
@@ -75,20 +77,25 @@ SweepAxis parse_axis(const std::string& spec) {
   axis.key = spec.substr(0, eq);
   const std::string body = spec.substr(eq + 1);
 
-  // lo:hi:step range? (two colons, all numeric)
+  // lo:hi:step range? (two colons, all numeric). Non-numeric segments fall
+  // back to the value-list grammar — schedule timelines ("0:down@10-20")
+  // carry colons of their own and must not be mistaken for ranges.
   const std::size_t c1 = body.find(':');
   const std::size_t c2 = c1 == std::string::npos ? std::string::npos : body.find(':', c1 + 1);
+  std::optional<double> lo, hi, step;
   if (c2 != std::string::npos && body.find(':', c2 + 1) == std::string::npos) {
-    const double lo = parse_double(body.substr(0, c1), axis.key);
-    const double hi = parse_double(body.substr(c1 + 1, c2 - c1 - 1), axis.key);
-    const double step = parse_double(body.substr(c2 + 1), axis.key);
-    if (step <= 0.0 || hi < lo) {
+    lo = util::try_parse_double(body.substr(0, c1));
+    hi = util::try_parse_double(body.substr(c1 + 1, c2 - c1 - 1));
+    step = util::try_parse_double(body.substr(c2 + 1));
+  }
+  if (lo && hi && step) {
+    if (*step <= 0.0 || *hi < *lo) {
       throw ConfigError(ConfigError::Kind::kOutOfRange, axis.key,
                         "range '" + body + "' needs step > 0 and hi >= lo");
     }
     // Half-step slack keeps hi inclusive under floating-point accumulation.
-    for (double v = lo; v <= hi + step * 0.5; v += step) {
-      axis.values.push_back(format_axis_value(std::min(v, hi)));
+    for (double v = *lo; v <= *hi + *step * 0.5; v += *step) {
+      axis.values.push_back(format_axis_value(std::min(v, *hi)));
     }
   } else {
     for (const std::string& item : split_list(body)) {
@@ -128,7 +135,36 @@ std::vector<std::vector<std::pair<std::string, std::string>>> expand_grid(
 
 SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
                       const std::vector<SweepAxis>& axes, const SweepOptions& options) {
+  // Fail fast on axis keys the family does not declare — before any grid
+  // point runs, and naming the family (a sweep error surfacing after hours of
+  // grid points, or as a bare key name, is miserable to attribute).
+  for (const SweepAxis& axis : axes) {
+    if (axis.key.rfind("mc.", 0) == 0) continue;  // reserved engine keys
+    if (scenario.schema.find(axis.key) == nullptr) {
+      std::string msg = "scenario '" + scenario.name + "' has no sweep key '" + axis.key + "'";
+      if (const std::string best = scenario.schema.suggest(axis.key); !best.empty()) {
+        msg += " (did you mean '" + best + "'?)";
+      }
+      throw ConfigError(ConfigError::Kind::kUnknownKey, axis.key, msg);
+    }
+  }
   const auto grid = expand_grid(axes);
+
+  // Validate-and-build the whole grid before a single replication runs: a
+  // bad point (out-of-range value, malformed schedule — e.g. a comma-split
+  // timeline whose tail value is not a clause) must fail here with its
+  // precise ConfigError, not abort a half-finished sweep. Builds are
+  // microseconds next to an MC point, and the dry-run path builds anyway.
+  if (!options.dry_run) {
+    for (const auto& assignment : grid) {
+      RawConfig raw = base;
+      SweepOptions point_options = options;
+      for (const auto& [key, value] : assignment) {
+        assign(key, value, raw, point_options);
+      }
+      (void)scenario.build(scenario.schema.resolve(raw));
+    }
+  }
 
   std::vector<std::string> header;
   for (const SweepAxis& axis : axes) header.push_back(axis.key);

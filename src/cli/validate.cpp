@@ -60,6 +60,18 @@ const std::vector<ValidationPoint>& validation_points() {
       {"custom-delay", "erlang-delay-boundary", {}},
       {"custom-delay", "exponential-delay",
        {{"delay.model", "exponential"}, {"policy", "lbp1"}}},
+      // The env-driven families: each boundary point must surface its pinned
+      // decline marker (environment-modulated churn / open arrivals /
+      // deterministic schedule — validation_test pins the strings).
+      {"correlated-churn", "env-modulation-boundary", {}},
+      // With churn frozen the environment is vacuous and the family collapses
+      // to the paper's closed two-node system — a real theory check that the
+      // env plumbing does not perturb the unmodulated path.
+      {"correlated-churn", "calm-reduction",
+       {{"churn", "false"}, {"policy", "none"}}, /*check_cdf=*/true},
+      {"open-arrivals", "poisson-arrivals-boundary", {}},
+      {"open-arrivals", "mmpp-arrivals-boundary", {{"arrivals.process", "mmpp"}}},
+      {"scheduled-churn", "schedule-boundary", {}},
   };
   return points;
 }

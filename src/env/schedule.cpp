@@ -1,0 +1,172 @@
+#include "env/schedule.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace lbsim::env {
+namespace {
+
+constexpr double kForever = std::numeric_limits<double>::infinity();
+
+[[noreturn]] void parse_fail(const std::string& what) {
+  throw std::invalid_argument("schedule: " + what);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string::size_type start = 0;
+  while (true) {
+    const std::string::size_type pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(trim(text.substr(start)));
+      return out;
+    }
+    out.push_back(trim(text.substr(start, pos - start)));
+    start = pos + 1;
+  }
+}
+
+double parse_time(const std::string& text, const std::string& token) {
+  const std::optional<double> value = util::try_parse_double(text);
+  if (!value) parse_fail("'" + text + "' in token '" + token + "' is not a time");
+  if (*value < 0.0) parse_fail("negative time in token '" + token + "'");
+  return *value;
+}
+
+/// One node's down intervals, accumulated token by token.
+struct Interval {
+  double begin;
+  double end;  // kForever while the 'down@' is still open
+};
+
+}  // namespace
+
+bool Schedule::empty() const noexcept {
+  for (const auto& timeline : per_node) {
+    if (!timeline.empty()) return false;
+  }
+  return true;
+}
+
+Schedule parse_schedule(const std::string& text) {
+  Schedule schedule;
+  const std::string body = trim(text);
+  if (body.empty()) return schedule;
+
+  for (const std::string& clause : split(body, ';')) {
+    if (clause.empty()) parse_fail("empty clause (stray ';'?)");
+    const std::string::size_type colon = clause.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      parse_fail("clause '" + clause + "' is not of the form node:tokens");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const std::string node_text = trim(clause.substr(0, colon));
+    const long node = std::strtol(node_text.c_str(), &end, 10);
+    if (node_text.empty() || end != node_text.c_str() + node_text.size() || node < 0 ||
+        errno == ERANGE) {
+      parse_fail("'" + node_text + "' is not a node id");
+    }
+
+    std::vector<Interval> intervals;
+    for (const std::string& token : split(clause.substr(colon + 1), ',')) {
+      const bool open_pending = !intervals.empty() && intervals.back().end == kForever;
+      if (token.rfind("down@", 0) == 0) {
+        if (open_pending) {
+          parse_fail("token '" + token + "' while the previous down@ is still open");
+        }
+        const std::string times = token.substr(5);
+        const std::string::size_type dash = times.find('-');
+        Interval interval{};
+        if (dash == std::string::npos) {
+          interval = {parse_time(times, token), kForever};
+        } else {
+          interval = {parse_time(times.substr(0, dash), token),
+                      parse_time(times.substr(dash + 1), token)};
+          if (interval.end <= interval.begin) {
+            parse_fail("interval '" + token + "' needs end > begin");
+          }
+        }
+        if (!intervals.empty() && interval.begin < intervals.back().end) {
+          parse_fail("token '" + token + "' overlaps the preceding interval");
+        }
+        intervals.push_back(interval);
+      } else if (token.rfind("up@", 0) == 0) {
+        const double at = parse_time(token.substr(3), token);
+        if (open_pending) {
+          if (at <= intervals.back().begin) {
+            parse_fail("token '" + token + "' does not follow its down@ instant");
+          }
+          intervals.back().end = at;
+        } else if (intervals.empty() || at != intervals.back().end) {
+          // A redundant up@ exactly at a closed interval's end is tolerated
+          // (the ISSUE grammar's `down@10-30,up@30` idiom); anything else has
+          // nothing to recover.
+          parse_fail("token '" + token + "' has no open down@ interval to close");
+        }
+      } else {
+        parse_fail("unknown token '" + token + "' (expected down@A[-B] or up@T)");
+      }
+    }
+    if (intervals.empty()) parse_fail("clause for node " + node_text + " has no tokens");
+
+    const auto node_index = static_cast<std::size_t>(node);
+    if (schedule.per_node.size() <= node_index) schedule.per_node.resize(node_index + 1);
+    if (!schedule.per_node[node_index].empty()) {
+      parse_fail("node " + node_text + " appears in more than one clause");
+    }
+    std::vector<Schedule::Transition>& timeline = schedule.per_node[node_index];
+    for (const Interval& interval : intervals) {
+      timeline.push_back({interval.begin, /*down=*/true});
+      if (interval.end != kForever) timeline.push_back({interval.end, /*down=*/false});
+    }
+  }
+  return schedule;
+}
+
+void validate(const Schedule& schedule, std::size_t node_count) {
+  LBSIM_REQUIRE(schedule.per_node.size() <= node_count,
+                "schedule names node " << schedule.per_node.size() - 1
+                                       << " but the scenario has " << node_count
+                                       << " nodes");
+}
+
+ScheduleDriver::ScheduleDriver(des::Simulator& sim,
+                               std::vector<Schedule::Transition> timeline)
+    : sim_(sim), timeline_(std::move(timeline)) {}
+
+void ScheduleDriver::start() {
+  LBSIM_REQUIRE(handler_ != nullptr, "schedule driver needs a handler before start()");
+  // A t = 0 failure is applied synchronously, exactly like
+  // FailureProcess::start(initially_down = true).
+  while (next_ < timeline_.size() && timeline_[next_].time <= sim_.now()) {
+    handler_(timeline_[next_].down);
+    ++next_;
+  }
+  arm_next();
+}
+
+void ScheduleDriver::arm_next() {
+  if (next_ >= timeline_.size()) return;
+  sim_.schedule_at(timeline_[next_].time, [this] { fire(); });
+}
+
+void ScheduleDriver::fire() {
+  handler_(timeline_[next_].down);
+  ++next_;
+  arm_next();
+}
+
+}  // namespace lbsim::env

@@ -1,0 +1,89 @@
+#pragma once
+/// \file
+/// Deterministic up/down schedules — the adversarial counterpart of the
+/// stochastic churn model (Aspnes et al.'s path-independent unreliable-machine
+/// setting): each node follows a fixed timeline of failure/recovery instants
+/// instead of an alternating-renewal process.
+///
+/// Text grammar (the `schedule=` scenario key):
+///
+///     schedule := clause (';' clause)*
+///     clause   := node ':' token (',' token)*
+///     token    := 'down@' time [ '-' time ]   e.g. down@10-30  (down on [10, 30))
+///               | 'down@' time                down from `time` until up@/forever
+///               | 'up@' time                  closes the preceding open 'down@'
+///
+/// `0:down@0-5` makes node 0 start down and recover at exactly t = 5 — the
+/// deterministic analogue of `down.mask=1` with a fixed recovery time.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace lbsim::env {
+
+/// Parsed schedule: per-node sorted transition lists. Value type (copyable) so
+/// ScenarioConfig::clone stays trivial.
+struct Schedule {
+  struct Transition {
+    double time;
+    bool down;  ///< true = the node fails at `time`, false = it recovers
+  };
+
+  /// Indexed by node id; nodes past the end (or with an empty list) are
+  /// unscheduled and follow the scenario's stochastic churn settings.
+  std::vector<std::vector<Transition>> per_node;
+
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] bool scheduled(std::size_t node) const noexcept {
+    return node < per_node.size() && !per_node[node].empty();
+  }
+  /// True when the node's timeline starts with a failure at t = 0 (the
+  /// schedule analogue of the initially_down mask).
+  [[nodiscard]] bool down_at_start(std::size_t node) const noexcept {
+    return scheduled(node) && per_node[node].front().time == 0.0 &&
+           per_node[node].front().down;
+  }
+};
+
+/// Parses the grammar above. Throws std::invalid_argument with a precise
+/// message on malformed clauses, overlapping or unordered intervals, or an
+/// `up@` with nothing to close.
+[[nodiscard]] Schedule parse_schedule(const std::string& text);
+
+/// Range-checks node ids against the system size. Throws via LBSIM_REQUIRE.
+void validate(const Schedule& schedule, std::size_t node_count);
+
+/// Drives one node's timeline on the simulator. The handler receives each
+/// transition in order (true = down); a t = 0 failure fires synchronously
+/// inside start(), mirroring FailureProcess::start(initially_down) so the two
+/// churn drivers are interchangeable at the engine's wiring point.
+class ScheduleDriver {
+ public:
+  using Handler = std::function<void(bool down)>;
+
+  ScheduleDriver(des::Simulator& sim, std::vector<Schedule::Transition> timeline);
+
+  ScheduleDriver(const ScheduleDriver&) = delete;
+  ScheduleDriver& operator=(const ScheduleDriver&) = delete;
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Applies any t = 0 transition immediately, then chains one pending timer
+  /// through the rest of the timeline.
+  void start();
+
+ private:
+  void arm_next();
+  void fire();
+
+  des::Simulator& sim_;
+  std::vector<Schedule::Transition> timeline_;
+  std::size_t next_ = 0;
+  Handler handler_;
+};
+
+}  // namespace lbsim::env

@@ -1,6 +1,7 @@
 #include "mc/scenario.hpp"
 
 #include <functional>
+#include <optional>
 #include <sstream>
 
 #include "app/workload.hpp"
@@ -49,6 +50,15 @@ void validate_config(const ScenarioConfig& config) {
   LBSIM_REQUIRE(config.policy != nullptr, "scenario needs a policy");
   LBSIM_REQUIRE(n >= 64 || config.initially_down < (std::uint64_t{1} << n),
                 "initially_down mask");
+  env::validate(config.environment);
+  env::validate(config.arrivals, n,
+                config.environment.enabled() ? &config.environment : nullptr);
+  env::validate(config.schedule, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    LBSIM_REQUIRE(!config.schedule.scheduled(i) || ((config.initially_down >> i) & 1u) == 0,
+                  "node " << i << " has both a schedule clause and an initially_down bit; "
+                             "use down@0-... in the schedule instead");
+  }
 }
 
 /// Completion bookkeeping shared by all per-node handlers: the handlers
@@ -57,15 +67,23 @@ void validate_config(const ScenarioConfig& config) {
 struct CompletionTracker {
   des::Simulator* sim = nullptr;
   std::size_t remaining = 0;
+  /// False while an arrival stream still owes epochs: the run is complete
+  /// only once everything injected so far is processed AND nothing more will
+  /// arrive.
+  bool injection_done = true;
   bool done = false;
   double completion_time = 0.0;
 
-  void on_complete() {
-    LBSIM_CHECK(remaining > 0, "completed more tasks than injected");
-    if (--remaining == 0) {
+  void maybe_finish() {
+    if (remaining == 0 && injection_done) {
       done = true;
       completion_time = sim->now();
     }
+  }
+  void on_complete() {
+    LBSIM_CHECK(remaining > 0, "completed more tasks than injected");
+    --remaining;
+    maybe_finish();
   }
 };
 
@@ -80,6 +98,9 @@ ScenarioConfig ScenarioConfig::clone() const {
   copy.churn_enabled = churn_enabled;
   copy.initially_down = initially_down;
   copy.rebalance_period = rebalance_period;
+  copy.environment = environment;
+  copy.arrivals = arrivals;
+  copy.schedule = schedule;
   return copy;
 }
 
@@ -106,8 +127,14 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
   sim.reset();  // recycles the pooled event slab when the caller reuses `sim`
 
   // Disjoint, deterministic RNG streams per (replication, role, node):
-  // results do not depend on thread scheduling.
-  const std::uint64_t streams_per_run = 2 * static_cast<std::uint64_t>(n) + 1;
+  // results do not depend on thread scheduling. Stream ids keep the
+  // historical layout ([0, n) service, [n, 2n) churn, 2n network); the
+  // environment and arrival streams are appended only when configured, so
+  // scenarios without them stay bit-for-bit identical to earlier releases.
+  const bool has_environment = config.environment.enabled();
+  const bool has_arrivals = config.arrivals.active();
+  const std::uint64_t streams_per_run = 2 * static_cast<std::uint64_t>(n) + 1 +
+                                        (has_environment ? 1 : 0) + (has_arrivals ? 1 : 0);
   const std::uint64_t base = replication * streams_per_run;
   // One backing vector: entries [0, n) are the service streams, [n, 2n) the
   // churn streams (same stream ids as always).
@@ -115,6 +142,14 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
   rngs.reserve(2 * n);
   for (std::size_t i = 0; i < 2 * n; ++i) rngs.emplace_back(seed, base + i);
   stoch::RngStream net_rng(seed, base + 2 * n);
+  // Stream construction is not free (long-jump decorrelation), so the env and
+  // arrival streams exist only when their process does.
+  std::optional<stoch::RngStream> env_rng;
+  if (has_environment) env_rng.emplace(seed, base + 2 * n + 1);
+  std::optional<stoch::RngStream> arrival_rng;
+  if (has_arrivals) {
+    arrival_rng.emplace(seed, base + 2 * n + 1 + (has_environment ? 1 : 0));
+  }
 
   // --- nodes ---
   std::vector<std::unique_ptr<node::ComputeElement>> ces;
@@ -153,7 +188,8 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
   CompletionTracker tracker;
   tracker.sim = &sim;
   for (const std::size_t m : config.workloads) tracker.remaining += m;
-  tracker.done = tracker.remaining == 0;
+  tracker.injection_done = !has_arrivals;
+  tracker.maybe_finish();
   for (std::size_t i = 0; i < n; ++i) {
     ces[i]->set_completion_handler(
         [&tracker](const node::Task&) { tracker.on_complete(); });
@@ -235,7 +271,28 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
     }
   };
   ChurnHooks hooks{&result, trace, &sim, &policy, &view, &execute};
+  // Scheduled nodes swap the alternating-renewal driver for their
+  // deterministic timeline; both feed the same churn hooks, so policies see
+  // an identical event interface. (Sized lazily: unscheduled scenarios skip
+  // the allocation on the per-replication path.)
+  std::vector<std::unique_ptr<env::ScheduleDriver>> schedules;
+  if (!config.schedule.empty()) schedules.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
+    if (config.schedule.scheduled(i)) {
+      auto driver = std::make_unique<env::ScheduleDriver>(sim, config.schedule.per_node[i]);
+      driver->set_handler([ce = ces[i].get(), hooks_ptr = &hooks](bool down) {
+        if (down) {
+          ce->fail();
+          hooks_ptr->on_failure(ce->id());
+        } else {
+          ce->recover();
+          hooks_ptr->on_recovery(ce->id());
+        }
+      });
+      schedules[i] = std::move(driver);
+      churn.push_back(nullptr);
+      continue;
+    }
     const markov::NodeParams& np = config.params.nodes[i];
     stoch::DistributionPtr ttf;
     stoch::DistributionPtr ttr;
@@ -251,6 +308,84 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
     process->set_failure_handler([&hooks](int node_id) { hooks.on_failure(node_id); });
     process->set_recovery_handler([&hooks](int node_id) { hooks.on_recovery(node_id); });
     churn.push_back(std::move(process));
+  }
+
+  // --- environment (common-shock CTMC modulating every failure hazard) ---
+  std::optional<env::Environment> environment;
+  if (has_environment) environment.emplace(sim, config.environment, *env_rng);
+
+  // --- external arrivals (open-system task injection) ---
+  std::optional<env::ArrivalProcess> arrivals;
+  struct ArrivalCtx {
+    std::vector<std::unique_ptr<node::ComputeElement>>* ces;
+    CompletionTracker* tracker;
+    RunResult* result;
+    RunTrace* trace;
+    des::Simulator* sim;
+    core::LoadBalancingPolicy* policy;
+    LiveView* view;
+    const decltype(execute)* execute_directives;
+    std::uint64_t* next_id;
+    bool rebalance;
+  };
+  ArrivalCtx arrival_ctx{&ces,  &tracker, &result,  trace,   &sim,
+                         &policy, &view,  &execute, &next_id, config.arrivals.rebalance};
+  if (has_arrivals) {
+    arrivals.emplace(sim, config.arrivals, n, environment ? &*environment : nullptr,
+                     *arrival_rng);
+    arrivals->set_sink([ctx = &arrival_ctx](std::size_t node, std::size_t tasks, bool last) {
+      ctx->tracker->remaining += tasks;
+      ctx->result->tasks_arrived += tasks;
+      (*ctx->ces)[node]->enqueue_units(tasks, *ctx->next_id);
+      *ctx->next_id += tasks;
+      if (ctx->trace != nullptr) {
+        std::ostringstream os;
+        os << node << " x" << tasks;
+        ctx->trace->events.log(ctx->sim->now(), "inject", os.str());
+      }
+      if (ctx->rebalance) {
+        // Section 5's "LB episode at every external arrival": replay the
+        // policy's initial balancing decision against the live queues.
+        (*ctx->execute_directives)(ctx->policy->on_start(*ctx->view));
+      }
+      if (last) {
+        ctx->tracker->injection_done = true;
+        ctx->tracker->maybe_finish();
+      }
+    });
+  }
+
+  // Wire the environment's listener once its consumers exist: re-arm every
+  // stochastic failure process at the new state's hazard and re-draw the MMPP
+  // gap. Listener fires per transition (rare), so the std::function is off
+  // the per-event hot path.
+  if (environment) {
+    struct EnvCtx {
+      std::vector<std::unique_ptr<node::FailureProcess>>* churn;
+      env::Environment* environment;
+      env::ArrivalProcess* arrivals;
+      RunTrace* trace;
+      des::Simulator* sim;
+    };
+    environment->set_transition_listener(
+        [ctx = EnvCtx{&churn, &*environment, arrivals ? &*arrivals : nullptr, trace, &sim}](
+            std::size_t from, std::size_t to) {
+          const double mult = ctx.environment->spec().failure_mult[to];
+          for (const auto& process : *ctx.churn) {
+            if (process) process->set_hazard_multiplier(mult);
+          }
+          if (ctx.arrivals != nullptr) ctx.arrivals->on_environment_transition();
+          if (ctx.trace != nullptr) {
+            std::ostringstream os;
+            os << from << "->" << to;
+            ctx.trace->events.log(ctx.sim->now(), "env", os.str());
+          }
+        });
+    // The initial state's multiplier applies to the very first TTF draws.
+    const double mult = environment->failure_multiplier();
+    for (const auto& process : churn) {
+      if (process) process->set_hazard_multiplier(mult);
+    }
   }
 
   // --- t = 0: policy's initial action, then churn starts ---
@@ -269,16 +404,27 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
     sim.schedule_in(config.rebalance_period, tick);
   }
   for (std::size_t i = 0; i < n; ++i) {
+    if (!schedules.empty() && schedules[i] != nullptr) {
+      schedules[i]->start();  // fires a down@0 synchronously, like initially_down
+      continue;
+    }
     const bool can_churn = config.churn_enabled && config.params.nodes[i].lambda_f > 0.0;
     const bool starts_down = (config.initially_down >> i) & 1u;
     if (can_churn || starts_down) churn[i]->start(starts_down);
   }
+  if (environment) environment->start();
+  if (arrivals) arrivals->start();
 
   sim.run_while_pending([&] { return tracker.done; });
   LBSIM_CHECK(tracker.done, "simulation drained its event queue before completing "
-                                << tracker.remaining << " tasks");
+                                << tracker.remaining << " tasks"
+                                << (tracker.injection_done
+                                        ? ""
+                                        : " (arrival stream starved: an MMPP state with "
+                                          "rate 0 and no environment transitions?)"));
 
   result.completion_time = tracker.completion_time;
+  if (environment) result.env_transitions = environment->transitions();
   for (const auto& ce : ces) result.tasks_completed += ce->stats().tasks_completed;
   return result;
 }

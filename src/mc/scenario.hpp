@@ -10,6 +10,9 @@
 #include <vector>
 
 #include "core/policy.hpp"
+#include "env/arrivals.hpp"
+#include "env/environment.hpp"
+#include "env/schedule.hpp"
 #include "markov/params.hpp"
 #include "net/delay_model.hpp"
 #include "sim/trace.hpp"
@@ -38,6 +41,15 @@ struct ScenarioConfig {
   /// When > 0, the policy's on_periodic() hook fires every this many seconds
   /// (for PeriodicRebalancePolicy and similar extensions).
   double rebalance_period = 0.0;
+  /// Optional environment CTMC (states == 0 disables): its state multiplies
+  /// every node's failure hazard and selects MMPP arrival rates.
+  env::EnvironmentSpec environment;
+  /// Optional external arrival stream (process == kNone disables).
+  env::ArrivalSpec arrivals;
+  /// Optional deterministic up/down timelines. A scheduled node's churn is
+  /// driven by the schedule alone (its stochastic FailureProcess is not
+  /// created, and it must not appear in initially_down).
+  env::Schedule schedule;
 
   /// Deep copy (clones policy and delay model).
   [[nodiscard]] ScenarioConfig clone() const;
@@ -56,12 +68,16 @@ struct RunResult {
   std::uint64_t bundles_sent = 0;
   std::uint64_t tasks_moved = 0;
   std::uint64_t tasks_completed = 0;
+  std::uint64_t tasks_arrived = 0;     ///< externally injected tasks (open arrivals)
+  std::uint64_t env_transitions = 0;   ///< environment CTMC jumps during the run
 };
 
 /// Optional per-run observability (Fig. 4): queue traces and a churn/transfer log.
 struct RunTrace {
   std::vector<des::TimeSeries> queue_lengths;  // one per node
-  des::EventLog events;                        // tags: fail, recover, transfer, arrival
+  /// Tags: fail, recover, transfer, arrival (bundle delivery), inject
+  /// (external arrival epoch), env (environment transition).
+  des::EventLog events;
 };
 
 /// Runs one replication. `seed` is the experiment master seed; `replication`

@@ -43,6 +43,37 @@ TheoryMapping map_to_theory(const ScenarioConfig& config) {
   const std::size_t n = config.params.nodes.size();
   LBSIM_REQUIRE(config.workloads.size() == n, "workload/params size mismatch");
 
+  // The env subsystem's driving processes are all outside the regeneration
+  // solvers' iid-exponential world; decline each with its pinned marker (the
+  // `lbsim validate` boundary points and validation_test rely on these exact
+  // strings). An environment that cannot touch anything (churn off / all
+  // lambda_f = 0, no MMPP) is vacuous and falls through.
+  const bool any_failures =
+      config.churn_enabled &&
+      std::any_of(config.params.nodes.begin(), config.params.nodes.end(),
+                  [](const markov::NodeParams& node) { return node.lambda_f > 0.0; });
+  // Unit multipliers in every state are vacuous for churn: re-arming an
+  // exponential TTF at its own rate is distributionally a no-op (that exact
+  // reduction is pinned statistically in env_test), so only a state that
+  // actually scales the hazard leaves the solvers' model.
+  const bool modulates_hazard =
+      config.environment.enabled() &&
+      std::any_of(config.environment.failure_mult.begin(),
+                  config.environment.failure_mult.end(),
+                  [](double mult) { return mult != 1.0; });
+  if (modulates_hazard && any_failures) {
+    mapping.reason = "environment-modulated churn";
+    return mapping;
+  }
+  if (config.arrivals.active()) {
+    mapping.reason = "open arrivals";
+    return mapping;
+  }
+  if (!config.schedule.empty()) {
+    mapping.reason = "deterministic schedule";
+    return mapping;
+  }
+
   if (config.rebalance_period > 0.0) {
     mapping.reason = "periodic rebalancing timers are outside the regeneration model";
     return mapping;
@@ -51,10 +82,6 @@ TheoryMapping map_to_theory(const ScenarioConfig& config) {
   // An event-driven policy only leaves the solvers' model if its hooks can
   // actually fire: failures need live churn, recoveries need live churn or an
   // initially-down node.
-  const bool any_failures =
-      config.churn_enabled &&
-      std::any_of(config.params.nodes.begin(), config.params.nodes.end(),
-                  [](const markov::NodeParams& node) { return node.lambda_f > 0.0; });
   const bool hooks_can_fire = any_failures || config.initially_down != 0;
   if (hooks_can_fire && !config.policy->start_only()) {
     mapping.reason = "policy '" + config.policy->name() +

@@ -34,12 +34,27 @@ void FailureProcess::start(bool initially_down) {
 void FailureProcess::stop() {
   if (!running_) return;
   running_ = false;
+  failure_armed_ = false;
   sim_.cancel(pending_);
+}
+
+void FailureProcess::set_hazard_multiplier(double mult) {
+  LBSIM_REQUIRE(mult > 0.0, "hazard multiplier " << mult << " must be > 0");
+  hazard_mult_ = mult;
+  if (running_ && failure_armed_) {
+    // Refresh the pending draw at the new hazard. Exact for exponential TTF
+    // (memorylessness); for other laws this is the standard regenerative
+    // approximation of a modulated hazard.
+    sim_.cancel(pending_);
+    failure_armed_ = false;
+    arm_failure();
+  }
 }
 
 void FailureProcess::arm_failure() {
   if (ttf_ == nullptr) return;  // perfectly reliable node
-  pending_ = sim_.schedule_in(ttf_->sample(rng_), [this] { fire_failure(); });
+  pending_ = sim_.schedule_in(ttf_->sample(rng_) / hazard_mult_, [this] { fire_failure(); });
+  failure_armed_ = true;
 }
 
 void FailureProcess::arm_recovery() {
@@ -48,6 +63,7 @@ void FailureProcess::arm_recovery() {
 
 void FailureProcess::fire_failure() {
   if (!running_) return;
+  failure_armed_ = false;
   ce_.fail();
   if (on_failure_) on_failure_(ce_.id());
   arm_recovery();

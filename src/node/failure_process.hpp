@@ -40,6 +40,17 @@ class FailureProcess {
   /// Stops scheduling further churn events (pending timer cancelled).
   void stop();
 
+  /// Environment-modulation hook: scales the failure hazard by `mult` (> 0) —
+  /// every time-to-failure draw is divided by `mult`, which for the
+  /// exponential law is exactly Exp(mult * lambda_f). If the node is up with
+  /// a failure timer armed, the timer re-arms immediately with a fresh draw
+  /// at the new multiplier; by memorylessness this is exactly the
+  /// Markov-modulated hazard. Recovery is never modulated (a storm makes
+  /// failures more likely, not repairs faster).
+  void set_hazard_multiplier(double mult);
+
+  [[nodiscard]] double hazard_multiplier() const noexcept { return hazard_mult_; }
+
   void set_failure_handler(ChurnHandler handler) { on_failure_ = std::move(handler); }
   void set_recovery_handler(ChurnHandler handler) { on_recovery_ = std::move(handler); }
 
@@ -56,6 +67,10 @@ class FailureProcess {
   stoch::RngStream& rng_;
   des::EventId pending_;
   bool running_ = false;
+  double hazard_mult_ = 1.0;
+  /// True while `pending_` is an armed failure timer (so a multiplier change
+  /// knows whether there is a draw to refresh).
+  bool failure_armed_ = false;
   ChurnHandler on_failure_;
   ChurnHandler on_recovery_;
 };

@@ -1,11 +1,26 @@
 #include "util/math.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/error.hpp"
 
 namespace lbsim::util {
+
+std::optional<double> try_parse_double(const std::string& text) noexcept {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    // strtod accepts "inf"/"nan" without ERANGE; neither is a usable config
+    // value (NaN additionally defeats every downstream range check).
+    return std::nullopt;
+  }
+  return value;
+}
 
 std::vector<double> linspace(double lo, double hi, std::size_t count) {
   LBSIM_REQUIRE(count >= 1, "linspace needs at least one point");

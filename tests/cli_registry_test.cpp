@@ -170,5 +170,97 @@ TEST(CliRegistry, Lbp1SenderAutoPicksTheMoreLoadedNode) {
   EXPECT_EQ(scenario.policy->name(), "LBP-1(K=0.35, sender=1)");
 }
 
+// ---------- env-driven families ----------
+
+TEST(CliRegistry, CorrelatedChurnBuildsTheCalmStormEnvironment) {
+  const ScenarioSpec& spec = find_scenario("correlated-churn");
+  const mc::ScenarioConfig scenario = spec.build(resolve(spec));
+  ASSERT_TRUE(scenario.environment.enabled());
+  EXPECT_EQ(scenario.environment.states, 2u);
+  EXPECT_EQ(scenario.environment.failure_mult, (std::vector<double>{1.0, 10.0}));
+  EXPECT_DOUBLE_EQ(scenario.environment.rate(0, 1), 0.05);
+  EXPECT_DOUBLE_EQ(scenario.environment.rate(1, 0), 0.2);
+  // Defaults reduce to the paper's two nodes.
+  ASSERT_EQ(scenario.params.nodes.size(), 2u);
+  EXPECT_DOUBLE_EQ(scenario.params.nodes[0].lambda_d, 1.08);
+  EXPECT_DOUBLE_EQ(scenario.params.nodes[1].lambda_r, 0.05);
+}
+
+TEST(CliRegistry, GeneralKStateEnvironmentNeedsExplicitMultAndGen) {
+  const ScenarioSpec& spec = find_scenario("correlated-churn");
+  RawConfig raw;
+  raw.set("env.states", "3");
+  EXPECT_THROW((void)spec.build(resolve(spec, raw)), ConfigError);  // no env.mult
+  raw.set("env.mult", "1,4,16");
+  EXPECT_THROW((void)spec.build(resolve(spec, raw)), ConfigError);  // no env.gen
+  raw.set("env.gen", "0,0.1,0, 0.2,0,0.1, 0,0.3,0");
+  const mc::ScenarioConfig scenario = spec.build(resolve(spec, raw));
+  EXPECT_EQ(scenario.environment.states, 3u);
+  EXPECT_DOUBLE_EQ(scenario.environment.rate(2, 1), 0.3);
+  // env.start must name a state.
+  raw.set("env.start", "3");
+  EXPECT_THROW((void)spec.build(resolve(spec, raw)), ConfigError);
+}
+
+TEST(CliRegistry, OpenArrivalsBuildsEnvironmentOnlyWhenAsked) {
+  const ScenarioSpec& spec = find_scenario("open-arrivals");
+  const mc::ScenarioConfig poisson = spec.build(resolve(spec));
+  EXPECT_FALSE(poisson.environment.enabled());
+  EXPECT_TRUE(poisson.arrivals.active());
+  EXPECT_EQ(poisson.arrivals.process, env::ArrivalSpec::Process::kPoisson);
+
+  RawConfig raw;
+  raw.set("arrivals.process", "mmpp");
+  raw.set("arrivals.rates", "0.02");
+  const mc::ScenarioConfig mmpp = spec.build(resolve(spec, raw));
+  ASSERT_TRUE(mmpp.environment.enabled());
+  // Single-entry rate list cycles to the environment's state count.
+  EXPECT_EQ(mmpp.arrivals.state_rates, (std::vector<double>{0.02, 0.02}));
+}
+
+TEST(CliRegistry, ScheduledChurnDefaultsStochasticChurnOff) {
+  const ScenarioSpec& spec = find_scenario("scheduled-churn");
+  const mc::ScenarioConfig scenario = spec.build(resolve(spec));
+  EXPECT_FALSE(scenario.churn_enabled);
+  EXPECT_TRUE(scenario.schedule.scheduled(0));
+  // Malformed timelines surface as ConfigError on the schedule key, and node
+  // ids outside the system fail at build time, not mid-replication.
+  RawConfig raw;
+  raw.set("schedule", "0:flip@3");
+  EXPECT_THROW((void)spec.build(resolve(spec, raw)), ConfigError);
+  raw.set("schedule", "7:down@1-2");
+  EXPECT_THROW((void)spec.build(resolve(spec, raw)), ConfigError);
+  // Non-finite times parse under strtod but must be rejected here — a NaN
+  // would defeat the interval checks and abort mid-replication instead.
+  raw.set("schedule", "0:down@nan");
+  EXPECT_THROW((void)spec.build(resolve(spec, raw)), ConfigError);
+  raw.set("schedule", "0:down@1-nan");
+  EXPECT_THROW((void)spec.build(resolve(spec, raw)), ConfigError);
+  raw.set("schedule", "0:down@inf");
+  EXPECT_THROW((void)spec.build(resolve(spec, raw)), ConfigError);
+}
+
+TEST(CliRegistry, EnvKeyTyposGetDidYouMeanSuggestions) {
+  // The did-you-mean machinery must cover the new key groups.
+  const auto expect_suggests = [](const char* family, const char* typo,
+                                  const char* suggestion) {
+    const ScenarioSpec& spec = find_scenario(family);
+    RawConfig raw;
+    raw.set(typo, "1");
+    try {
+      (void)spec.schema.resolve(raw);
+      FAIL() << typo;
+    } catch (const ConfigError& e) {
+      EXPECT_EQ(e.kind(), ConfigError::Kind::kUnknownKey);
+      EXPECT_NE(std::string(e.what()).find(suggestion), std::string::npos)
+          << e.what() << " should suggest " << suggestion;
+    }
+  };
+  expect_suggests("correlated-churn", "env.storm.mul", "env.storm.mult");
+  expect_suggests("correlated-churn", "env.stats", "env.states");
+  expect_suggests("open-arrivals", "arrivals.procss", "arrivals.process");
+  expect_suggests("scheduled-churn", "schedul", "schedule");
+}
+
 }  // namespace
 }  // namespace lbsim::cli

@@ -34,7 +34,11 @@ TEST(CliSweepAxis, RejectsMalformedSpecs) {
   EXPECT_THROW((void)parse_axis("gain="), ConfigError);
   EXPECT_THROW((void)parse_axis("gain=1:0:0.1"), ConfigError);   // hi < lo
   EXPECT_THROW((void)parse_axis("gain=0:1:-0.1"), ConfigError);  // step <= 0
-  EXPECT_THROW((void)parse_axis("gain=a:b:c"), ConfigError);
+  // Non-numeric colon bodies are NOT ranges: they fall back to the list
+  // grammar (schedule timelines need this) and fail later at schema
+  // resolution when the key is numeric.
+  const SweepAxis not_a_range = parse_axis("gain=a:b:c");
+  EXPECT_EQ(not_a_range.values, (std::vector<std::string>{"a:b:c"}));
 }
 
 TEST(CliSweepGrid, ExpandsCartesianProductRowMajor) {
@@ -68,6 +72,62 @@ TEST(CliSweep, DryRunStillRejectsInvalidPoints) {
   options.dry_run = true;
   EXPECT_THROW((void)run_sweep(spec, {}, {parse_axis("gain=0.5,11")}, options), ConfigError);
   EXPECT_THROW((void)run_sweep(spec, {}, {parse_axis("bogus=1,2")}, options), ConfigError);
+}
+
+TEST(CliSweep, UnknownAxisKeyFailsFastNamingTheFamily) {
+  // The fail-fast check runs before any grid point: a typoed env key on a
+  // real (non-dry) sweep must throw immediately, name the family, and carry a
+  // did-you-mean suggestion across the env.*/arrivals.* key groups.
+  const ScenarioSpec& spec = find_scenario("correlated-churn");
+  SweepOptions options;
+  options.replications = 5000000;  // would take hours if a point ever ran
+  try {
+    (void)run_sweep(spec, {}, {parse_axis("env.storm.mul=1,5")}, options);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.kind(), ConfigError::Kind::kUnknownKey);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("correlated-churn"), std::string::npos) << what;
+    EXPECT_NE(what.find("env.storm.mult"), std::string::npos) << what;
+  }
+  // arrivals.* group, on the open-arrivals family.
+  try {
+    (void)run_sweep(find_scenario("open-arrivals"), {},
+                    {parse_axis("arrivals.bacth=10,20")}, options);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("open-arrivals"), std::string::npos) << what;
+    EXPECT_NE(what.find("arrivals.batch"), std::string::npos) << what;
+  }
+}
+
+TEST(CliSweep, GridIsFullyValidatedBeforeAnyPointRuns) {
+  // A multi-token schedule passed as an axis gets comma-split into bogus
+  // values ('0:down@10' + 'up@30'); the whole grid is built up front, so the
+  // sweep dies with the precise schedule ConfigError before a single
+  // replication runs — never with truncated semantics or a mid-sweep abort.
+  const ScenarioSpec& spec = find_scenario("scheduled-churn");
+  SweepOptions options;
+  options.replications = 5000000;  // would take hours if a point ever ran
+  try {
+    (void)run_sweep(spec, {}, {parse_axis("schedule=0:down@10,up@30")}, options);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.kind(), ConfigError::Kind::kBadValue);
+    EXPECT_EQ(e.key(), "schedule");
+  }
+}
+
+TEST(CliSweepAxis, ScheduleTimelinesAreListValuesNotRanges) {
+  // Schedule strings carry their own colons; the lo:hi:step detector must not
+  // eat them (non-numeric segments fall back to the list grammar).
+  const SweepAxis axis = parse_axis("schedule=0:down@10-20,0:down@10-60");
+  ASSERT_EQ(axis.values.size(), 2u);
+  EXPECT_EQ(axis.values[0], "0:down@10-20");
+  EXPECT_EQ(axis.values[1], "0:down@10-60");
+  // Numeric ranges keep working.
+  EXPECT_EQ(parse_axis("gain=0:1:0.5").values.size(), 3u);
 }
 
 TEST(CliSweep, RunsTheGridAndReportsMeans) {

@@ -174,6 +174,21 @@ TEST(MathTest, TrapezoidIntegratesLine) {
   EXPECT_NEAR(trapezoid(y, 0.1), 0.5, 1e-12);
 }
 
+TEST(MathTest, TryParseDoubleFullMatchFiniteOnly) {
+  ASSERT_TRUE(util::try_parse_double("1.5").has_value());
+  EXPECT_DOUBLE_EQ(*util::try_parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*util::try_parse_double("-2e3"), -2000.0);
+  EXPECT_FALSE(util::try_parse_double("").has_value());
+  EXPECT_FALSE(util::try_parse_double("1.5x").has_value());
+  EXPECT_FALSE(util::try_parse_double("abc").has_value());
+  EXPECT_FALSE(util::try_parse_double("1e999").has_value());  // ERANGE
+  // strtod parses these without ERANGE, but no config value may be non-finite
+  // (NaN would defeat every downstream range check).
+  EXPECT_FALSE(util::try_parse_double("inf").has_value());
+  EXPECT_FALSE(util::try_parse_double("nan").has_value());
+  EXPECT_FALSE(util::try_parse_double("-inf").has_value());
+}
+
 TEST(MathTest, BinomialCoefficients) {
   EXPECT_DOUBLE_EQ(binomial_coefficient(5, 2), 10.0);
   EXPECT_DOUBLE_EQ(binomial_coefficient(10, 0), 1.0);

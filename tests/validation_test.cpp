@@ -228,6 +228,43 @@ TEST(TheoryBridge, ColdStartMapsTheDownMask) {
   EXPECT_EQ(mapping.query.resolved_state(), 0b10u);  // node 0 starts down
 }
 
+TEST(TheoryBridge, EnvFamiliesDeclineWithPinnedReasons) {
+  // The exact marker strings the env subsystem's boundary points rely on —
+  // `lbsim validate` prints them verbatim in its skip rows.
+  const mc::TheoryMapping modulated =
+      mc::map_to_theory(family_scenario("correlated-churn", {}));
+  EXPECT_FALSE(modulated.ok);
+  EXPECT_EQ(modulated.reason, "environment-modulated churn");
+
+  const mc::TheoryMapping open = mc::map_to_theory(family_scenario("open-arrivals", {}));
+  EXPECT_FALSE(open.ok);
+  EXPECT_EQ(open.reason, "open arrivals");
+  // MMPP declines for its arrivals (its default environment has unit
+  // multipliers, which modulate nothing).
+  const mc::TheoryMapping mmpp = mc::map_to_theory(
+      family_scenario("open-arrivals", {{"arrivals.process", "mmpp"}}));
+  EXPECT_FALSE(mmpp.ok);
+  EXPECT_EQ(mmpp.reason, "open arrivals");
+
+  const mc::TheoryMapping scheduled =
+      mc::map_to_theory(family_scenario("scheduled-churn", {}));
+  EXPECT_FALSE(scheduled.ok);
+  EXPECT_EQ(scheduled.reason, "deterministic schedule");
+}
+
+TEST(TheoryBridge, VacuousEnvironmentStillMaps) {
+  // Unit multipliers everywhere (re-arming Exp at its own rate is a
+  // distributional no-op) keep the scenario inside the solvers' model, as
+  // does an environment whose churn is frozen.
+  const mc::TheoryMapping unit_mult = mc::map_to_theory(family_scenario(
+      "correlated-churn", {{"env.storm.mult", "1"}, {"policy", "none"}}));
+  ASSERT_TRUE(unit_mult.ok) << unit_mult.reason;
+  const mc::TheoryMapping no_churn = mc::map_to_theory(
+      family_scenario("correlated-churn", {{"churn", "false"}, {"policy", "none"}}));
+  ASSERT_TRUE(no_churn.ok) << no_churn.reason;
+  for (const auto& node : no_churn.query.params.nodes) EXPECT_EQ(node.lambda_f, 0.0);
+}
+
 // ---------- the lbsim validate gate ----------
 
 TEST(ValidateCommand, PaperFamilyPassesAtDefaultGates) {
@@ -270,6 +307,24 @@ TEST(ValidateCommand, EveryRegistryFamilyHasValidationPoints) {
     EXPECT_NE(std::find(covered.begin(), covered.end(), spec.name), covered.end())
         << "registry family '" << spec.name
         << "' has no validation point in src/cli/validate.cpp";
+  }
+}
+
+TEST(ValidateCommand, EnvFamiliesPassWithBoundaryMarkers) {
+  // Each env family must carry at least one decline-marker point (coverage
+  // guard) and pass the gate; correlated-churn additionally theory-checks its
+  // calm reduction.
+  for (const char* family : {"correlated-churn", "open-arrivals", "scheduled-churn"}) {
+    cli::ValidationOptions options;
+    options.family = family;
+    options.replications = 150;
+    options.seed = test::kFixedSeed;
+    const cli::ValidationReport report = cli::run_validation(options);
+    EXPECT_GE(report.skipped, 1u) << family;
+    EXPECT_TRUE(report.passed()) << family;
+    if (std::string(family) == "correlated-churn") {
+      EXPECT_EQ(report.checked, 1u);
+    }
   }
 }
 
