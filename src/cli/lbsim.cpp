@@ -16,6 +16,7 @@
 #include "markov/two_node_mean.hpp"
 #include "mc/engine.hpp"
 #include "mc/scenario.hpp"
+#include "mc/steady.hpp"
 #include "sim/simulator.hpp"
 #include "testbed/config.hpp"
 #include "testbed/experiment.hpp"
@@ -44,13 +45,15 @@ Usage:
         [--sigma=F] [--ks-slack=F] [--format=table|csv|json] [--out=FILE]
         runs every registry family (or one) against the exact solvers at a
         fixed seed; exits nonzero when a z-score or KS gate fails. --strict is
-        the CI configuration (1500 reps, 4-sigma mean gate)
+        the CI configuration (1500 reps, 4-sigma mean gate). Steady-state
+        points check the stationary M/M/1 sojourn law instead of a
+        completion-time solver
   lbsim reproduce <table1|table2|table3|fig1..fig5>
         [--quick] [--golden-only] [--reps=N] [--realizations=N] [--seed=S]
         [--format=table|csv|json] [--out=FILE]
   lbsim perf [--quick] [--out=FILE] [--check[=BASELINE]] [--max-regression=F]
         timing baseline (perf_solver/perf_mc/perf_des, many-node perf_mc_n16/32/64,
-        env-modulated perf_mc_env);
+        env-modulated perf_mc_env, open-system perf_mc_steady);
         --check exits nonzero when any bench regresses >F (default 0.30) vs the
         baseline JSON (default BENCH_baseline.json)
 
@@ -217,6 +220,58 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
   const Config config = invocation.spec->schema.resolve(invocation.raw);
   mc::ScenarioConfig scenario = invocation.spec->build(config);
 
+  if (invocation.spec->steady) {
+    // Infinite-horizon family: the steady-state engine is the only one whose
+    // semantics (stop at N completions, not drain) are defined for it.
+    if (engine.engine != "mc") {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, "engine",
+                        "scenario '" + invocation.spec->name +
+                            "' is infinite-horizon; only the mc (steady-state) engine "
+                            "runs it");
+    }
+    mc::SteadyConfig steady_config;
+    if (engine.replications != 0) steady_config.replications = engine.replications;
+    if (engine.seed != 0) steady_config.seed = engine.seed;
+    steady_config.threads = engine.threads;
+    const std::string policy_name = scenario.policy->name();
+    const auto steady_start = std::chrono::steady_clock::now();
+    const mc::SteadyResult result = mc::run_steady(scenario, steady_config);
+    util::TextTable table({"scenario", "policy", "engine", "reps", "tasks",
+                           "mean_sojourn_s", "ci95_s", "stderr_s", "p50_s", "p90_s",
+                           "p99_s", "warmup", "batches", "lag1", "horizon_s",
+                           "mean_queue"});
+    table.add_row({invocation.spec->name, policy_name, "mc-steady",
+                   std::to_string(steady_config.replications),
+                   std::to_string(result.batch.observations),
+                   util::format_double(result.mean(), 4),
+                   util::format_double(result.ci95(), 4),
+                   util::format_double(result.std_error(), 4),
+                   util::format_double(result.p50, 4), util::format_double(result.p90, 4),
+                   util::format_double(result.p99, 4), std::to_string(result.warmup),
+                   std::to_string(result.batch.batches),
+                   util::format_double(result.batch.lag1, 3),
+                   util::format_double(result.horizon_time, 1),
+                   util::format_double(result.mean_queue_length, 3)});
+    RunMetadata meta;
+    meta.command = joined_command(argc, argv);
+    meta.scenario = invocation.spec->name;
+    meta.threads = engine.threads;
+    meta.seed = steady_config.seed;
+    meta.replications = steady_config.replications;
+    if (result.batch.correlated) {
+      meta.extra.emplace_back("warning",
+                              "batch means are lag-1 correlated (|" +
+                                  util::format_double(result.batch.lag1, 3) + "| > " +
+                                  util::format_double(result.batch.lag1_gate, 3) +
+                                  "); widen steady.tasks for an honest CI");
+    }
+    meta.wall_seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                            std::chrono::steady_clock::now() - steady_start)
+                            .count();
+    emit(args, meta, table, out);
+    return 0;
+  }
+
   util::TextTable table({"scenario", "policy", "engine", "reps", "mean_s", "ci95_s",
                          "stderr_s", "min_s", "max_s", "p50_s", "p90_s", "p99_s",
                          "mean_failures", "mean_tasks_moved", "mean_bundles"});
@@ -326,7 +381,10 @@ int cmd_sweep(int argc, const char* const* argv, const util::CliArgs& args,
     throw ConfigError(ConfigError::Kind::kOutOfRange, "engine",
                       "lbsim sweep drives the MC engine only");
   }
-  if (engine.replications != 0) options.replications = engine.replications;
+  if (engine.replications != 0) {
+    options.replications = engine.replications;
+    options.replications_explicit = true;
+  }
   if (engine.seed != 0) options.seed = engine.seed;
   options.threads = engine.threads;
   options.dry_run = args.get_bool("dry-run", false);
@@ -614,6 +672,28 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
                        util::format_double(mean, 2) + " s",
                    util::format_double(reps * 1000.0 / ms, 1)});
     note_reps("perf_mc_env", reps);
+  }
+
+  // perf_mc_steady: the infinite-horizon engine on the open-steady defaults —
+  // guards the per-completion cost of the open-system hot path (unbounded
+  // arrival stream, per-task latency records, MSER-5 + batch-means analysis),
+  // which has no finite-horizon sibling.
+  {
+    const std::size_t tasks = quick ? 5000 : 20000;
+    const ScenarioSpec& spec = find_scenario("open-steady");
+    RawConfig raw;
+    raw.set("steady.tasks", std::to_string(tasks));
+    mc::ScenarioConfig scenario = spec.build(spec.schema.resolve(raw));
+    mc::SteadyConfig steady_config;
+    steady_config.seed = 0x5eed2006;
+    double mean = 0.0;
+    const double ms =
+        time_ms(3, [&] { mean = mc::run_steady(scenario, steady_config).mean(); });
+    table.add_row({"perf_mc_steady", util::format_double(ms, 2),
+                   std::to_string(tasks) + " completions open-steady, mean sojourn " +
+                       util::format_double(mean, 2) + " s",
+                   util::format_double(tasks * 1000.0 / ms, 1)});
+    note_reps("perf_mc_steady", 1);
   }
 
   meta.command = joined_command(argc, argv);

@@ -228,8 +228,9 @@ Schema arrivals_schema() {
       .add(opt("arrivals.rates", OptionType::kDoubleList, "0.01,0.16",
                "MMPP per-environment-state epoch rates, cycled to env.states", 0.0, 1e6))
       .add(opt("arrivals.count", OptionType::kSize, "4",
-               "arrival epochs per replication (finite keeps completion defined)", 0.0,
-               100000.0))
+               "arrival epochs per replication (finite keeps completion defined; "
+               "use arrivals.process=none to disable the stream)",
+               1.0, 100000.0))
       .add(opt("arrivals.batch", OptionType::kSize, "40",
                "tasks per arrival epoch (the mean when geometric)", 1.0, 5000.0))
       .add(opt("arrivals.batch.law", OptionType::kString, "fixed", "batch-size law", kNoMin,
@@ -267,6 +268,79 @@ env::ArrivalSpec build_arrivals(const Config& config, const env::EnvironmentSpec
                        : env::ArrivalSpec::BatchLaw::kFixed;
   spec.target = static_cast<int>(config.get_int("arrivals.target"));
   spec.rebalance = config.get_bool("arrivals.rebalance");
+  return spec;
+}
+
+/// Arrival keys of the steady-state family: same names as arrivals_schema so
+/// sweeps/overrides transfer, but no arrivals.count (the stream is always
+/// unbounded), unit batches by default, and rate 0 = derive from `rho`.
+Schema steady_arrivals_schema() {
+  Schema schema;
+  schema
+      .add(opt("arrivals.process", OptionType::kString, "poisson",
+               "external arrival process", kNoMin, kNoMax, {"poisson", "mmpp"}))
+      .add(opt("arrivals.rate", OptionType::kDouble, "0",
+               "Poisson arrival-epoch rate (1/s); 0 = derive from rho", 0.0, 1e6))
+      .add(opt("arrivals.rates", OptionType::kDoubleList, "0.5,2",
+               "MMPP per-environment-state epoch rates, cycled to env.states", 0.0, 1e6))
+      .add(opt("arrivals.batch", OptionType::kSize, "1",
+               "tasks per arrival epoch (the mean when geometric)", 1.0, 5000.0))
+      .add(opt("arrivals.batch.law", OptionType::kString, "fixed", "batch-size law", kNoMin,
+               kNoMax, {"fixed", "geometric"}))
+      .add(opt("arrivals.target", OptionType::kInt, "-1",
+               "node receiving each epoch (-1 = uniform random)", -1.0, 63.0))
+      .add(opt("arrivals.rebalance", OptionType::kBool, "false",
+               "re-run the policy's t=0 balancing episode after every arrival"))
+      .add(opt("rho", OptionType::kDouble, "0.5",
+               "offered load: epoch rate = rho * sum(lambda_d) / batch "
+               "(used when arrivals.rate = 0; under churn, effective capacity "
+               "is availability * lambda_d, so saturation begins below 1)",
+               0.01, 0.99))
+      .add(opt("steady.tasks", OptionType::kSize, "20000",
+               "completed tasks observed per replication", 1000.0, 1e7))
+      .add(opt("steady.batches", OptionType::kSize, "32",
+               "batch count for the batch-means CI", 8.0, 256.0))
+      .add(opt("steady.warmup.cap", OptionType::kDouble, "0.5",
+               "max fraction of the window MSER-5 may truncate as warm-up", 0.0, 0.9));
+  return schema;
+}
+
+env::ArrivalSpec build_steady_arrivals(const Config& config,
+                                       const mc::ScenarioConfig& scenario) {
+  env::ArrivalSpec spec;
+  const std::string process = config.get_string("arrivals.process");
+  spec.process = process == "mmpp" ? env::ArrivalSpec::Process::kMmpp
+                                   : env::ArrivalSpec::Process::kPoisson;
+  spec.unbounded = true;
+  spec.batch = config.get_size("arrivals.batch");
+  spec.batch_law = config.get_string("arrivals.batch.law") == "geometric"
+                       ? env::ArrivalSpec::BatchLaw::kGeometric
+                       : env::ArrivalSpec::BatchLaw::kFixed;
+  spec.target = static_cast<int>(config.get_int("arrivals.target"));
+  spec.rebalance = config.get_bool("arrivals.rebalance");
+  if (spec.process == env::ArrivalSpec::Process::kMmpp) {
+    if (!scenario.environment.enabled()) {
+      throw ConfigError(ConfigError::Kind::kBadValue, "arrivals.process",
+                        "arrivals.process=mmpp needs the env.* environment keys");
+    }
+    const std::vector<double> rates = config.get_double_list("arrivals.rates");
+    if (rates.empty()) {
+      throw ConfigError(ConfigError::Kind::kBadValue, "arrivals.rates",
+                        "arrivals.rates must be a non-empty rate list for MMPP");
+    }
+    spec.state_rates = cycled(rates, scenario.environment.states);
+    return spec;
+  }
+  spec.rate = config.get_double("arrivals.rate");
+  if (spec.rate <= 0.0) {
+    // rho is the offered load: task rate rho * sum(mu), so the epoch rate
+    // divides out the mean batch size.
+    double total_mu = 0.0;
+    for (const markov::NodeParams& np : scenario.params.nodes) total_mu += np.lambda_d;
+    spec.rate =
+        config.get_double("rho") * total_mu / static_cast<double>(std::max<std::size_t>(
+                                                 spec.batch, 1));
+  }
   return spec;
 }
 
@@ -401,6 +475,35 @@ std::vector<ScenarioSpec> build_registry() {
            scenario.arrivals = build_arrivals(config, scenario.environment);
            return scenario;
          }});
+  }
+
+  {
+    // Infinite-horizon open system: an unbounded Poisson/MMPP stream feeds an
+    // n-node cluster and the steady-state engine reports stationary sojourn
+    // time (batch-means CI + MSER-5 warm-up truncation) instead of completion
+    // time. No-churn points have an exact M/M/1 law (see lbsim validate).
+    Schema schema = n_node_schema("2", "0.25", "0");
+    schema.merge(steady_arrivals_schema()).merge(env_schema("1"));
+    registry.push_back(
+        {.name = "open-steady",
+         .summary = "infinite-horizon open system: stationary sojourn time under an "
+                    "unbounded arrival stream (steady-state engine)",
+         .schema = std::move(schema),
+         .build =
+             [](const Config& config) {
+               mc::ScenarioConfig scenario = build_n_node(config);
+               if (config.get_string("arrivals.process") == "mmpp" ||
+                   env_supplied(config)) {
+                 scenario.environment = build_environment(config);
+               }
+               scenario.arrivals = build_steady_arrivals(config, scenario);
+               scenario.steady.enabled = true;
+               scenario.steady.tasks = config.get_size("steady.tasks");
+               scenario.steady.batches = config.get_size("steady.batches");
+               scenario.steady.warmup_cap = config.get_double("steady.warmup.cap");
+               return scenario;
+             },
+         .steady = true});
   }
 
   {

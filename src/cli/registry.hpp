@@ -25,6 +25,9 @@ struct ScenarioSpec {
   Schema schema;
   /// Builds a validated, ready-to-run scenario from a resolved Config.
   std::function<mc::ScenarioConfig(const Config&)> build;
+  /// Infinite-horizon family: routed to the steady-state engine
+  /// (mc::run_steady) instead of the finite completion-time engines.
+  bool steady = false;
 };
 
 /// All registered families, in presentation order.

@@ -8,6 +8,7 @@
 
 #include "markov/theory_oracle.hpp"
 #include "mc/engine.hpp"
+#include "mc/steady.hpp"
 #include "mc/theory.hpp"
 #include "stochastic/stats.hpp"
 #include "util/math.hpp"
@@ -32,6 +33,7 @@ void assign(const std::string& key, const std::string& value, RawConfig& raw,
       throw ConfigError(ConfigError::Kind::kOutOfRange, key, "mc.reps must be >= 1");
     }
     options.replications = static_cast<std::size_t>(reps);
+    options.replications_explicit = true;
   } else if (key == "mc.threads") {
     const long long threads = parse_int(value, key);
     if (threads < 0) {
@@ -62,6 +64,23 @@ void append_theory_cells(const mc::ScenarioConfig& built, const mc::McResult& mc
   row.push_back(util::format_double(prediction.mean, 3));
   row.push_back(util::format_double(abs_err, 3));
   const double std_error = mc_result.std_error();
+  row.push_back(std_error > 0.0 ? util::format_double(abs_err / std_error, 2) : "-");
+}
+
+/// Steady-state analogue: the theory column is the exact M/M/1 stationary
+/// mean (mc::map_to_open_theory), "-" where no closed form applies.
+void append_open_theory_cells(const mc::ScenarioConfig& built,
+                              const mc::SteadyResult& steady,
+                              std::vector<std::string>& row) {
+  const mc::OpenTheory theory = mc::map_to_open_theory(built);
+  if (!theory.ok) {
+    row.insert(row.end(), {"-", "-", "-"});
+    return;
+  }
+  const double abs_err = std::fabs(steady.mean() - theory.mean);
+  row.push_back(util::format_double(theory.mean, 3));
+  row.push_back(util::format_double(abs_err, 3));
+  const double std_error = steady.std_error();
   row.push_back(std_error > 0.0 ? util::format_double(abs_err / std_error, 2) : "-");
 }
 
@@ -170,6 +189,27 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
   for (const SweepAxis& axis : axes) header.push_back(axis.key);
   if (options.dry_run) {
     header.insert(header.end(), {"policy", "reps"});
+  } else if (scenario.steady) {
+    // Steady-state families report the stationary sojourn time, not a
+    // completion time: the CI is the batch-means CI, `warmup` the MSER-5
+    // truncation, `lag1` the batch-means autocorrelation diagnostic.
+    header.insert(header.end(), {"mean_sojourn_s", "ci95_s", "stderr_s", "reps", "tasks",
+                                 "warmup", "lag1", "mean_queue"});
+    if (options.quantiles) {
+      header.insert(header.end(), {"p50_s", "p90_s", "p99_s"});
+    }
+    if (options.ecdf_points > 0) {
+      for (std::size_t i = 0; i <= options.ecdf_points; ++i) {
+        std::string name = "q";
+        name += format_axis_value(100.0 * static_cast<double>(i) /
+                                  static_cast<double>(options.ecdf_points));
+        name += "_s";
+        header.push_back(std::move(name));
+      }
+    }
+    if (options.compare_theory) {
+      header.insert(header.end(), {"theory_mean", "abs_err", "sigma_err"});
+    }
   } else {
     header.insert(header.end(), {"mean_s", "ci95_s", "stderr_s", "reps", "mean_failures",
                                  "mean_tasks_moved", "mean_bundles"});
@@ -213,7 +253,41 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
       // Build (but do not run) the scenario so every point is validated.
       const mc::ScenarioConfig built = scenario.build(config);
       row.push_back(built.policy->name());
-      row.push_back(std::to_string(point_options.replications));
+      const std::size_t shown = scenario.steady && !point_options.replications_explicit
+                                    ? 1
+                                    : point_options.replications;
+      row.push_back(std::to_string(shown));
+    } else if (scenario.steady) {
+      mc::SteadyConfig steady_config;
+      steady_config.replications =
+          point_options.replications_explicit ? point_options.replications : 1;
+      steady_config.threads = point_options.threads;
+      steady_config.seed = point_options.seed;
+      steady_config.collect_samples = options.ecdf_points > 0;
+      const mc::ScenarioConfig built = scenario.build(config);
+      const mc::SteadyResult steady = mc::run_steady(built, steady_config);
+      row.push_back(util::format_double(steady.mean(), 3));
+      row.push_back(util::format_double(steady.ci95(), 3));
+      row.push_back(util::format_double(steady.std_error(), 3));
+      row.push_back(std::to_string(steady_config.replications));
+      row.push_back(std::to_string(steady.batch.observations));
+      row.push_back(std::to_string(steady.warmup));
+      row.push_back(util::format_double(steady.batch.lag1, 3));
+      row.push_back(util::format_double(steady.mean_queue_length, 3));
+      if (options.quantiles) {
+        row.push_back(util::format_double(steady.p50, 3));
+        row.push_back(util::format_double(steady.p90, 3));
+        row.push_back(util::format_double(steady.p99, 3));
+      }
+      if (options.ecdf_points > 0) {
+        for (std::size_t i = 0; i <= options.ecdf_points; ++i) {
+          const double q = static_cast<double>(i) / static_cast<double>(options.ecdf_points);
+          row.push_back(util::format_double(stoch::quantile_sorted(steady.samples, q), 3));
+        }
+      }
+      if (options.compare_theory) {
+        append_open_theory_cells(built, steady, row);
+      }
     } else {
       mc::McConfig mc_config;
       mc_config.replications = point_options.replications;

@@ -37,6 +37,11 @@ struct SweepAxis {
 /// Engine knobs for one sweep (defaults mirror mc::McConfig).
 struct SweepOptions {
   std::size_t replications = 500;
+  /// True when the user supplied a replication count (mc.reps or --reps).
+  /// Steady-state families default to 1 window per point — each window is
+  /// already tens of thousands of tasks and carries its own batch-means CI —
+  /// so the finite default of 500 applies only when asked for explicitly.
+  bool replications_explicit = false;
   unsigned threads = 0;
   std::uint64_t seed = 0x5eed2006;
   bool dry_run = false;  ///< list the points, run nothing

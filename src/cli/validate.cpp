@@ -10,6 +10,7 @@
 #include "cli/registry.hpp"
 #include "markov/theory_oracle.hpp"
 #include "mc/engine.hpp"
+#include "mc/steady.hpp"
 #include "mc/theory.hpp"
 #include "stochastic/stats.hpp"
 
@@ -72,6 +73,32 @@ const std::vector<ValidationPoint>& validation_points() {
       {"open-arrivals", "poisson-arrivals-boundary", {}},
       {"open-arrivals", "mmpp-arrivals-boundary", {{"arrivals.process", "mmpp"}}},
       {"scheduled-churn", "schedule-boundary", {}},
+      // Steady-state open-system points: the theory column is the exact M/M/1
+      // stationary sojourn law (mean z-gate; thinned KS against Exp(mu-lambda)
+      // when check_cdf). All arrivals to node 0 of a churn-free pair: M/M/1 at
+      // rho = 0.7 exactly.
+      {"open-steady", "mm1-rho0.7",
+       {{"churn", "false"},
+        {"policy", "none"},
+        {"lambda_d", "1"},
+        {"arrivals.target", "0"},
+        {"arrivals.rate", "0.7"},
+        {"steady.tasks", "30000"}},
+       /*check_cdf=*/true},
+      // Uniform split over 4 homogeneous servers: thinning a Poisson stream
+      // gives 4 independent M/M/1(lambda/4, mu) queues; sojourn ~
+      // Exp(mu - lambda/4) exactly.
+      {"open-steady", "mm1-split-n4",
+       {{"churn", "false"},
+        {"policy", "none"},
+        {"nodes", "4"},
+        {"lambda_d", "1.2"},
+        {"rho", "0.6"}},
+       /*check_cdf=*/true},
+      // Family defaults keep churn on: stationary sojourn time has no closed
+      // form there — the boundary marker the steady theory bridge must pin.
+      {"open-steady", "churn-boundary", {}},
+      {"open-steady", "batch-boundary", {{"churn", "false"}, {"arrivals.batch", "5"}}},
   };
   return points;
 }
@@ -120,6 +147,71 @@ ValidationReport run_validation(const ValidationOptions& options) {
     RawConfig raw;
     for (const auto& [key, value] : point.overrides) raw.set(key, value);
     const mc::ScenarioConfig built = spec.build(spec.schema.resolve(raw));
+
+    if (spec.steady) {
+      // Open-system point: the theory side is the stationary M/M/1 law
+      // (mc::map_to_open_theory), the MC side one steady-state window. The
+      // mean gate is the same z-score as the finite path but against the
+      // batch-means standard error; the KS gate runs on a thinned
+      // subsequence of the post-warm-up series (within-run sojourns are
+      // autocorrelated, so the iid critical value needs quasi-independent
+      // draws).
+      const mc::OpenTheory theory = mc::map_to_open_theory(built);
+      if (!theory.ok) {
+        ++report.skipped;
+        report.table.add_row(
+            {point.family, point.label, "-", "-", "-", "-", "-", "skip: " + theory.reason});
+        continue;
+      }
+      mc::SteadyConfig steady_config;
+      steady_config.seed = options.seed;
+      steady_config.threads = options.threads;
+      steady_config.collect_samples = point.check_cdf && theory.has_law;
+      const mc::SteadyResult steady = mc::run_steady(built, steady_config);
+
+      const double std_error = steady.std_error();
+      const double sigma_err =
+          std_error > 0.0 ? (steady.mean() - theory.mean) / std_error : 0.0;
+      bool failed = std::fabs(sigma_err) > sigma_gate;
+
+      std::string ks_cell = "-";
+      if (steady_config.collect_samples) {
+        // Thin to ~400 quasi-independent draws: at stride n/400 the lag
+        // correlation of an M/M/1 sojourn sequence has decayed to noise, so
+        // the iid Kolmogorov critical value applies to the thinned set.
+        const std::vector<double>& series = steady.series;
+        const std::size_t stride = std::max<std::size_t>(1, series.size() / 400);
+        std::vector<double> thinned;
+        thinned.reserve(series.size() / stride + 1);
+        for (std::size_t i = 0; i < series.size(); i += stride) {
+          thinned.push_back(series[i]);
+        }
+        const stoch::Ecdf ecdf(std::move(thinned));
+        // Grid over the law's 99.9% range; reference = 1 - exp(-rate x).
+        constexpr std::size_t kGrid = 200;
+        const double x_max = -std::log(0.001) / theory.rate;
+        std::vector<double> grid(kGrid + 1);
+        std::vector<double> reference(kGrid + 1);
+        for (std::size_t i = 0; i <= kGrid; ++i) {
+          grid[i] = x_max * static_cast<double>(i) / static_cast<double>(kGrid);
+          reference[i] = 1.0 - std::exp(-theory.rate * grid[i]);
+        }
+        const double ks = stoch::ks_distance_to_curve(ecdf, grid, reference);
+        const double steady_ks_gate = ks_critical(ecdf.size(), 0.01) + options.ks_slack;
+        ks_cell = util::format_double(ks, 4) + "/" + util::format_double(steady_ks_gate, 4);
+        failed = failed || ks > steady_ks_gate;
+      }
+
+      ++report.checked;
+      if (failed) ++report.failures;
+      report.table.add_row({point.family, point.label,
+                            theory.has_law ? "mm1-stationary" : "mm1-mixture-mean",
+                            util::format_double(theory.mean, 3),
+                            util::format_double(steady.mean(), 3),
+                            util::format_double(sigma_err, 2), ks_cell,
+                            failed ? "FAIL" : "ok"});
+      continue;
+    }
 
     const mc::TheoryMapping mapping = mc::map_to_theory(built);
     markov::TheoryPrediction prediction;

@@ -10,6 +10,8 @@ namespace lbsim::env {
 void validate(const ArrivalSpec& spec, std::size_t node_count,
               const EnvironmentSpec* environment) {
   if (!spec.active()) return;
+  LBSIM_REQUIRE(!(spec.unbounded && spec.count > 0),
+                "arrival stream cannot be both unbounded and count-limited");
   LBSIM_REQUIRE(spec.batch >= 1, "arrival batch size must be >= 1");
   LBSIM_REQUIRE(spec.target >= -1 && spec.target < static_cast<int>(node_count),
                 "arrival target " << spec.target << " out of range for " << node_count
@@ -91,7 +93,7 @@ void ArrivalProcess::fire() {
                         : static_cast<std::size_t>(rng_.uniform_index(node_count_));
   ++epochs_;
   tasks_ += tasks;
-  const bool last = epochs_ >= spec_.count;
+  const bool last = !spec_.unbounded && epochs_ >= spec_.count;
   sink_(node, tasks, last);
   if (!last) arm();
 }

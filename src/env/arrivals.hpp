@@ -39,6 +39,10 @@ struct ArrivalSpec {
   /// Total arrival epochs per replication. Finite so completion time stays
   /// well-defined; 0 disables the stream like kNone.
   std::size_t count = 0;
+  /// Infinite-horizon stream: epochs never run out and `finished()` never
+  /// turns true. Only the steady-state engine accepts such a spec (a finite
+  /// replication could not declare completion); mutually exclusive with count.
+  bool unbounded = false;
   /// Tasks per arrival epoch (the mean when batch_law is kGeometric).
   std::size_t batch = 1;
   BatchLaw batch_law = BatchLaw::kFixed;
@@ -49,7 +53,7 @@ struct ArrivalSpec {
   bool rebalance = false;
 
   [[nodiscard]] bool active() const noexcept {
-    return process != Process::kNone && count > 0;
+    return process != Process::kNone && (count > 0 || unbounded);
   }
 };
 
@@ -93,7 +97,9 @@ class ArrivalProcess {
   /// Tasks injected so far.
   [[nodiscard]] std::uint64_t tasks_injected() const noexcept { return tasks_; }
   /// True once every epoch of the stream has fired (or the spec is inactive).
+  /// An unbounded stream never finishes.
   [[nodiscard]] bool finished() const noexcept {
+    if (spec_.unbounded) return false;
     return epochs_ >= spec_.count || !spec_.active();
   }
 

@@ -23,6 +23,7 @@ McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
 
   struct Partial {
     stoch::RunningStats completion;
+    stoch::RunningStats sojourn;
     double failures = 0.0;
     double tasks_moved = 0.0;
     double bundles = 0.0;
@@ -52,6 +53,7 @@ McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
     for (std::size_t rep = tid; rep < mc.replications; rep += threads) {
       const RunResult run = run_scenario(local, mc.seed, rep, nullptr, sim);
       out.completion.add(run.completion_time);
+      out.sojourn.merge(run.sojourn);
       out.failures += static_cast<double>(run.failures);
       out.tasks_moved += static_cast<double>(run.tasks_moved);
       out.bundles += static_cast<double>(run.bundles_sent);
@@ -80,6 +82,7 @@ McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
   double bundles = 0.0;
   for (Partial& p : partials) {
     result.completion.merge(p.completion);
+    result.sojourn.merge(p.sojourn);
     failures += p.failures;
     moved += p.tasks_moved;
     bundles += p.bundles;

@@ -40,10 +40,13 @@ class LiveView final : public core::SystemView {
   const std::vector<std::unique_ptr<node::ComputeElement>>& ces_;
 };
 
-void validate_config(const ScenarioConfig& config) {
+void validate_config(const ScenarioConfig& config, bool allow_unbounded) {
   markov::validate(config.params);
   const std::size_t n = config.params.nodes.size();
   LBSIM_REQUIRE(n >= 2, "scenario needs >= 2 nodes");
+  LBSIM_REQUIRE(!config.arrivals.unbounded || allow_unbounded,
+                "unbounded arrival streams leave completion time undefined; they are "
+                "admitted only through the steady-state engine (mc::run_steady)");
   LBSIM_REQUIRE(config.workloads.size() == n,
                 "workloads has " << config.workloads.size() << " entries for " << n
                                  << " nodes");
@@ -63,9 +66,12 @@ void validate_config(const ScenarioConfig& config) {
 
 /// Completion bookkeeping shared by all per-node handlers: the handlers
 /// capture one pointer to this, so their std::functions stay inside the
-/// small-object buffer (no heap allocation per node per replication).
+/// small-object buffer (no heap allocation per node per replication). Every
+/// completion carries its per-task record (arrival / first service start), so
+/// the tracker also accumulates the run's latency observations.
 struct CompletionTracker {
   des::Simulator* sim = nullptr;
+  RunResult* result = nullptr;
   std::size_t remaining = 0;
   /// False while an arrival stream still owes epochs: the run is complete
   /// only once everything injected so far is processed AND nothing more will
@@ -73,6 +79,10 @@ struct CompletionTracker {
   bool injection_done = true;
   bool done = false;
   double completion_time = 0.0;
+  /// Steady-state mode: stop at this many completions instead of draining.
+  std::size_t target_completions = 0;
+  std::uint64_t completed = 0;
+  std::vector<double>* sojourn_log = nullptr;
 
   void maybe_finish() {
     if (remaining == 0 && injection_done) {
@@ -80,9 +90,22 @@ struct CompletionTracker {
       completion_time = sim->now();
     }
   }
-  void on_complete() {
+  void on_complete(const node::Task& task) {
     LBSIM_CHECK(remaining > 0, "completed more tasks than injected");
     --remaining;
+    ++completed;
+    const double now = sim->now();
+    const double sojourn = now - task.arrival_time;
+    result->sojourn.add(sojourn);
+    if (task.first_service_start >= 0.0) {
+      result->queue_delay.add(task.first_service_start - task.arrival_time);
+    }
+    if (sojourn_log != nullptr) sojourn_log->push_back(sojourn);
+    if (target_completions > 0 && completed >= target_completions) {
+      done = true;
+      completion_time = now;
+      return;
+    }
     maybe_finish();
   }
 };
@@ -101,6 +124,7 @@ ScenarioConfig ScenarioConfig::clone() const {
   copy.environment = environment;
   copy.arrivals = arrivals;
   copy.schedule = schedule;
+  copy.steady = steady;
   return copy;
 }
 
@@ -122,7 +146,13 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
 
 RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
                        std::uint64_t replication, RunTrace* trace, des::Simulator& sim) {
-  validate_config(config);
+  return run_scenario(config, seed, replication, trace, sim, SteadyProbe{});
+}
+
+RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
+                       std::uint64_t replication, RunTrace* trace, des::Simulator& sim,
+                       const SteadyProbe& probe) {
+  validate_config(config, /*allow_unbounded=*/probe.target_completions > 0);
   const std::size_t n = config.params.nodes.size();
   sim.reset();  // recycles the pooled event slab when the caller reuses `sim`
 
@@ -185,14 +215,18 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
   };
 
   // --- completion tracking ---
+  RunResult result;
   CompletionTracker tracker;
   tracker.sim = &sim;
+  tracker.result = &result;
+  tracker.target_completions = probe.target_completions;
+  tracker.sojourn_log = probe.sojourn_log;
   for (const std::size_t m : config.workloads) tracker.remaining += m;
   tracker.injection_done = !has_arrivals;
   tracker.maybe_finish();
   for (std::size_t i = 0; i < n; ++i) {
     ces[i]->set_completion_handler(
-        [&tracker](const node::Task&) { tracker.on_complete(); });
+        [&tracker](const node::Task& task) { tracker.on_complete(task); });
   }
 
   // --- initial workloads (unit tasks; the abstract model draws service times
@@ -205,7 +239,6 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
 
   // --- transfer plumbing ---
   LiveView view(config.params, ces);
-  RunResult result;
   // The delivery handler captures one pointer to this per-run context so the
   // std::function stays in its small-object buffer (bundle size for the trace
   // is recovered from the transfer itself).

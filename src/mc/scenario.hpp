@@ -16,12 +16,25 @@
 #include "markov/params.hpp"
 #include "net/delay_model.hpp"
 #include "sim/trace.hpp"
+#include "stochastic/stats.hpp"
 
 namespace lbsim::des {
 class Simulator;
 }
 
 namespace lbsim::mc {
+
+/// Knobs for the steady-state engine (mc::run_steady). Inert on the finite
+/// path; `enabled` is what routes a CLI scenario to the steady engine.
+struct SteadySpec {
+  bool enabled = false;
+  /// Completed tasks observed per replication (the observation window).
+  std::size_t tasks = 20000;
+  /// Non-overlapping batch count for the batch-means CI.
+  std::size_t batches = 32;
+  /// MSER-5 may truncate at most this fraction of the window as warm-up.
+  double warmup_cap = 0.5;
+};
 
 /// A complete experiment description. Move-only (owns prototypes that are
 /// cloned per replication).
@@ -50,6 +63,8 @@ struct ScenarioConfig {
   /// driven by the schedule alone (its stochastic FailureProcess is not
   /// created, and it must not appear in initially_down).
   env::Schedule schedule;
+  /// Steady-state window parameters (consumed by mc::run_steady only).
+  SteadySpec steady;
 
   /// Deep copy (clones policy and delay model).
   [[nodiscard]] ScenarioConfig clone() const;
@@ -60,7 +75,10 @@ struct ScenarioConfig {
                                                     std::size_t m0, std::size_t m1,
                                                     core::PolicyPtr policy);
 
-/// Everything observed in one replication.
+/// Everything observed in one replication. Since the per-task-record refactor
+/// the result carries per-task latency observations, not only the scalar
+/// completion time: every completed task contributes its sojourn (completion -
+/// system arrival) and queueing delay (first service start - arrival).
 struct RunResult {
   double completion_time = 0.0;
   std::uint64_t failures = 0;
@@ -70,6 +88,16 @@ struct RunResult {
   std::uint64_t tasks_completed = 0;
   std::uint64_t tasks_arrived = 0;     ///< externally injected tasks (open arrivals)
   std::uint64_t env_transitions = 0;   ///< environment CTMC jumps during the run
+  stoch::RunningStats sojourn;         ///< per-task time in system (all completed tasks)
+  stoch::RunningStats queue_delay;     ///< per-task wait before first service
+
+  /// Time-averaged number of tasks in system over the run, by Little's law
+  /// (total completed task-seconds / horizon); 0 for an empty run.
+  [[nodiscard]] double mean_queue_length() const noexcept {
+    return completion_time > 0.0
+               ? static_cast<double>(sojourn.count()) * sojourn.mean() / completion_time
+               : 0.0;
+  }
 };
 
 /// Optional per-run observability (Fig. 4): queue traces and a churn/transfer log.
@@ -92,5 +120,26 @@ struct RunTrace {
 [[nodiscard]] RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
                                      std::uint64_t replication, RunTrace* trace,
                                      des::Simulator& sim);
+
+/// Steady-state extension hooks threaded through the replication wiring
+/// (consumed by mc::run_steady; everything else leaves this defaulted). With
+/// target_completions > 0 the run is an infinite-horizon observation window:
+/// unbounded arrival streams are admitted and the replication stops at the
+/// target instead of draining the queue.
+struct SteadyProbe {
+  /// Stop once this many tasks have completed (0 = finite drain-the-queue run).
+  std::size_t target_completions = 0;
+  /// When non-null, receives every completed task's sojourn time in
+  /// completion order — the within-run series the warm-up detector and
+  /// batch-means estimator consume.
+  std::vector<double>* sojourn_log = nullptr;
+};
+
+/// Probe-carrying form of run_scenario. With a default probe this is exactly
+/// the workspace-reusing overload; a probe with target_completions > 0 is the
+/// only path that accepts an unbounded arrival stream.
+[[nodiscard]] RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
+                                     std::uint64_t replication, RunTrace* trace,
+                                     des::Simulator& sim, const SteadyProbe& probe);
 
 }  // namespace lbsim::mc

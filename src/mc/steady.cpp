@@ -1,0 +1,220 @@
+#include "mc/steady.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "mc/engine.hpp"
+#include "sim/simulator.hpp"
+#include "stochastic/quantile_sketch.hpp"
+#include "util/error.hpp"
+
+namespace lbsim::mc {
+
+SteadyResult run_steady(const ScenarioConfig& config, const SteadyConfig& sc) {
+  LBSIM_REQUIRE(sc.replications >= 1, "replications=" << sc.replications);
+  LBSIM_REQUIRE(config.arrivals.active() && config.arrivals.unbounded,
+                "run_steady needs an active unbounded arrival stream");
+  const SteadySpec& spec = config.steady;
+  LBSIM_REQUIRE(spec.tasks >= 100, "steady window of " << spec.tasks << " tasks is too "
+                                                          "short to analyse (need >= 100)");
+  LBSIM_REQUIRE(spec.batches >= 2 && spec.batches <= 1024,
+                "steady batch count " << spec.batches << " outside [2, 1024]");
+  LBSIM_REQUIRE(spec.tasks >= 10 * spec.batches,
+                "steady window of " << spec.tasks << " tasks cannot fill " << spec.batches
+                                    << " batches with >= 10 observations each");
+  LBSIM_REQUIRE(spec.warmup_cap >= 0.0 && spec.warmup_cap <= 0.9,
+                "steady warm-up cap " << spec.warmup_cap << " outside [0, 0.9]");
+
+  unsigned threads = sc.threads == 0 ? std::thread::hardware_concurrency() : sc.threads;
+  threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(sc.replications)));
+
+  // Post-warm-up pool size is bounded by replications * window, so the exact
+  // quantile buffer is kept under the same cap as the finite engine.
+  const bool keep_samples =
+      sc.collect_samples || sc.replications * spec.tasks <= kExactQuantileCap;
+
+  // Indexed by replication (not worker), so every fold below runs in
+  // replication order and the result is independent of the thread count.
+  struct Per {
+    stoch::BatchMeans bm;
+    RunResult run;
+    std::size_t warmup = 0;
+    std::vector<double> post;  // post-warm-up sojourns (keep_samples only)
+    stoch::P2Quantile p50{0.5};
+    stoch::P2Quantile p90{0.9};
+    stoch::P2Quantile p99{0.99};
+  };
+  std::vector<Per> per(sc.replications);
+
+  const auto worker = [&](unsigned tid) {
+    const ScenarioConfig local = config.clone();
+    des::Simulator sim;
+    std::vector<double> log;
+    for (std::size_t rep = tid; rep < sc.replications; rep += threads) {
+      log.clear();
+      log.reserve(spec.tasks);
+      SteadyProbe probe;
+      probe.target_completions = spec.tasks;
+      probe.sojourn_log = &log;
+      Per& out = per[rep];
+      out.run = run_scenario(local, sc.seed, rep, nullptr, sim, probe);
+      out.warmup = stoch::mser5_truncation(log, spec.warmup_cap);
+      out.bm = stoch::batch_means(log, out.warmup, spec.batches);
+      if (keep_samples) {
+        out.post.assign(log.begin() + static_cast<std::ptrdiff_t>(out.warmup), log.end());
+      } else {
+        for (std::size_t i = out.warmup; i < log.size(); ++i) {
+          out.p50.add(log[i]);
+          out.p90.add(log[i]);
+          out.p99.add(log[i]);
+        }
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& th : pool) th.join();
+  }
+
+  SteadyResult result;
+  // Pool the batch means across replications (replication order).
+  std::vector<double> pooled;
+  pooled.reserve(sc.replications * spec.batches);
+  std::size_t observations = 0;
+  double task_seconds = 0.0;
+  double failures = 0.0;
+  double moved = 0.0;
+  for (const Per& p : per) {
+    pooled.insert(pooled.end(), p.bm.means.begin(), p.bm.means.end());
+    observations += p.bm.observations;
+    result.warmup += p.warmup;
+    result.horizon_time += p.run.completion_time;
+    task_seconds += static_cast<double>(p.run.sojourn.count()) * p.run.sojourn.mean();
+    failures += static_cast<double>(p.run.failures);
+    moved += static_cast<double>(p.run.tasks_moved);
+  }
+  result.batch = stoch::summarize_batch_means(std::move(pooled), per[0].bm.batch_size);
+  result.batch.observations = observations;  // per-rep batch sizes may differ by 1
+  result.mean_queue_length =
+      result.horizon_time > 0.0 ? task_seconds / result.horizon_time : 0.0;
+  const double reps = static_cast<double>(sc.replications);
+  result.mean_failures = failures / reps;
+  result.mean_tasks_moved = moved / reps;
+
+  if (keep_samples) {
+    std::vector<double> all;
+    all.reserve(observations);
+    for (Per& p : per) all.insert(all.end(), p.post.begin(), p.post.end());
+    if (sc.collect_samples) result.series = all;  // completion order, pre-sort
+    std::sort(all.begin(), all.end());
+    result.p50 = stoch::quantile_sorted(all, 0.5);
+    result.p90 = stoch::quantile_sorted(all, 0.9);
+    result.p99 = stoch::quantile_sorted(all, 0.99);
+    if (sc.collect_samples) result.samples = std::move(all);
+  } else {
+    const auto combine = [&per](stoch::P2Quantile Per::* sketch) {
+      std::vector<std::pair<std::size_t, double>> parts;
+      parts.reserve(per.size());
+      for (const Per& p : per) {
+        if ((p.*sketch).count() > 0) {
+          parts.emplace_back((p.*sketch).count(), (p.*sketch).estimate());
+        }
+      }
+      return stoch::combine_estimates(parts);
+    };
+    result.p50 = combine(&Per::p50);
+    result.p90 = combine(&Per::p90);
+    result.p99 = combine(&Per::p99);
+  }
+  return result;
+}
+
+namespace {
+
+OpenTheory decline(std::string reason) {
+  OpenTheory out;
+  out.reason = std::move(reason);
+  return out;
+}
+
+}  // namespace
+
+OpenTheory map_to_open_theory(const ScenarioConfig& config) {
+  const env::ArrivalSpec& a = config.arrivals;
+  if (a.process == env::ArrivalSpec::Process::kNone || !a.unbounded) {
+    return decline("closed system (finite arrival stream)");
+  }
+  if (a.process == env::ArrivalSpec::Process::kMmpp) {
+    return decline("environment-modulated arrivals (no stationary closed form)");
+  }
+  if (config.environment.enabled()) {
+    return decline("environment-modulated dynamics (no stationary closed form)");
+  }
+  const std::size_t n = config.params.nodes.size();
+  bool churns = false;
+  if (config.churn_enabled) {
+    for (const markov::NodeParams& np : config.params.nodes) {
+      if (np.lambda_f > 0.0) churns = true;
+    }
+  }
+  if (churns) return decline("node churn (no stationary closed form)");
+  if (config.initially_down != 0) {
+    return decline("initially-down nodes (transient initial condition)");
+  }
+  if (!config.schedule.empty()) {
+    return decline("deterministic schedule (no stationary closed form)");
+  }
+  if (a.batch > 1) return decline("batch arrivals (no M/M/1 mapping)");
+  if (a.rebalance) return decline("per-arrival rebalancing (no product form)");
+  if (config.rebalance_period > 0.0) return decline("periodic rebalancing (no product form)");
+  for (const std::size_t m : config.workloads) {
+    if (m > 0) return decline("initial backlog (transient initial condition)");
+  }
+
+  // With no churn, no timers, no per-arrival episodes, and empty initial
+  // queues, the policy never moves a task: every node is an independent
+  // M/M/1 queue fed by its share of the Poisson stream.
+  OpenTheory out;
+  if (a.target >= 0) {
+    const double mu = config.params.nodes[static_cast<std::size_t>(a.target)].lambda_d;
+    const double lambda = a.rate;
+    out.rho = lambda / mu;
+    if (out.rho >= 1.0) return decline("unstable offered load (rho >= 1)");
+    out.ok = true;
+    out.has_law = true;
+    out.rate = mu - lambda;
+    out.mean = 1.0 / out.rate;
+    return out;
+  }
+  // Uniform random split: Poisson thinning makes each node an independent
+  // M/M/1(lambda/n, mu_i).
+  const double lambda_node = a.rate / static_cast<double>(n);
+  bool homogeneous = true;
+  double mean = 0.0;
+  double rho_max = 0.0;
+  const double mu0 = config.params.nodes[0].lambda_d;
+  for (const markov::NodeParams& np : config.params.nodes) {
+    if (np.lambda_d != mu0) homogeneous = false;
+    const double rho = lambda_node / np.lambda_d;
+    rho_max = std::max(rho_max, rho);
+    if (rho >= 1.0) return decline("unstable offered load (rho >= 1)");
+    mean += 1.0 / (np.lambda_d - lambda_node);
+  }
+  out.ok = true;
+  out.rho = rho_max;
+  out.mean = mean / static_cast<double>(n);
+  if (homogeneous) {
+    // The mixture collapses: sojourn ~ Exp(mu - lambda/n) exactly.
+    out.has_law = true;
+    out.rate = mu0 - lambda_node;
+  }
+  return out;
+}
+
+}  // namespace lbsim::mc

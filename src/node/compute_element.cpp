@@ -22,6 +22,7 @@ void ComputeElement::set_queue_trace(des::TimeSeries* trace) {
 }
 
 void ComputeElement::enqueue(Task task) {
+  task.arrival_time = sim_.now();
   queue_.push_back(task);
   ++stats_.tasks_received;
   record_queue();
@@ -41,7 +42,7 @@ void ComputeElement::enqueue_batch(TaskBatch batch) {
 void ComputeElement::enqueue_units(std::size_t count, std::uint64_t first_id) {
   if (count == 0) return;
   for (std::size_t i = 0; i < count; ++i) {
-    queue_.push_back(Task{first_id + i, 1.0, id_});
+    queue_.push_back(Task{first_id + i, 1.0, id_, sim_.now()});
   }
   stats_.tasks_received += count;
   record_queue();
@@ -76,7 +77,9 @@ void ComputeElement::maybe_start_service() {
     current_service_duration_ = *frozen_remaining_;
     frozen_remaining_.reset();
   } else {
-    current_service_duration_ = service_time_(queue_.front(), rng_);
+    Task& head = queue_.front();
+    if (head.first_service_start < 0.0) head.first_service_start = sim_.now();
+    current_service_duration_ = service_time_(head, rng_);
     LBSIM_CHECK(current_service_duration_ >= 0.0, "negative service time");
   }
   serving_ = true;

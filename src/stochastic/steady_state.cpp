@@ -1,0 +1,123 @@
+#include "stochastic/steady_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace lbsim::stoch {
+
+double lag1_autocorrelation(const std::vector<double>& series) {
+  const std::size_t n = series.size();
+  if (n < 3) return 0.0;
+  double mean = 0.0;
+  for (const double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = series[i] - mean;
+    den += d * d;
+    if (i + 1 < n) num += d * (series[i + 1] - mean);
+  }
+  if (den <= 0.0) return 0.0;
+  return num / den;
+}
+
+std::size_t mser5_truncation(const std::vector<double>& series, double max_fraction) {
+  LBSIM_REQUIRE(max_fraction >= 0.0 && max_fraction <= 0.9,
+                "mser5 max_fraction " << max_fraction << " outside [0, 0.9]");
+  constexpr std::size_t kBlock = 5;
+  const std::size_t blocks = series.size() / kBlock;
+  if (blocks < 10) return 0;  // too short to diagnose a transient
+
+  std::vector<double> block_means(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kBlock; ++i) sum += series[b * kBlock + i];
+    block_means[b] = sum / static_cast<double>(kBlock);
+  }
+
+  // Suffix sums let every candidate truncation be scored in O(1):
+  // MSER(d) = var(block_means[d..]) / (m - d)^2, minimised over d.
+  std::vector<double> suffix_sum(blocks + 1, 0.0);
+  std::vector<double> suffix_sq(blocks + 1, 0.0);
+  for (std::size_t b = blocks; b-- > 0;) {
+    suffix_sum[b] = suffix_sum[b + 1] + block_means[b];
+    suffix_sq[b] = suffix_sq[b + 1] + block_means[b] * block_means[b];
+  }
+
+  const std::size_t max_drop =
+      static_cast<std::size_t>(max_fraction * static_cast<double>(blocks));
+  std::size_t best_d = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d <= max_drop; ++d) {
+    const double m = static_cast<double>(blocks - d);
+    if (m < 2.0) break;
+    const double mean = suffix_sum[d] / m;
+    const double var = std::max(0.0, suffix_sq[d] / m - mean * mean);
+    const double score = var / (m * m);
+    if (score < best_score) {
+      best_score = score;
+      best_d = d;
+    }
+  }
+  return best_d * kBlock;
+}
+
+namespace {
+
+BatchMeans summarize(std::vector<double> means, std::size_t batch_size,
+                     std::size_t observations) {
+  BatchMeans out;
+  out.batches = means.size();
+  out.batch_size = batch_size;
+  out.observations = observations;
+  double sum = 0.0;
+  for (const double m : means) sum += m;
+  const double b = static_cast<double>(means.size());
+  out.mean = sum / b;
+  double ss = 0.0;
+  for (const double m : means) {
+    const double d = m - out.mean;
+    ss += d * d;
+  }
+  const double var = ss / (b - 1.0);  // between-batch sample variance
+  out.std_error = std::sqrt(var / b);
+  out.lag1 = lag1_autocorrelation(means);
+  out.lag1_gate = 2.576 / std::sqrt(b);
+  out.correlated = std::abs(out.lag1) > out.lag1_gate;
+  out.means = std::move(means);
+  return out;
+}
+
+}  // namespace
+
+BatchMeans batch_means(const std::vector<double>& series, std::size_t offset,
+                       std::size_t batches) {
+  LBSIM_REQUIRE(batches >= 2, "batch_means needs >= 2 batches, got " << batches);
+  LBSIM_REQUIRE(offset < series.size(),
+                "batch_means offset " << offset << " >= series size " << series.size());
+  const std::size_t n = series.size() - offset;
+  const std::size_t batch_size = n / batches;
+  LBSIM_REQUIRE(batch_size >= 1, "batch_means: " << n << " observations cannot fill "
+                                                 << batches << " batches");
+  std::vector<double> means(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    double sum = 0.0;
+    const std::size_t start = offset + b * batch_size;
+    for (std::size_t i = 0; i < batch_size; ++i) sum += series[start + i];
+    means[b] = sum / static_cast<double>(batch_size);
+  }
+  return summarize(std::move(means), batch_size, batches * batch_size);
+}
+
+BatchMeans summarize_batch_means(std::vector<double> means, std::size_t batch_size) {
+  LBSIM_REQUIRE(means.size() >= 2,
+                "summarize_batch_means needs >= 2 means, got " << means.size());
+  const std::size_t observations = means.size() * batch_size;
+  return summarize(std::move(means), batch_size, observations);
+}
+
+}  // namespace lbsim::stoch

@@ -1,0 +1,70 @@
+#pragma once
+/// \file
+/// Steady-state output analysis for infinite-horizon (open-system) runs:
+/// MSER-5 initial-transient truncation, non-overlapping batch-means confidence
+/// intervals, and a lag-1 autocorrelation sanity check on the batch means.
+/// These operate on a within-run observation series (per-task sojourn times in
+/// completion order), which is autocorrelated — the whole point of batching is
+/// to recover an honest standard error despite that.
+
+#include <cstddef>
+#include <vector>
+
+namespace lbsim::stoch {
+
+/// Lag-1 sample autocorrelation of `series` (denominator: sample variance
+/// about the series mean). Returns 0 when fewer than 3 points or the series
+/// is constant.
+[[nodiscard]] double lag1_autocorrelation(const std::vector<double>& series);
+
+/// MSER-5 warm-up truncation (White, Cobb & Spratt): average the series into
+/// non-overlapping blocks of 5, then pick the truncation point d* minimising
+/// the MSER statistic  var(blocks[d..]) / (m - d)^2  over candidate d — the
+/// point past which the remaining data gives the tightest half-width. The
+/// search is capped at `max_fraction` of the blocks so a pathological series
+/// cannot delete itself. Returns the number of *observations* (a multiple of
+/// 5) to drop from the front; 0 for series shorter than 10 blocks.
+[[nodiscard]] std::size_t mser5_truncation(const std::vector<double>& series,
+                                           double max_fraction = 0.5);
+
+/// Result of a batch-means pass over a (truncated) observation series.
+struct BatchMeans {
+  std::size_t batches = 0;       ///< number of non-overlapping batches actually formed
+  std::size_t batch_size = 0;    ///< observations per batch (floor; tail dropped)
+  std::size_t observations = 0;  ///< observations consumed (batches * batch_size)
+  double mean = 0.0;             ///< grand mean of the batch means
+  /// Standard error of the grand mean estimated from the between-batch
+  /// variability: sqrt(var(means) / batches). Honest in the presence of
+  /// within-run autocorrelation once batches are long enough.
+  double std_error = 0.0;
+  /// Lag-1 autocorrelation of the batch means themselves; near 0 when the
+  /// batches are long enough to be effectively independent.
+  double lag1 = 0.0;
+  /// The iid 99% bound 2.576 / sqrt(batches) the lag-1 estimate is compared
+  /// against.
+  double lag1_gate = 0.0;
+  /// True when |lag1| exceeds the gate — batches too short, widen the CI's
+  /// interpretation (or rerun with more observations).
+  bool correlated = false;
+  /// The batch means, in series order (exposed so replications can be pooled).
+  std::vector<double> means;
+
+  /// 95% normal-approximation half-width (t-quantile refinement is < 5% at
+  /// the >= 8 batches every caller uses).
+  [[nodiscard]] double ci95() const noexcept { return 1.96 * std_error; }
+};
+
+/// Splits series[offset..] into `batches` equal non-overlapping batches
+/// (integer batch size; the tail remainder is dropped) and summarises them.
+/// Requires batches >= 2 and at least one observation per batch.
+[[nodiscard]] BatchMeans batch_means(const std::vector<double>& series, std::size_t offset,
+                                     std::size_t batches);
+
+/// Summary of a set of already-computed batch means (used to pool batch means
+/// across replications: each replication contributes its own batch means, and
+/// the pooled set is summarised once, in replication order, so the result is
+/// independent of the thread count).
+[[nodiscard]] BatchMeans summarize_batch_means(std::vector<double> means,
+                                               std::size_t batch_size);
+
+}  // namespace lbsim::stoch

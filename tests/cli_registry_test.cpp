@@ -7,6 +7,7 @@
 #include "core/periodic.hpp"
 #include "markov/params.hpp"
 #include "mc/engine.hpp"
+#include "mc/steady.hpp"
 #include "net/delay_model.hpp"
 #include "test_support.hpp"
 
@@ -38,9 +39,21 @@ TEST(CliRegistry, UnknownScenarioNamesKnownOnes) {
 
 TEST(CliRegistry, EveryFamilyBuildsAndRunsWithDefaults) {
   for (const ScenarioSpec& spec : scenario_registry()) {
-    const mc::ScenarioConfig scenario = spec.build(resolve(spec));
+    mc::ScenarioConfig scenario = spec.build(resolve(spec));
     ASSERT_GE(scenario.workloads.size(), 2u) << spec.name;
     ASSERT_NE(scenario.policy, nullptr) << spec.name;
+    if (spec.steady) {
+      // Infinite-horizon families run on the steady engine; one short window
+      // proves the family is runnable.
+      scenario.steady.tasks = 1000;
+      scenario.steady.batches = 8;
+      mc::SteadyConfig steady_config;
+      steady_config.seed = lbsim::test::kFixedSeed;
+      steady_config.threads = 1;
+      const mc::SteadyResult result = mc::run_steady(scenario, steady_config);
+      EXPECT_GT(result.mean(), 0.0) << spec.name;
+      continue;
+    }
     // Two cheap replications prove the scenario is actually runnable.
     mc::McConfig mc_config;
     mc_config.replications = 2;
@@ -260,6 +273,37 @@ TEST(CliRegistry, EnvKeyTyposGetDidYouMeanSuggestions) {
   expect_suggests("correlated-churn", "env.stats", "env.states");
   expect_suggests("open-arrivals", "arrivals.procss", "arrivals.process");
   expect_suggests("scheduled-churn", "schedul", "schedule");
+}
+
+TEST(CliRegistry, FiniteFamilyRefusesZeroArrivalCount) {
+  // count = 0 used to silently disable the stream; now that unbounded streams
+  // exist (open-steady), a finite family must reject it outright so "no
+  // arrivals" cannot be confused with "infinite arrivals".
+  const ScenarioSpec& spec = find_scenario("open-arrivals");
+  RawConfig raw;
+  raw.set("arrivals.count", "0");
+  try {
+    (void)resolve(spec, raw);
+    FAIL() << "arrivals.count=0 should be out of range";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.kind(), ConfigError::Kind::kOutOfRange);
+  }
+}
+
+TEST(CliRegistry, OpenSteadyBuildsUnboundedStreamAndDerivesRate) {
+  const ScenarioSpec& spec = find_scenario("open-steady");
+  EXPECT_TRUE(spec.steady);
+  const mc::ScenarioConfig scenario = spec.build(resolve(spec));
+  EXPECT_TRUE(scenario.arrivals.unbounded);
+  EXPECT_EQ(scenario.arrivals.count, 0u);
+  EXPECT_TRUE(scenario.steady.enabled);
+  // Default rho = 0.5 over 2 nodes of lambda_d = (1.08, 1.86):
+  // rate = rho * sum(lambda_d).
+  EXPECT_NEAR(scenario.arrivals.rate, 0.5 * (1.08 + 1.86), 1e-12);
+  // An explicit rate wins over the rho derivation.
+  RawConfig raw;
+  raw.set("arrivals.rate", "0.8");
+  EXPECT_DOUBLE_EQ(spec.build(resolve(spec, raw)).arrivals.rate, 0.8);
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iterator>
 
+#include "cli/registry.hpp"
 #include "core/baseline.hpp"
 #include "core/lbp1.hpp"
 #include "core/lbp2.hpp"
@@ -54,6 +56,38 @@ TEST(ScenarioTest, ReusedSimulatorBitIdenticalToFreshOne) {
     EXPECT_EQ(fresh.failures, recycled.failures) << "rep " << rep;
     EXPECT_EQ(fresh.tasks_moved, recycled.tasks_moved) << "rep " << rep;
   }
+}
+
+TEST(ScenarioTest, PerTaskRecordsPopulateLatencyStats) {
+  // Since the per-task-record refactor every completed task contributes a
+  // sojourn and a queueing delay; the aggregates must be consistent with the
+  // run's scalar counters.
+  const ScenarioConfig config = fig3_scenario(0.35);
+  const RunResult run = run_scenario(config, 1, 0);
+  EXPECT_EQ(run.sojourn.count(), run.tasks_completed);
+  EXPECT_GE(run.queue_delay.min(), 0.0);
+  EXPECT_LE(run.sojourn.max(), run.completion_time);
+  // Sojourn = queueing delay + service (+ possible transit), so means order.
+  EXPECT_GE(run.sojourn.mean(), run.queue_delay.mean());
+  EXPECT_GT(run.mean_queue_length(), 0.0);
+}
+
+TEST(ScenarioTest, SteadyProbeStopsAtTargetAndLogsSojourns) {
+  const ScenarioConfig config = fig3_scenario(0.35);
+  des::Simulator sim;
+  std::vector<double> log;
+  SteadyProbe probe;
+  probe.target_completions = 40;
+  probe.sojourn_log = &log;
+  const RunResult partial = run_scenario(config, 1, 0, nullptr, sim, probe);
+  EXPECT_EQ(partial.sojourn.count(), 40u);
+  EXPECT_EQ(log.size(), 40u);
+  const RunResult full = run_scenario(config, 1, 0);
+  EXPECT_LT(partial.completion_time, full.completion_time);
+  // A default probe is exactly the finite run.
+  des::Simulator sim2;
+  const RunResult defaulted = run_scenario(config, 1, 0, nullptr, sim2, SteadyProbe{});
+  EXPECT_DOUBLE_EQ(defaulted.completion_time, full.completion_time);
 }
 
 TEST(ScenarioTest, DifferentReplicationsDiffer) {
@@ -250,6 +284,63 @@ TEST(EngineTest, NoBalancingMatchesTheoryZeroGain) {
   markov::TwoNodeMeanSolver solver(markov::ipdps2006_params());
   EXPECT_PRED4(test::within_sigmas, result.mean(), result.std_error(),
                solver.mean_no_transit(30, 20), 4.0);
+}
+
+// ---------- bit-identity pins across the per-task-record refactor ----------
+
+TEST(EngineTest, FiniteFamilyStatisticsBitIdenticalToPreRefactorGoldens) {
+  // Golden mean/p50/p90/p99 captured at reps = 25, seed = 0x5eed2006,
+  // threads = 2 immediately BEFORE the per-task latency-record refactor.
+  // EXPECT_DOUBLE_EQ on purpose: stamping arrival/first-service times must not
+  // move a single RNG draw or reorder a single event in the finite path, and
+  // any change to the stream layout shows up here as a 17-digit mismatch.
+  struct Golden {
+    const char* family;
+    double mean, p50, p90, p99;
+  };
+  static constexpr Golden kGoldens[] = {
+      {"paper-two-node", 116.61103909863549, 107.71454130988158, 188.55173836262219,
+       208.28513126617386},
+      {"multi-node", 114.13477969202212, 116.1862243825236, 141.83479394478616,
+       193.13308647396823},
+      {"many-node-churn", 101.33114750456271, 101.31374530663599, 116.17344501814591,
+       122.42756594569006},
+      {"churn-storm", 111.78423985018355, 111.88879213943629, 136.79691514282791,
+       155.00134569499735},
+      {"cold-start", 123.65141736552651, 119.10093513663399, 165.3986302898856,
+       201.56176966447714},
+      {"periodic-rebalance", 110.9883685731524, 103.87991250127128, 171.39297012558143,
+       196.37284876354502},
+      {"correlated-churn", 156.87487419645061, 139.5359549129561, 269.55959839699125,
+       320.34221592067752},
+      {"open-arrivals", 295.33829574617022, 296.75439276080596, 357.44840725420784,
+       379.21143155637697},
+      {"scheduled-churn", 70.323470686165209, 70.997272651383753, 76.883301486046832,
+       85.790294700289891},
+      {"custom-delay", 116.61103909863549, 107.71454130988158, 188.55173836262219,
+       208.28513126617386},
+  };
+  for (const Golden& g : kGoldens) {
+    const cli::ScenarioSpec& spec = cli::find_scenario(g.family);
+    ASSERT_FALSE(spec.steady) << g.family;
+    const ScenarioConfig config = spec.build(spec.schema.resolve({}));
+    McConfig mc;
+    mc.seed = 0x5eed2006;
+    mc.replications = 25;
+    mc.threads = 2;
+    const McResult result = run_monte_carlo(config, mc);
+    EXPECT_DOUBLE_EQ(result.mean(), g.mean) << g.family;
+    EXPECT_DOUBLE_EQ(result.p50, g.p50) << g.family;
+    EXPECT_DOUBLE_EQ(result.p90, g.p90) << g.family;
+    EXPECT_DOUBLE_EQ(result.p99, g.p99) << g.family;
+  }
+  // Every finite family is pinned: a new family must either add a golden row
+  // or be a steady family (which the finite engines refuse anyway).
+  std::size_t finite = 0;
+  for (const cli::ScenarioSpec& spec : cli::scenario_registry()) {
+    if (!spec.steady) ++finite;
+  }
+  EXPECT_EQ(finite, std::size(kGoldens));
 }
 
 TEST(EngineTest, Lbp2MatchesPaperBallpark) {

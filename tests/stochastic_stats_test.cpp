@@ -12,6 +12,7 @@
 #include "stochastic/quantile_sketch.hpp"
 #include "stochastic/rng.hpp"
 #include "stochastic/stats.hpp"
+#include "stochastic/steady_state.hpp"
 
 namespace lbsim::stoch {
 namespace {
@@ -332,6 +333,142 @@ TEST(FitTest, LinearFitRejectsDegenerate) {
   EXPECT_THROW((void)fit_linear({1.0}, {2.0}), std::invalid_argument);
   EXPECT_THROW((void)fit_linear({1.0, 1.0}, {2.0, 3.0}), std::invalid_argument);
   EXPECT_THROW((void)fit_linear({1.0, 2.0}, {2.0}), std::invalid_argument);
+}
+
+// ---------- steady-state analysis: lag-1, MSER-5, batch means ----------
+
+TEST(SteadyStateTest, Lag1AutocorrelationEdgeCases) {
+  EXPECT_DOUBLE_EQ(lag1_autocorrelation({}), 0.0);
+  EXPECT_DOUBLE_EQ(lag1_autocorrelation({1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(lag1_autocorrelation({3.0, 3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(SteadyStateTest, Lag1AutocorrelationSignMatchesStructure) {
+  // A strongly persistent series has lag1 near +1; an alternating one near -1.
+  std::vector<double> trend, alternating;
+  for (int i = 0; i < 200; ++i) {
+    trend.push_back(static_cast<double>(i));
+    alternating.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  EXPECT_GT(lag1_autocorrelation(trend), 0.9);
+  EXPECT_LT(lag1_autocorrelation(alternating), -0.9);
+  RngStream rng(41);
+  std::vector<double> iid;
+  for (int i = 0; i < 4000; ++i) iid.push_back(rng.exponential(1.0));
+  EXPECT_LT(std::fabs(lag1_autocorrelation(iid)), 0.05);
+}
+
+TEST(SteadyStateTest, BatchMeansInvariants) {
+  // 3210 points, offset 10 -> 3200 usable, 32 batches of exactly 100.
+  RngStream rng(42);
+  std::vector<double> series;
+  for (int i = 0; i < 3210; ++i) series.push_back(rng.exponential(1.0));
+  const BatchMeans bm = batch_means(series, 10, 32);
+  EXPECT_EQ(bm.batches, 32u);
+  EXPECT_EQ(bm.batch_size, 100u);
+  EXPECT_EQ(bm.observations, 3200u);
+  ASSERT_EQ(bm.means.size(), 32u);
+  // Grand mean equals the mean of the consumed observations.
+  double sum = 0.0;
+  for (std::size_t i = 10; i < 3210; ++i) sum += series[i];
+  EXPECT_NEAR(bm.mean, sum / 3200.0, 1e-12);
+  EXPECT_DOUBLE_EQ(bm.ci95(), 1.96 * bm.std_error);
+  EXPECT_DOUBLE_EQ(bm.lag1_gate, 2.576 / std::sqrt(32.0));
+
+  // A ragged tail is dropped: 3205 usable points still give batches of 100.
+  const BatchMeans ragged = batch_means(series, 5, 32);
+  EXPECT_EQ(ragged.batch_size, 100u);
+  EXPECT_EQ(ragged.observations, 3200u);
+}
+
+TEST(SteadyStateTest, BatchMeansRejectsDegenerateInput) {
+  const std::vector<double> series(50, 1.0);
+  EXPECT_THROW((void)batch_means(series, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)batch_means(series, 50, 2), std::invalid_argument);
+  EXPECT_THROW((void)batch_means(series, 49, 2), std::invalid_argument);
+}
+
+TEST(SteadyStateTest, CiCoversTrueMeanAboutNinetyFivePercent) {
+  // 200 independent trials of 3200 iid Exp(1) draws, 32 batches each: the
+  // nominal-95% batch-means CI must cover the true mean 1.0 at close to the
+  // nominal rate. Bounds are loose enough to be seed-stable but tight enough
+  // to catch a broken standard error (a 2x-off SE lands far outside).
+  int covered = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    RngStream rng(1000 + static_cast<std::uint64_t>(t));
+    std::vector<double> series;
+    series.reserve(3200);
+    for (int i = 0; i < 3200; ++i) series.push_back(rng.exponential(1.0));
+    const BatchMeans bm = batch_means(series, 0, 32);
+    if (std::fabs(bm.mean - 1.0) <= bm.ci95()) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GE(coverage, 0.90);
+  EXPECT_LE(coverage, 0.985);
+}
+
+TEST(SteadyStateTest, Lag1GuardFiresOnAr1AndStaysQuietOnIid) {
+  // AR(1) with phi = 0.98 has autocorrelation time (1+phi)/(1-phi) = 99;
+  // batches of 20 (640 points over 32 batches) are far too short to
+  // decorrelate, so the guard must fire. A same-shape iid series must pass.
+  RngStream rng(43);
+  std::vector<double> ar1;
+  double x = 0.0;
+  for (int i = 0; i < 640; ++i) {
+    x = 0.98 * x + rng.uniform(-1.0, 1.0);
+    ar1.push_back(x);
+  }
+  const BatchMeans correlated = batch_means(ar1, 0, 32);
+  EXPECT_TRUE(correlated.correlated);
+  EXPECT_GT(std::fabs(correlated.lag1), correlated.lag1_gate);
+
+  RngStream rng2(44);
+  std::vector<double> iid;
+  for (int i = 0; i < 3200; ++i) iid.push_back(rng2.exponential(1.0));
+  const BatchMeans independent = batch_means(iid, 0, 32);
+  EXPECT_FALSE(independent.correlated);
+}
+
+TEST(SteadyStateTest, SummarizePooledMeansMatchesDirectPass) {
+  // Pooling two replications' batch means and summarising once must agree
+  // with a direct batch_means pass over the concatenated series.
+  RngStream rng(45);
+  std::vector<double> a, b;
+  for (int i = 0; i < 800; ++i) a.push_back(rng.exponential(2.0));
+  for (int i = 0; i < 800; ++i) b.push_back(rng.exponential(2.0));
+  const BatchMeans bma = batch_means(a, 0, 8);
+  const BatchMeans bmb = batch_means(b, 0, 8);
+  std::vector<double> pooled = bma.means;
+  pooled.insert(pooled.end(), bmb.means.begin(), bmb.means.end());
+  const BatchMeans summary = summarize_batch_means(pooled, bma.batch_size);
+
+  std::vector<double> joined = a;
+  joined.insert(joined.end(), b.begin(), b.end());
+  const BatchMeans direct = batch_means(joined, 0, 16);
+  EXPECT_EQ(summary.batches, direct.batches);
+  EXPECT_EQ(summary.observations, direct.observations);
+  EXPECT_NEAR(summary.mean, direct.mean, 1e-12);
+  EXPECT_NEAR(summary.std_error, direct.std_error, 1e-12);
+}
+
+TEST(SteadyStateTest, Mser5ShortSeriesNeverTruncates) {
+  std::vector<double> series(49, 1.0);  // < 10 blocks of 5
+  EXPECT_EQ(mser5_truncation(series), 0u);
+  EXPECT_EQ(mser5_truncation({}), 0u);
+}
+
+TEST(SteadyStateTest, Mser5RespectsCapAndBlockGranularity) {
+  // A monotone-decreasing series keeps "improving" with truncation, so the
+  // cap is what stops the search.
+  std::vector<double> series;
+  for (int i = 0; i < 1000; ++i) series.push_back(1000.0 - i);
+  const std::size_t cut = mser5_truncation(series, 0.25);
+  EXPECT_EQ(cut % 5, 0u);
+  EXPECT_LE(cut, 250u);
+  const std::size_t deeper = mser5_truncation(series, 0.5);
+  EXPECT_GE(deeper, cut);
+  EXPECT_LE(deeper, 500u);
 }
 
 }  // namespace
