@@ -53,7 +53,8 @@ Usage:
         [--format=table|csv|json] [--out=FILE]
   lbsim perf [--quick] [--out=FILE] [--check[=BASELINE]] [--max-regression=F]
         timing baseline (perf_solver/perf_mc/perf_des, many-node perf_mc_n16/32/64,
-        env-modulated perf_mc_env, open-system perf_mc_steady);
+        env-modulated perf_mc_env, topology-restricted perf_mc_graph,
+        open-system perf_mc_steady);
         --check exits nonzero when any bench regresses >F (default 0.30) vs the
         baseline JSON (default BENCH_baseline.json)
 
@@ -322,6 +323,9 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
     }
     if (!scenario.schedule.empty()) {
       unsupported += std::string(unsupported.empty() ? "" : ", ") + "schedule";
+    }
+    if (!scenario.topology.complete()) {
+      unsupported += std::string(unsupported.empty() ? "" : ", ") + "topology";
     }
     if (!unsupported.empty()) {
       throw ConfigError(ConfigError::Kind::kOutOfRange, "engine",
@@ -672,6 +676,28 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
                        util::format_double(mean, 2) + " s",
                    util::format_double(reps * 1000.0 / ms, 1)});
     note_reps("perf_mc_env", reps);
+  }
+
+  // perf_mc_graph: the topology-restricted hot path (graph-rr at n=32 with
+  // random-probe rounds) — guards the neighbourhood machinery's per-round
+  // cost (adjacency checks, neighbour iteration, the policy RNG stream) next
+  // to its unrestricted perf_mc_n32 sibling.
+  {
+    const std::size_t reps = quick ? 50 : 500;
+    const ScenarioSpec& spec = find_scenario("graph-rr");
+    RawConfig raw;
+    raw.set("workloads", "120,20,60,40");
+    mc::ScenarioConfig scenario = spec.build(spec.schema.resolve(raw));
+    mc::McConfig mc_config;
+    mc_config.replications = reps;
+    double mean = 0.0;
+    const double ms =
+        time_ms(2, [&] { mean = mc::run_monte_carlo(scenario, mc_config).mean(); });
+    table.add_row({"perf_mc_graph", util::format_double(ms, 2),
+                   std::to_string(reps) + " reps x 32 nodes random-regular probe, mean " +
+                       util::format_double(mean, 2) + " s",
+                   util::format_double(reps * 1000.0 / ms, 1)});
+    note_reps("perf_mc_graph", reps);
   }
 
   // perf_mc_steady: the infinite-horizon engine on the open-steady defaults —

@@ -5,8 +5,10 @@
 #include "core/baseline.hpp"
 #include "core/lbp1.hpp"
 #include "core/lbp2.hpp"
+#include "core/local.hpp"
 #include "core/periodic.hpp"
 #include "net/delay_model.hpp"
+#include "net/topology.hpp"
 #include "util/format.hpp"
 
 namespace lbsim::cli {
@@ -14,6 +16,14 @@ namespace {
 
 constexpr double kNoMin = std::numeric_limits<double>::lowest();
 constexpr double kNoMax = std::numeric_limits<double>::max();
+
+/// Policy vocabularies: every pre-topology family keeps the global-state set;
+/// the graph-* families additionally admit the neighbourhood-local policies
+/// (and reject the global ones at build time unless topology=complete).
+const std::vector<std::string> kGlobalPolicies = {"none", "proportional", "lbp1", "lbp2",
+                                                  "periodic"};
+const std::vector<std::string> kGraphPolicies = {"none",     "proportional", "lbp1", "lbp2",
+                                                 "periodic", "probe",        "diffusion"};
 
 /// Shorthand OptionSpec constructor (avoids designated-init verbosity and
 /// gcc's -Wmissing-field-initializers on partially designated aggregates).
@@ -32,12 +42,13 @@ OptionSpec opt(std::string key, OptionType type, std::string default_value,
 }
 
 /// Keys shared by every scenario family.
-Schema common_schema(const std::string& default_policy, double default_gain) {
+Schema common_schema(const std::string& default_policy, double default_gain,
+                     std::vector<std::string> policy_choices = kGlobalPolicies) {
   Schema schema;
   schema
       .add(opt("policy", OptionType::kString, default_policy,
                "balancing policy executed by the engines", kNoMin, kNoMax,
-               {"none", "proportional", "lbp1", "lbp2", "periodic"}))
+               std::move(policy_choices)))
       .add(opt("gain", OptionType::kDouble, util::format_double(default_gain, 2),
                "policy gain K", 0.0, 10.0))
       .add(opt("sender", OptionType::kInt, "-1",
@@ -87,7 +98,9 @@ void apply_common(mc::ScenarioConfig& scenario, const Config& config) {
   }  // plain exponential with no shift: leave null, the engine default
   scenario.churn_enabled = config.get_bool("churn");
   scenario.initially_down = static_cast<std::uint64_t>(config.get_size("down.mask"));
-  if (config.get_string("policy") == "periodic") {
+  // The round-based policies all run off the engine's periodic timer.
+  const std::string policy = config.get_string("policy");
+  if (policy == "periodic" || policy == "probe" || policy == "diffusion") {
     scenario.rebalance_period = config.get_double("period");
   }
 }
@@ -112,8 +125,9 @@ mc::ScenarioConfig build_two_node(const Config& config, double failure_scale = 1
 /// `nodes` entries. Defaults differ per family (small heterogeneous cluster vs
 /// many-node churn stress).
 Schema n_node_schema(const char* default_nodes, const char* default_lambda_r,
-                     const char* default_workloads) {
-  Schema schema = common_schema("lbp2", 1.0);
+                     const char* default_workloads, const char* default_policy = "lbp2",
+                     std::vector<std::string> policy_choices = kGlobalPolicies) {
+  Schema schema = common_schema(default_policy, 1.0, std::move(policy_choices));
   schema
       .add(opt("nodes", OptionType::kSize, default_nodes, "number of compute nodes", 2.0,
                64.0))
@@ -214,6 +228,54 @@ env::EnvironmentSpec build_environment(const Config& config) {
                           "-state environment");
   }
   env::validate(spec);
+  return spec;
+}
+
+/// Topology key group (the graph-* families). `topology` selects the
+/// exchange-graph kind; `complete` takes the historical full-mesh path, so a
+/// graph-* family at topology=complete is bit-identical to its global-state
+/// counterpart (pinned in mc_test).
+Schema topology_schema(const char* default_kind) {
+  Schema schema;
+  schema
+      .add(opt("topology", OptionType::kString, default_kind,
+               "exchange-graph kind (complete reduces to the global-state baseline)", kNoMin,
+               kNoMax, {"complete", "ring", "torus", "rr"}))
+      .add(opt("topology.degree", OptionType::kSize, "4",
+               "random-regular degree d (topology=rr; nodes*d must be even)", 2.0, 63.0))
+      .add(opt("topology.rows", OptionType::kSize, "0",
+               "torus rows (0 = near-square factorisation of nodes)", kNoMin, 64.0))
+      .add(opt("topology.cols", OptionType::kSize, "0",
+               "torus cols (0 = near-square factorisation of nodes)", kNoMin, 64.0))
+      .add(opt("topology.seed", OptionType::kSize, "278819329",
+               "graph-construction seed (random-regular wiring, churn masks)", kNoMin,
+               kNoMax))
+      .add(opt("topology.churn.drop", OptionType::kDouble, "0",
+               "edge-drop scale under the environment CTMC: state s of K drops each edge "
+               "w.p. drop*s/(K-1) (needs the env.* keys)",
+               0.0, 1.0))
+      .add(opt("topology.churn.spare", OptionType::kBool, "true",
+               "never drop an edge that would isolate either endpoint"))
+      .add(opt("probes", OptionType::kSize, "2",
+               "random neighbours probed per round (policy=probe)", 1.0, 63.0))
+      .add(opt("alpha", OptionType::kDouble, "0.5",
+               "diffusion step scale in (0, 1] (policy=diffusion)", 1e-6, 1.0));
+  return schema;
+}
+
+net::TopologySpec build_topology(const Config& config) {
+  net::TopologySpec spec;
+  try {
+    spec.kind = net::kind_from_string(config.get_string("topology"));
+  } catch (const std::invalid_argument& e) {
+    throw ConfigError(ConfigError::Kind::kBadValue, "topology", e.what());
+  }
+  spec.degree = config.get_size("topology.degree");
+  spec.rows = config.get_size("topology.rows");
+  spec.cols = config.get_size("topology.cols");
+  spec.seed = static_cast<std::uint64_t>(config.get_size("topology.seed"));
+  spec.churn_drop = config.get_double("topology.churn.drop");
+  spec.churn_spare = config.get_bool("topology.churn.spare");
   return spec;
 }
 
@@ -367,6 +429,47 @@ mc::ScenarioConfig build_n_node(const Config& config) {
   scenario.policy = make_policy(config, scenario.workloads);
   apply_common(scenario, config);
   markov::validate(scenario.params);
+  return scenario;
+}
+
+/// Builder shared by the graph-* families: an n-node cluster restricted to a
+/// (possibly churned) exchange graph. Global-state policies are rejected
+/// unless topology=complete — on a sparse graph they would read and ship
+/// across non-edges, which the engine traps anyway; failing here names the
+/// key instead of aborting a replication.
+mc::ScenarioConfig build_graph(const Config& config) {
+  mc::ScenarioConfig scenario = build_n_node(config);
+  scenario.topology = build_topology(config);
+  const std::string policy = config.get_string("policy");
+  const bool local = policy == "none" || policy == "probe" || policy == "diffusion";
+  if (!scenario.topology.complete() && !local) {
+    throw ConfigError(ConfigError::Kind::kBadValue, "policy",
+                      "policy=" + policy +
+                          " reads global state; topology=" + config.get_string("topology") +
+                          " admits only the neighbourhood-local policies "
+                          "(none, probe, diffusion) — or set topology=complete");
+  }
+  if (env_supplied(config)) scenario.environment = build_environment(config);
+  if (scenario.topology.dynamic()) {
+    if (scenario.topology.complete()) {
+      throw ConfigError(ConfigError::Kind::kBadValue, "topology.churn.drop",
+                        "edge churn needs a non-complete topology");
+    }
+    if (!scenario.environment.enabled()) {
+      throw ConfigError(ConfigError::Kind::kBadValue, "topology.churn.drop",
+                        "topology.churn.drop > 0 needs the env.* environment keys "
+                        "(the CTMC drives the edge churn)");
+    }
+  }
+  if (!scenario.topology.complete()) {
+    // Surface construction errors (degree parity, torus factorisation) as
+    // ConfigError at build time rather than std::invalid_argument at run time.
+    try {
+      (void)net::Topology::build(scenario.topology, scenario.params.nodes.size());
+    } catch (const std::invalid_argument& e) {
+      throw ConfigError(ConfigError::Kind::kBadValue, "topology", e.what());
+    }
+  }
   return scenario;
 }
 
@@ -550,6 +653,49 @@ std::vector<ScenarioSpec> build_registry() {
          }});
   }
 
+  // --- topology-structured families (src/net topology layer) ---
+
+  {
+    // Ring: the sparsest connected regular graph (diameter floor(n/2)), so
+    // neighbourhood policies are at their slowest here — the worst case the
+    // diffusion spectral-gap bound in net_topology_test pins.
+    Schema schema = n_node_schema("8", "0.1", "100,60,20,40", "diffusion", kGraphPolicies);
+    schema.merge(topology_schema("ring")).merge(env_schema("1"));
+    registry.push_back(
+        {.name = "graph-ring",
+         .summary = "n-node cycle exchange graph with neighbourhood-local policies "
+                    "(topology=complete reduces to the global-state baseline)",
+         .schema = std::move(schema),
+         .build = [](const Config& config) { return build_graph(config); }});
+  }
+
+  {
+    // 2-D torus: the paper's mesh-interconnect cousin; near-square
+    // factorisation by default, explicit topology.rows/cols otherwise.
+    Schema schema = n_node_schema("16", "0.1", "120,20,60,40", "diffusion", kGraphPolicies);
+    schema.merge(topology_schema("torus")).merge(env_schema("1"));
+    registry.push_back(
+        {.name = "graph-torus",
+         .summary = "2-D wrap-around torus exchange graph (rows x cols, default "
+                    "near-square) with neighbourhood-local policies",
+         .schema = std::move(schema),
+         .build = [](const Config& config) { return build_graph(config); }});
+  }
+
+  {
+    // Random-regular: expander-like constant-degree graphs; with env.* keys
+    // and topology.churn.drop > 0 the edge set degrades with the environment
+    // state (the dynamic-graph extension).
+    Schema schema = n_node_schema("32", "0.25", "120,20,60,40", "probe", kGraphPolicies);
+    schema.merge(topology_schema("rr")).merge(env_schema("1"));
+    registry.push_back(
+        {.name = "graph-rr",
+         .summary = "seeded random-regular exchange graph (degree d) with random-probe "
+                    "balancing and optional environment-driven edge churn",
+         .schema = std::move(schema),
+         .build = [](const Config& config) { return build_graph(config); }});
+  }
+
   return registry;
 }
 
@@ -580,6 +726,12 @@ core::PolicyPtr make_policy(const Config& config, const std::vector<std::size_t>
   if (policy == "none") return std::make_unique<core::NoBalancingPolicy>();
   if (policy == "proportional") return std::make_unique<core::ProportionalOncePolicy>();
   if (policy == "lbp2") return std::make_unique<core::Lbp2Policy>(gain);
+  if (policy == "probe") {
+    return std::make_unique<core::RandomProbePolicy>(config.get_size("probes"));
+  }
+  if (policy == "diffusion") {
+    return std::make_unique<core::DiffusionPolicy>(config.get_double("alpha"));
+  }
   if (policy == "periodic") {
     return std::make_unique<core::PeriodicRebalancePolicy>(config.get_double("period"), gain,
                                                            config.get_bool("compensate"));

@@ -99,6 +99,21 @@ const std::vector<ValidationPoint>& validation_points() {
       // form there — the boundary marker the steady theory bridge must pin.
       {"open-steady", "churn-boundary", {}},
       {"open-steady", "batch-boundary", {{"churn", "false"}, {"arrivals.batch", "5"}}},
+      // Graph families: every non-complete topology declines with the pinned
+      // "neighbourhood-restricted topology" marker (validation_test pins the
+      // string)...
+      {"graph-ring", "ring-boundary", {}},
+      {"graph-torus", "torus-boundary", {}},
+      {"graph-rr", "edge-churn-boundary",
+       {{"topology.churn.drop", "0.5"}, {"env.storm.mult", "1"}}},
+      // ...while topology=complete must collapse to the global-state solver
+      // path exactly — a real checked point on a graph family (workloads
+      // pinned small for the multi-node recursion's lattice).
+      {"graph-ring", "complete-reduction",
+       {{"topology", "complete"},
+        {"policy", "none"},
+        {"nodes", "4"},
+        {"workloads", "10,6,4,3"}}},
   };
   return points;
 }

@@ -12,6 +12,10 @@
 
 #include "markov/params.hpp"
 
+namespace lbsim::stoch {
+class RngStream;
+}
+
 namespace lbsim::core {
 
 /// "Move `count` tasks from node `from` to node `to`."
@@ -32,6 +36,21 @@ class SystemView {
   /// policies know rates, not realisations).
   [[nodiscard]] virtual markov::NodeParams node_params(int node) const = 0;
   [[nodiscard]] virtual double per_task_delay_mean() const = 0;
+
+  /// Neighbourhood restriction. The default is the complete exchange graph
+  /// (every other node is a neighbour), which is what every pre-topology
+  /// engine exposes; a topology-aware engine overrides both methods to
+  /// restrict a policy's horizon — and its transfers — to the node's
+  /// adjacency. Neighbour indices are stable within one policy invocation.
+  [[nodiscard]] virtual std::size_t neighbor_count(int node) const {
+    (void)node;
+    return node_count() - 1;
+  }
+  /// k-th neighbour of `node`, k < neighbor_count(node) (ascending node id).
+  [[nodiscard]] virtual int neighbor(int node, std::size_t k) const {
+    const int peer = static_cast<int>(k);
+    return peer < node ? peer : peer + 1;
+  }
 };
 
 class LoadBalancingPolicy {
@@ -61,6 +80,16 @@ class LoadBalancingPolicy {
   /// Balancing action on a periodic timer tick (default: none). Engines fire
   /// this only when configured with a rebalance period.
   [[nodiscard]] virtual std::vector<TransferDirective> on_periodic(const SystemView& view);
+
+  /// True when the policy draws randomness (e.g. random neighbour probes).
+  /// The engine then appends a dedicated per-replication RNG stream and hands
+  /// it over through bind_rng before on_start; RNG-free policies keep the
+  /// historical stream layout bit-for-bit. Conservative default: false.
+  [[nodiscard]] virtual bool needs_rng() const noexcept { return false; }
+
+  /// Receives the per-replication stream (valid for the whole replication).
+  /// Only called when needs_rng() is true; clones do not inherit the binding.
+  virtual void bind_rng(stoch::RngStream* rng) { (void)rng; }
 
   /// Deep copy, so each Monte-Carlo replication can own an instance.
   [[nodiscard]] virtual std::unique_ptr<LoadBalancingPolicy> clone() const = 0;

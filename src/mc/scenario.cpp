@@ -14,7 +14,9 @@
 namespace lbsim::mc {
 namespace {
 
-/// SystemView over the live CEs.
+/// SystemView over the live CEs. When a (non-complete) topology is active the
+/// view restricts each node's visible peers to its current adjacency; the
+/// pointer is swapped on environment transitions under edge churn.
 class LiveView final : public core::SystemView {
  public:
   LiveView(const markov::MultiNodeParams& params,
@@ -34,10 +36,22 @@ class LiveView final : public core::SystemView {
   [[nodiscard]] double per_task_delay_mean() const override {
     return params_.per_task_delay_mean;
   }
+  [[nodiscard]] std::size_t neighbor_count(int n) const override {
+    if (topology_ == nullptr) return core::SystemView::neighbor_count(n);
+    return topology_->degree(static_cast<std::size_t>(n));
+  }
+  [[nodiscard]] int neighbor(int n, std::size_t k) const override {
+    if (topology_ == nullptr) return core::SystemView::neighbor(n, k);
+    return static_cast<int>(topology_->neighbor(static_cast<std::size_t>(n), k));
+  }
+
+  void set_topology(const net::Topology* topology) noexcept { topology_ = topology; }
+  [[nodiscard]] const net::Topology* topology() const noexcept { return topology_; }
 
  private:
   const markov::MultiNodeParams& params_;
   const std::vector<std::unique_ptr<node::ComputeElement>>& ces_;
+  const net::Topology* topology_ = nullptr;  // null = complete (historical path)
 };
 
 void validate_config(const ScenarioConfig& config, bool allow_unbounded) {
@@ -57,6 +71,10 @@ void validate_config(const ScenarioConfig& config, bool allow_unbounded) {
   env::validate(config.arrivals, n,
                 config.environment.enabled() ? &config.environment : nullptr);
   env::validate(config.schedule, n);
+  LBSIM_REQUIRE(!config.topology.dynamic() ||
+                    (!config.topology.complete() && config.environment.enabled()),
+                "topology edge churn (churn_drop > 0) needs a non-complete topology and "
+                "a configured environment CTMC to drive it");
   for (std::size_t i = 0; i < n; ++i) {
     LBSIM_REQUIRE(!config.schedule.scheduled(i) || ((config.initially_down >> i) & 1u) == 0,
                   "node " << i << " has both a schedule clause and an initially_down bit; "
@@ -125,6 +143,7 @@ ScenarioConfig ScenarioConfig::clone() const {
   copy.arrivals = arrivals;
   copy.schedule = schedule;
   copy.steady = steady;
+  copy.topology = topology;
   return copy;
 }
 
@@ -163,8 +182,10 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
   // scenarios without them stay bit-for-bit identical to earlier releases.
   const bool has_environment = config.environment.enabled();
   const bool has_arrivals = config.arrivals.active();
+  const bool has_policy_rng = config.policy->needs_rng();
   const std::uint64_t streams_per_run = 2 * static_cast<std::uint64_t>(n) + 1 +
-                                        (has_environment ? 1 : 0) + (has_arrivals ? 1 : 0);
+                                        (has_environment ? 1 : 0) + (has_arrivals ? 1 : 0) +
+                                        (has_policy_rng ? 1 : 0);
   const std::uint64_t base = replication * streams_per_run;
   // One backing vector: entries [0, n) are the service streams, [n, 2n) the
   // churn streams (same stream ids as always).
@@ -179,6 +200,15 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
   std::optional<stoch::RngStream> arrival_rng;
   if (has_arrivals) {
     arrival_rng.emplace(seed, base + 2 * n + 1 + (has_environment ? 1 : 0));
+  }
+  // Randomised policies (RandomProbePolicy) draw from their own appended
+  // stream, re-bound every replication; deterministic policies leave the
+  // stream layout — and therefore every historical result — untouched.
+  std::optional<stoch::RngStream> policy_rng;
+  if (has_policy_rng) {
+    policy_rng.emplace(seed, base + 2 * n + 1 + (has_environment ? 1 : 0) +
+                                 (has_arrivals ? 1 : 0));
+    config.policy->bind_rng(&*policy_rng);
   }
 
   // --- nodes ---
@@ -237,8 +267,35 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
     next_id += config.workloads[i];
   }
 
+  // --- topology (non-complete graphs restrict every policy's neighbourhood;
+  //     under edge churn one graph per environment state is prebuilt here and
+  //     the transition listener swaps the active pointer) ---
+  std::vector<net::Topology> topo_states;
+  if (!config.topology.complete()) {
+    net::Topology base_topo = net::Topology::build(config.topology, n);
+    if (config.topology.dynamic()) {
+      const std::size_t k_states = config.environment.states;
+      topo_states.reserve(k_states);
+      for (std::size_t s = 0; s < k_states; ++s) {
+        const double drop = k_states > 1
+                                ? config.topology.churn_drop * static_cast<double>(s) /
+                                      static_cast<double>(k_states - 1)
+                                : 0.0;
+        topo_states.push_back(base_topo.with_edge_churn(drop, config.topology.churn_spare,
+                                                        config.topology.seed, s));
+      }
+    } else {
+      topo_states.push_back(std::move(base_topo));
+    }
+  }
+
   // --- transfer plumbing ---
   LiveView view(config.params, ces);
+  if (!topo_states.empty()) {
+    const std::size_t s0 =
+        config.topology.dynamic() ? config.environment.initial_state : 0;
+    view.set_topology(&topo_states[s0]);
+  }
   // The delivery handler captures one pointer to this per-run context so the
   // std::function stays in its small-object buffer (bundle size for the trace
   // is recovered from the transfer itself).
@@ -253,6 +310,11 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
       LBSIM_REQUIRE(d.from >= 0 && static_cast<std::size_t>(d.from) < n, "from=" << d.from);
       LBSIM_REQUIRE(d.to >= 0 && static_cast<std::size_t>(d.to) < n && d.to != d.from,
                     "to=" << d.to);
+      LBSIM_REQUIRE(view.topology() == nullptr ||
+                        view.topology()->adjacent(static_cast<std::size_t>(d.from),
+                                                  static_cast<std::size_t>(d.to)),
+                    "directive " << d.from << "->" << d.to
+                                 << " crosses a non-edge of the active topology");
       if (d.count == 0) continue;
       node::TaskBatch batch = ces[static_cast<std::size_t>(d.from)]->extract_tasks(d.count);
       if (batch.empty()) continue;
@@ -397,17 +459,23 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
       std::vector<std::unique_ptr<node::FailureProcess>>* churn;
       env::Environment* environment;
       env::ArrivalProcess* arrivals;
+      LiveView* view;
+      const std::vector<net::Topology>* topo_states;  // null unless edge churn
       RunTrace* trace;
       des::Simulator* sim;
     };
     environment->set_transition_listener(
-        [ctx = EnvCtx{&churn, &*environment, arrivals ? &*arrivals : nullptr, trace, &sim}](
+        [ctx = EnvCtx{&churn, &*environment, arrivals ? &*arrivals : nullptr, &view,
+                      config.topology.dynamic() ? &topo_states : nullptr, trace, &sim}](
             std::size_t from, std::size_t to) {
           const double mult = ctx.environment->spec().failure_mult[to];
           for (const auto& process : *ctx.churn) {
             if (process) process->set_hazard_multiplier(mult);
           }
           if (ctx.arrivals != nullptr) ctx.arrivals->on_environment_transition();
+          if (ctx.topo_states != nullptr) {
+            ctx.view->set_topology(&(*ctx.topo_states)[to]);
+          }
           if (ctx.trace != nullptr) {
             std::ostringstream os;
             os << from << "->" << to;

@@ -15,6 +15,7 @@
 #include "env/schedule.hpp"
 #include "markov/params.hpp"
 #include "net/delay_model.hpp"
+#include "net/topology.hpp"
 #include "sim/trace.hpp"
 #include "stochastic/stats.hpp"
 
@@ -63,6 +64,12 @@ struct ScenarioConfig {
   /// driven by the schedule alone (its stochastic FailureProcess is not
   /// created, and it must not appear in initially_down).
   env::Schedule schedule;
+  /// Exchange-graph restriction. The default (complete) takes the historical
+  /// full-mesh path untouched; any other kind restricts every policy's
+  /// SystemView — and its transfer directives — to each node's neighbourhood,
+  /// and topology.churn_drop > 0 swaps the active edge set on every
+  /// environment transition (requires a configured environment).
+  net::TopologySpec topology;
   /// Steady-state window parameters (consumed by mc::run_steady only).
   SteadySpec steady;
 

@@ -61,6 +61,13 @@ TheoryMapping map_to_theory(const ScenarioConfig& config) {
       std::any_of(config.environment.failure_mult.begin(),
                   config.environment.failure_mult.end(),
                   [](double mult) { return mult != 1.0; });
+  // A restricted exchange graph changes what every policy can see and ship;
+  // the regeneration solvers assume the complete graph, so this decline comes
+  // before any other (a graph-* scenario may also carry env/arrival extras).
+  if (!config.topology.complete()) {
+    mapping.reason = "neighbourhood-restricted topology";
+    return mapping;
+  }
   if (modulates_hazard && any_failures) {
     mapping.reason = "environment-modulated churn";
     return mapping;

@@ -1,0 +1,291 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "stochastic/rng.hpp"
+#include "util/error.hpp"
+
+namespace lbsim::net {
+namespace {
+
+/// Canonical undirected edge (a < b).
+std::pair<std::size_t, std::size_t> edge(std::size_t a, std::size_t b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+/// Seeded Fisher-Yates shuffle (stoch::RngStream, not std::shuffle: the
+/// standard shuffle is implementation-defined and would break golden graphs
+/// across standard libraries).
+void shuffle(std::vector<std::size_t>& values, stoch::RngStream& rng) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace
+
+const char* to_string(TopologySpec::Kind kind) {
+  switch (kind) {
+    case TopologySpec::Kind::kComplete: return "complete";
+    case TopologySpec::Kind::kRing: return "ring";
+    case TopologySpec::Kind::kTorus: return "torus";
+    case TopologySpec::Kind::kRandomRegular: return "rr";
+  }
+  return "?";
+}
+
+TopologySpec::Kind kind_from_string(const std::string& name) {
+  if (name == "complete") return TopologySpec::Kind::kComplete;
+  if (name == "ring") return TopologySpec::Kind::kRing;
+  if (name == "torus") return TopologySpec::Kind::kTorus;
+  if (name == "rr") return TopologySpec::Kind::kRandomRegular;
+  throw std::invalid_argument("unknown topology '" + name +
+                              "' (known: complete, ring, torus, rr)");
+}
+
+TorusDims torus_dims(std::size_t n, std::size_t rows, std::size_t cols) {
+  if (rows == 0 && cols != 0) rows = (cols >= 2 && n % cols == 0) ? n / cols : 0;
+  else if (cols == 0 && rows != 0) cols = (rows >= 2 && n % rows == 0) ? n / rows : 0;
+  if (rows != 0 || cols != 0) {
+    if (rows < 2 || cols < 2 || rows * cols != n) {
+      throw std::invalid_argument("torus dims " + std::to_string(rows) + "x" +
+                                  std::to_string(cols) + " do not tile " +
+                                  std::to_string(n) + " nodes (each dim >= 2)");
+    }
+    return {rows, cols};
+  }
+  // Most-square factorisation: largest divisor r <= sqrt(n) with r >= 2.
+  for (std::size_t r = 1; r * r <= n; ++r) {
+    if (n % r == 0) rows = r;
+  }
+  if (rows < 2) {
+    throw std::invalid_argument("torus needs a composite node count (n = " +
+                                std::to_string(n) +
+                                " has no rows x cols tiling with dims >= 2)");
+  }
+  return {rows, n / rows};
+}
+
+Topology Topology::from_edges(
+    std::size_t n, const std::vector<std::pair<std::size_t, std::size_t>>& edges) {
+  Topology topo;
+  topo.offsets_.assign(n + 1, 0);
+  for (const auto& [a, b] : edges) {
+    LBSIM_CHECK(a < n && b < n && a != b, "edge " << a << "-" << b << " out of range");
+    ++topo.offsets_[a + 1];
+    ++topo.offsets_[b + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) topo.offsets_[i + 1] += topo.offsets_[i];
+  topo.targets_.resize(2 * edges.size());
+  std::vector<std::uint32_t> fill(topo.offsets_.begin(), topo.offsets_.end() - 1);
+  for (const auto& [a, b] : edges) {
+    topo.targets_[fill[a]++] = static_cast<std::uint32_t>(b);
+    topo.targets_[fill[b]++] = static_cast<std::uint32_t>(a);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::sort(topo.targets_.begin() + topo.offsets_[i],
+              topo.targets_.begin() + topo.offsets_[i + 1]);
+  }
+  return topo;
+}
+
+Topology Topology::complete(std::size_t n) {
+  LBSIM_REQUIRE(n >= 2, "topology needs >= 2 nodes");
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) edges.emplace_back(a, b);
+  }
+  return from_edges(n, edges);
+}
+
+Topology Topology::ring(std::size_t n) {
+  LBSIM_REQUIRE(n >= 2, "topology needs >= 2 nodes");
+  std::set<std::pair<std::size_t, std::size_t>> edges;  // dedupes the n = 2 wrap
+  for (std::size_t i = 0; i < n; ++i) edges.insert(edge(i, (i + 1) % n));
+  return from_edges(n, {edges.begin(), edges.end()});
+}
+
+Topology Topology::torus(std::size_t rows, std::size_t cols) {
+  LBSIM_REQUIRE(rows >= 2 && cols >= 2, "torus dims must each be >= 2");
+  const auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  std::set<std::pair<std::size_t, std::size_t>> edges;  // dedupes 2-wide wraps
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      edges.insert(edge(id(r, c), id((r + 1) % rows, c)));
+      edges.insert(edge(id(r, c), id(r, (c + 1) % cols)));
+    }
+  }
+  return from_edges(rows * cols, {edges.begin(), edges.end()});
+}
+
+Topology Topology::random_regular(std::size_t n, std::size_t degree, std::uint64_t seed) {
+  LBSIM_REQUIRE(n >= 3, "random-regular needs >= 3 nodes");
+  if (degree < 2 || degree >= n) {
+    throw std::invalid_argument("random-regular degree " + std::to_string(degree) +
+                                " needs 2 <= degree < n = " + std::to_string(n));
+  }
+  if (n * degree % 2 != 0) {
+    throw std::invalid_argument("random-regular needs n * degree even (n = " +
+                                std::to_string(n) +
+                                ", degree = " + std::to_string(degree) + ")");
+  }
+  if (degree == n - 1) return complete(n);
+
+  // Superposition construction: floor(d/2) seeded Hamiltonian cycles, plus one
+  // perfect matching when d is odd (n is even then, by the parity check). Each
+  // layer keeps every degree exact and each cycle keeps the graph connected;
+  // the draw is rejected and retried whenever two layers collide on an edge.
+  stoch::RngStream rng(seed, 0x726567756c617221ULL);
+  constexpr int kMaxAttempts = 10000;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::set<std::pair<std::size_t, std::size_t>> edges;
+    bool clash = false;
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t cycle = 0; cycle < degree / 2 && !clash; ++cycle) {
+      shuffle(order, rng);
+      for (std::size_t i = 0; i < n; ++i) {
+        // A Hamiltonian cycle needs n distinct edges; n = 3 closes 2-cycles.
+        const auto e = edge(order[i], order[(i + 1) % n]);
+        if (e.first == e.second || !edges.insert(e).second) {
+          clash = true;
+          break;
+        }
+      }
+    }
+    if (!clash && degree % 2 == 1) {
+      shuffle(order, rng);
+      for (std::size_t i = 0; i + 1 < n; i += 2) {
+        if (!edges.insert(edge(order[i], order[i + 1])).second) {
+          clash = true;
+          break;
+        }
+      }
+    }
+    if (!clash) return from_edges(n, {edges.begin(), edges.end()});
+  }
+  throw std::invalid_argument("random-regular(" + std::to_string(n) + ", " +
+                              std::to_string(degree) +
+                              ") failed to wire an edge-disjoint layering; pick a "
+                              "smaller degree or another topology.seed");
+}
+
+Topology Topology::build(const TopologySpec& spec, std::size_t n) {
+  switch (spec.kind) {
+    case TopologySpec::Kind::kComplete: return complete(n);
+    case TopologySpec::Kind::kRing: return ring(n);
+    case TopologySpec::Kind::kTorus: {
+      const TorusDims dims = torus_dims(n, spec.rows, spec.cols);
+      return torus(dims.rows, dims.cols);
+    }
+    case TopologySpec::Kind::kRandomRegular:
+      return random_regular(n, spec.degree, spec.seed);
+  }
+  LBSIM_CHECK(false, "unreachable topology kind");
+  return complete(n);
+}
+
+bool Topology::adjacent(std::size_t a, std::size_t b) const {
+  const auto begin = targets_.begin() + offsets_[a];
+  const auto end = targets_.begin() + offsets_[a + 1];
+  return std::binary_search(begin, end, static_cast<std::uint32_t>(b));
+}
+
+std::size_t Topology::min_degree() const {
+  std::size_t best = targets_.size();
+  for (std::size_t i = 0; i < node_count(); ++i) best = std::min(best, degree(i));
+  return best;
+}
+
+std::size_t Topology::max_degree() const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < node_count(); ++i) best = std::max(best, degree(i));
+  return best;
+}
+
+bool Topology::connected() const {
+  const std::size_t n = node_count();
+  std::vector<bool> seen(n, false);
+  std::vector<std::size_t> frontier{0};
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.back();
+    frontier.pop_back();
+    for (std::size_t k = 0; k < degree(u); ++k) {
+      const std::size_t v = neighbor(u, k);
+      if (!seen[v]) {
+        seen[v] = true;
+        ++reached;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return reached == n;
+}
+
+std::size_t Topology::diameter() const {
+  const std::size_t n = node_count();
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+  std::size_t diameter = 0;
+  std::vector<std::size_t> dist(n);
+  std::vector<std::size_t> queue;
+  queue.reserve(n);
+  for (std::size_t src = 0; src < n; ++src) {
+    std::fill(dist.begin(), dist.end(), kUnset);
+    queue.assign(1, src);
+    dist[src] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::size_t u = queue[head];
+      for (std::size_t k = 0; k < degree(u); ++k) {
+        const std::size_t v = neighbor(u, k);
+        if (dist[v] == kUnset) {
+          dist[v] = dist[u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    for (const std::size_t d : dist) {
+      if (d == kUnset) return kUnset;  // disconnected
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+Topology Topology::with_edge_churn(double drop, bool spare, std::uint64_t seed,
+                                   std::uint64_t salt) const {
+  // drop = 1 is admitted: the top environment state of a churn_drop = 1 spec
+  // removes every edge the spare rule does not protect.
+  LBSIM_REQUIRE(drop >= 0.0 && drop <= 1.0, "drop=" << drop);
+  const std::size_t n = node_count();
+  // One stream per (seed, salt): the mask is a pure function of the spec, not
+  // of the replication (see the file comment in topology.hpp).
+  stoch::RngStream rng(seed, 0x636875726e000000ULL ^ salt);
+  std::vector<std::size_t> remaining(n);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = degree(i);
+  std::vector<std::pair<std::size_t, std::size_t>> kept;
+  kept.reserve(edge_count());
+  // Deterministic edge order (CSR ascending), one uniform draw per edge.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t k = 0; k < degree(a); ++k) {
+      const std::size_t b = neighbor(a, k);
+      if (b <= a) continue;
+      const bool dropped = rng.uniform01() < drop;
+      if (dropped && (!spare || (remaining[a] > 1 && remaining[b] > 1))) {
+        --remaining[a];
+        --remaining[b];
+        continue;
+      }
+      kept.emplace_back(a, b);
+    }
+  }
+  return from_edges(n, kept);
+}
+
+}  // namespace lbsim::net

@@ -1,0 +1,125 @@
+#pragma once
+/// \file
+/// Static and dynamic communication graphs. The paper's testbed (and every
+/// family before the graph-* ones) assumes a complete exchange graph: any node
+/// may probe or ship tasks to any other. Real fleets are sparse graphs with
+/// neighbourhood-local information, so this layer provides the standard
+/// regular families (ring, 2-D torus, random-regular) plus an edge-churn
+/// overlay driven by the environment CTMC, and the adjacency / degree /
+/// diameter queries the neighbourhood policies and their theory tests need.
+///
+/// Determinism: a Topology is a pure function of its construction inputs.
+/// Random-regular wiring and the per-state churn masks derive from
+/// TopologySpec::seed alone — never from the replication index — so every
+/// Monte-Carlo replication of a scenario runs on the same graph family and
+/// replications differ only through the environment's CTMC path.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lbsim::net {
+
+/// Declarative description of a scenario's exchange graph; a plain value so
+/// mc::ScenarioConfig stays copy-cloneable. `kind == kComplete` (the default)
+/// means "no restriction": the engine takes the historical full-mesh path
+/// untouched, which is what keeps pre-topology scenarios bit-identical.
+struct TopologySpec {
+  enum class Kind { kComplete, kRing, kTorus, kRandomRegular };
+
+  Kind kind = Kind::kComplete;
+  /// Random-regular degree d (kRandomRegular only); 2 <= d < n, n*d even.
+  std::size_t degree = 4;
+  /// Torus dimensions (kTorus only); 0 means "near-square factorisation of n".
+  /// When both are given, rows * cols must equal the node count.
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  /// Construction seed: random-regular wiring and churn masks only. Distinct
+  /// from the experiment master seed on purpose (see file comment).
+  std::uint64_t seed = 0x109e7201ULL;
+  /// Edge churn under the environment CTMC: in environment state s of K the
+  /// graph drops each edge independently with probability
+  /// churn_drop * s / (K - 1) (state 0 always keeps the full graph). 0
+  /// disables churn; > 0 requires a configured environment.
+  double churn_drop = 0.0;
+  /// When true, an edge is never dropped if that would leave either endpoint
+  /// with no active neighbour (no state of the dynamic graph isolates a node).
+  bool churn_spare = true;
+
+  [[nodiscard]] bool complete() const noexcept { return kind == Kind::kComplete; }
+  [[nodiscard]] bool dynamic() const noexcept { return churn_drop > 0.0; }
+};
+
+/// "complete", "ring", "torus", "rr" — the CLI's `topology=` vocabulary.
+[[nodiscard]] const char* to_string(TopologySpec::Kind kind);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] TopologySpec::Kind kind_from_string(const std::string& name);
+
+/// Resolves torus dimensions for `n` nodes: explicit rows/cols are checked
+/// (each >= 2, product == n), 0/0 picks the most-square factorisation. Throws
+/// std::invalid_argument when no valid factorisation exists (e.g. prime n).
+struct TorusDims {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+[[nodiscard]] TorusDims torus_dims(std::size_t n, std::size_t rows, std::size_t cols);
+
+/// An immutable simple undirected graph in CSR form (sorted neighbour lists,
+/// so adjacency is a binary search). Construction errors that reflect bad
+/// user input (degree parity, torus factorisation) throw
+/// std::invalid_argument, which the CLI registry converts to ConfigError.
+class Topology {
+ public:
+  /// K_n: every pair adjacent (used by tests; the engine never builds it —
+  /// kComplete scenarios skip the topology machinery entirely).
+  [[nodiscard]] static Topology complete(std::size_t n);
+  /// C_n: node i adjacent to (i±1) mod n. n = 2 degenerates to a single edge.
+  [[nodiscard]] static Topology ring(std::size_t n);
+  /// rows x cols wrap-around grid; dims >= 2 (a 2-wide dimension merges its
+  /// duplicate wrap edge, so degrees drop from 4 accordingly).
+  [[nodiscard]] static Topology torus(std::size_t rows, std::size_t cols);
+  /// d-regular simple graph on n nodes, deterministic in `seed`: superposition
+  /// of floor(d/2) seeded Hamiltonian cycles plus (d odd) a perfect matching,
+  /// re-drawn until edge-disjoint. Connected by construction for d >= 2.
+  [[nodiscard]] static Topology random_regular(std::size_t n, std::size_t degree,
+                                               std::uint64_t seed);
+  /// Dispatch on spec.kind for an n-node system.
+  [[nodiscard]] static Topology build(const TopologySpec& spec, std::size_t n);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return targets_.size() / 2; }
+  [[nodiscard]] std::size_t degree(std::size_t node) const {
+    return offsets_[node + 1] - offsets_[node];
+  }
+  /// k-th neighbour of `node` (ascending order), k < degree(node).
+  [[nodiscard]] std::size_t neighbor(std::size_t node, std::size_t k) const {
+    return targets_[offsets_[node] + k];
+  }
+  [[nodiscard]] bool adjacent(std::size_t a, std::size_t b) const;
+  [[nodiscard]] std::size_t min_degree() const;
+  [[nodiscard]] std::size_t max_degree() const;
+
+  /// BFS reachability from node 0 covers every node.
+  [[nodiscard]] bool connected() const;
+  /// Max over sources of BFS eccentricity; SIZE_MAX when disconnected.
+  [[nodiscard]] std::size_t diameter() const;
+
+  /// The churned copy for one environment state: each edge is dropped
+  /// independently with probability `drop`, deterministically in (seed, salt)
+  /// — salt is the environment state index, so each state has its own edge
+  /// set but every replication shares it. With `spare`, an edge survives
+  /// whenever dropping it would isolate either endpoint.
+  [[nodiscard]] Topology with_edge_churn(double drop, bool spare, std::uint64_t seed,
+                                         std::uint64_t salt) const;
+
+ private:
+  /// Builds the CSR form from an undirected edge list (validated simple).
+  static Topology from_edges(std::size_t n,
+                             const std::vector<std::pair<std::size_t, std::size_t>>& edges);
+
+  std::vector<std::uint32_t> offsets_;  // size n + 1
+  std::vector<std::uint32_t> targets_;  // 2 * edge_count, sorted per node
+};
+
+}  // namespace lbsim::net

@@ -9,6 +9,7 @@
 #include "mc/engine.hpp"
 #include "mc/steady.hpp"
 #include "net/delay_model.hpp"
+#include "net/topology.hpp"
 #include "test_support.hpp"
 
 namespace lbsim::cli {
@@ -273,6 +274,63 @@ TEST(CliRegistry, EnvKeyTyposGetDidYouMeanSuggestions) {
   expect_suggests("correlated-churn", "env.stats", "env.states");
   expect_suggests("open-arrivals", "arrivals.procss", "arrivals.process");
   expect_suggests("scheduled-churn", "schedul", "schedule");
+  expect_suggests("graph-rr", "topology.degre", "topology.degree");
+  expect_suggests("graph-ring", "topolgy", "topology");
+}
+
+TEST(CliRegistry, GraphFamiliesBuildTheirTopologySpecs) {
+  const ScenarioSpec& ring = find_scenario("graph-ring");
+  const mc::ScenarioConfig ring_scenario = ring.build(resolve(ring));
+  EXPECT_EQ(ring_scenario.topology.kind, net::TopologySpec::Kind::kRing);
+  EXPECT_GT(ring_scenario.rebalance_period, 0.0);  // diffusion runs off the round timer
+  EXPECT_EQ(ring_scenario.policy->name(), "Diffusion(alpha=0.5)");
+
+  const ScenarioSpec& torus = find_scenario("graph-torus");
+  const mc::ScenarioConfig torus_scenario = torus.build(resolve(torus));
+  EXPECT_EQ(torus_scenario.topology.kind, net::TopologySpec::Kind::kTorus);
+
+  const ScenarioSpec& rr = find_scenario("graph-rr");
+  const mc::ScenarioConfig rr_scenario = rr.build(resolve(rr));
+  EXPECT_EQ(rr_scenario.topology.kind, net::TopologySpec::Kind::kRandomRegular);
+  EXPECT_EQ(rr_scenario.topology.degree, 4u);
+  EXPECT_EQ(rr_scenario.policy->name(), "RandomProbe(d=2)");
+  EXPECT_TRUE(rr_scenario.policy->needs_rng());
+
+  // topology=complete takes the historical path (no restriction at all).
+  RawConfig raw;
+  raw.set("topology", "complete");
+  raw.set("policy", "lbp2");
+  const mc::ScenarioConfig complete_scenario = ring.build(resolve(ring, raw));
+  EXPECT_TRUE(complete_scenario.topology.complete());
+  EXPECT_EQ(complete_scenario.rebalance_period, 0.0);
+}
+
+TEST(CliRegistry, GraphFamiliesRejectBadConfigurationsAtBuildTime) {
+  const ScenarioSpec& rr = find_scenario("graph-rr");
+  // Global-state policies cannot run on a sparse graph.
+  RawConfig raw;
+  raw.set("policy", "lbp2");
+  EXPECT_THROW((void)rr.build(resolve(rr, raw)), ConfigError);
+  // Infeasible degree: odd n * odd d violates the handshake lemma.
+  raw = {};
+  raw.set("nodes", "9");
+  raw.set("topology.degree", "3");
+  EXPECT_THROW((void)rr.build(resolve(rr, raw)), ConfigError);
+  // Edge churn needs the environment CTMC that drives it.
+  raw = {};
+  raw.set("topology.churn.drop", "0.5");
+  EXPECT_THROW((void)rr.build(resolve(rr, raw)), ConfigError);
+  // A prime node count has no torus factorisation.
+  const ScenarioSpec& torus = find_scenario("graph-torus");
+  raw = {};
+  raw.set("nodes", "13");
+  EXPECT_THROW((void)torus.build(resolve(torus, raw)), ConfigError);
+  // Explicit dims must multiply to the node count.
+  raw = {};
+  raw.set("nodes", "16");
+  raw.set("topology.rows", "3");
+  raw.set("topology.cols", "5");
+  EXPECT_THROW((void)torus.build(resolve(torus, raw)), ConfigError);
 }
 
 TEST(CliRegistry, FiniteFamilyRefusesZeroArrivalCount) {

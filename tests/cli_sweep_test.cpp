@@ -100,6 +100,17 @@ TEST(CliSweep, UnknownAxisKeyFailsFastNamingTheFamily) {
     EXPECT_NE(what.find("open-arrivals"), std::string::npos) << what;
     EXPECT_NE(what.find("arrivals.batch"), std::string::npos) << what;
   }
+  // topology.* group, on the graph-rr family.
+  try {
+    (void)run_sweep(find_scenario("graph-rr"), {}, {parse_axis("topology.degre=2,4")},
+                    options);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.kind(), ConfigError::Kind::kUnknownKey);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("graph-rr"), std::string::npos) << what;
+    EXPECT_NE(what.find("topology.degree"), std::string::npos) << what;
+  }
 }
 
 TEST(CliSweep, GridIsFullyValidatedBeforeAnyPointRuns) {

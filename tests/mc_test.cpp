@@ -319,6 +319,15 @@ TEST(EngineTest, FiniteFamilyStatisticsBitIdenticalToPreRefactorGoldens) {
        85.790294700289891},
       {"custom-delay", 116.61103909863549, 107.71454130988158, 188.55173836262219,
        208.28513126617386},
+      // Graph families at their sparse defaults (ring diffusion, torus
+      // diffusion, random-regular probe): pins the topology layer's RNG
+      // stream layout (the appended policy stream) and graph construction.
+      {"graph-ring", 93.550722634097752, 97.427238370790761, 111.70778963688932,
+       116.75978295048613},
+      {"graph-torus", 125.90302528653861, 123.33412498899476, 140.73850116371136,
+       236.11077561407274},
+      {"graph-rr", 84.375246079558039, 84.287993329342541, 93.297972085717447,
+       102.7413167186772},
   };
   for (const Golden& g : kGoldens) {
     const cli::ScenarioSpec& spec = cli::find_scenario(g.family);
@@ -341,6 +350,34 @@ TEST(EngineTest, FiniteFamilyStatisticsBitIdenticalToPreRefactorGoldens) {
     if (!spec.steady) ++finite;
   }
   EXPECT_EQ(finite, std::size(kGoldens));
+}
+
+TEST(EngineTest, GraphFamiliesAtCompleteTopologyMatchGlobalBaselineBitIdentically) {
+  // topology=complete must take the historical full-mesh path untouched: a
+  // graph-* family pinned to multi-node's exact defaults (same nodes, rates,
+  // workloads, policy) must reproduce multi-node's statistics to the last
+  // bit — same RNG stream layout, same event order, no topology machinery.
+  const cli::ScenarioSpec& baseline_spec = cli::find_scenario("multi-node");
+  McConfig mc;
+  mc.seed = 0x5eed2006;
+  mc.replications = 25;
+  mc.threads = 2;
+  const McResult baseline =
+      run_monte_carlo(baseline_spec.build(baseline_spec.schema.resolve({})), mc);
+  for (const char* family : {"graph-ring", "graph-torus", "graph-rr"}) {
+    const cli::ScenarioSpec& spec = cli::find_scenario(family);
+    cli::RawConfig raw;
+    raw.set("topology", "complete");
+    raw.set("policy", "lbp2");
+    raw.set("nodes", "4");
+    raw.set("lambda_r", "0.1");
+    raw.set("workloads", "100,60");
+    const McResult result = run_monte_carlo(spec.build(spec.schema.resolve(raw)), mc);
+    EXPECT_DOUBLE_EQ(result.mean(), baseline.mean()) << family;
+    EXPECT_DOUBLE_EQ(result.p50, baseline.p50) << family;
+    EXPECT_DOUBLE_EQ(result.p90, baseline.p90) << family;
+    EXPECT_DOUBLE_EQ(result.p99, baseline.p99) << family;
+  }
 }
 
 TEST(EngineTest, Lbp2MatchesPaperBallpark) {

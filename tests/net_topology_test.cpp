@@ -1,0 +1,278 @@
+// Property tests for the topology layer (net::Topology): degree invariants,
+// connectivity, the closed-form ring/torus diameters, random-regular
+// determinism and the handshake lemma, edge-churn isolation guarantees — and
+// the theory cross-check that first-order diffusion with Metropolis weights
+// contracts imbalance at the Laplacian spectral-gap rate on ring and torus.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "core/local.hpp"
+#include "net/topology.hpp"
+
+namespace lbsim::net {
+namespace {
+
+// ---------- degree invariants ----------
+
+TEST(TopologyTest, CompleteDegreesAndDiameter) {
+  const Topology k5 = Topology::complete(5);
+  EXPECT_EQ(k5.node_count(), 5u);
+  EXPECT_EQ(k5.edge_count(), 10u);
+  EXPECT_EQ(k5.min_degree(), 4u);
+  EXPECT_EQ(k5.max_degree(), 4u);
+  EXPECT_TRUE(k5.connected());
+  EXPECT_EQ(k5.diameter(), 1u);
+}
+
+TEST(TopologyTest, RingIsTwoRegular) {
+  for (const std::size_t n : {3u, 4u, 7u, 16u, 33u}) {
+    const Topology ring = Topology::ring(n);
+    EXPECT_EQ(ring.edge_count(), n) << n;
+    EXPECT_EQ(ring.min_degree(), 2u) << n;
+    EXPECT_EQ(ring.max_degree(), 2u) << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(ring.adjacent(i, (i + 1) % n)) << n << ":" << i;
+    }
+  }
+  // n = 2 degenerates to a single edge (no duplicate wrap edge).
+  const Topology pair = Topology::ring(2);
+  EXPECT_EQ(pair.edge_count(), 1u);
+  EXPECT_EQ(pair.max_degree(), 1u);
+}
+
+TEST(TopologyTest, TorusIsFourRegularWhenDimsAtLeastThree) {
+  const Topology torus = Topology::torus(4, 5);
+  EXPECT_EQ(torus.node_count(), 20u);
+  EXPECT_EQ(torus.min_degree(), 4u);
+  EXPECT_EQ(torus.max_degree(), 4u);
+  EXPECT_EQ(torus.edge_count(), 40u);  // handshake: 20 * 4 / 2
+  // A 2-wide dimension merges its duplicate wrap edge: degrees drop to 3.
+  const Topology narrow = Topology::torus(2, 4);
+  EXPECT_EQ(narrow.min_degree(), 3u);
+  EXPECT_EQ(narrow.max_degree(), 3u);
+}
+
+TEST(TopologyTest, RandomRegularSatisfiesHandshakeLemma) {
+  for (const std::size_t d : {2u, 3u, 4u, 6u}) {
+    const std::size_t n = 24;
+    const Topology rr = Topology::random_regular(n, d, 0xfeedULL);
+    EXPECT_EQ(rr.min_degree(), d) << d;
+    EXPECT_EQ(rr.max_degree(), d) << d;
+    // Handshake lemma: sum of degrees = 2 |E|, so |E| = n d / 2 exactly.
+    EXPECT_EQ(rr.edge_count(), n * d / 2) << d;
+    EXPECT_TRUE(rr.connected()) << d;
+  }
+  // d = n - 1 is the complete graph.
+  const Topology full = Topology::random_regular(6, 5, 1ULL);
+  EXPECT_EQ(full.edge_count(), 15u);
+  EXPECT_EQ(full.diameter(), 1u);
+}
+
+TEST(TopologyTest, RandomRegularRejectsInfeasibleParameters) {
+  // Odd n * odd d violates the handshake lemma; d >= n has no simple graph.
+  EXPECT_THROW((void)Topology::random_regular(7, 3, 1ULL), std::invalid_argument);
+  EXPECT_THROW((void)Topology::random_regular(5, 5, 1ULL), std::invalid_argument);
+  EXPECT_THROW((void)Topology::random_regular(8, 1, 1ULL), std::invalid_argument);
+}
+
+// ---------- determinism ----------
+
+TEST(TopologyTest, RandomRegularIsDeterministicInItsSeed) {
+  const Topology a = Topology::random_regular(32, 4, 42ULL);
+  const Topology b = Topology::random_regular(32, 4, 42ULL);
+  for (std::size_t i = 0; i < 32; ++i) {
+    ASSERT_EQ(a.degree(i), b.degree(i)) << i;
+    for (std::size_t k = 0; k < a.degree(i); ++k) {
+      EXPECT_EQ(a.neighbor(i, k), b.neighbor(i, k)) << i << "," << k;
+    }
+  }
+  // A different seed rewires (overwhelmingly likely for 32 nodes).
+  const Topology c = Topology::random_regular(32, 4, 43ULL);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < 32 && !any_difference; ++i) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      if (a.neighbor(i, k) != c.neighbor(i, k)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// ---------- diameter formulas ----------
+
+TEST(TopologyTest, RingDiameterIsHalfTheCycle) {
+  for (const std::size_t n : {3u, 4u, 9u, 16u, 25u}) {
+    EXPECT_EQ(Topology::ring(n).diameter(), n / 2) << n;
+  }
+}
+
+TEST(TopologyTest, TorusDiameterIsSumOfHalfDims) {
+  for (const auto& [rows, cols] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {3, 3}, {4, 4}, {3, 5}, {4, 6}, {5, 5}}) {
+    EXPECT_EQ(Topology::torus(rows, cols).diameter(), rows / 2 + cols / 2)
+        << rows << "x" << cols;
+  }
+}
+
+TEST(TopologyTest, TorusDimsFactorisesNearSquare) {
+  const TorusDims dims16 = torus_dims(16, 0, 0);
+  EXPECT_EQ(dims16.rows, 4u);
+  EXPECT_EQ(dims16.cols, 4u);
+  const TorusDims dims12 = torus_dims(12, 0, 0);
+  EXPECT_EQ(dims12.rows * dims12.cols, 12u);
+  EXPECT_GE(dims12.rows, 3u);  // most-square: 3 x 4, never 2 x 6
+  // Explicit dims are validated; primes have no >= 2 factorisation.
+  EXPECT_THROW((void)torus_dims(12, 3, 5), std::invalid_argument);
+  EXPECT_THROW((void)torus_dims(7, 0, 0), std::invalid_argument);
+}
+
+// ---------- build dispatch ----------
+
+TEST(TopologyTest, BuildDispatchesOnSpecKind) {
+  TopologySpec spec;
+  spec.kind = TopologySpec::Kind::kRing;
+  EXPECT_EQ(Topology::build(spec, 6).max_degree(), 2u);
+  spec.kind = TopologySpec::Kind::kTorus;
+  EXPECT_EQ(Topology::build(spec, 9).max_degree(), 4u);
+  spec.kind = TopologySpec::Kind::kRandomRegular;
+  spec.degree = 4;
+  EXPECT_EQ(Topology::build(spec, 10).max_degree(), 4u);
+  EXPECT_EQ(kind_from_string("rr"), TopologySpec::Kind::kRandomRegular);
+  EXPECT_STREQ(to_string(TopologySpec::Kind::kTorus), "torus");
+  EXPECT_THROW((void)kind_from_string("mobius"), std::invalid_argument);
+}
+
+// ---------- edge churn ----------
+
+TEST(TopologyTest, EdgeChurnWithSpareNeverIsolatesANode) {
+  const Topology base = Topology::random_regular(24, 4, 7ULL);
+  for (const double drop : {0.3, 0.7, 1.0}) {
+    for (std::uint64_t salt = 0; salt < 8; ++salt) {
+      const Topology churned = base.with_edge_churn(drop, /*spare=*/true, 99ULL, salt);
+      EXPECT_GE(churned.min_degree(), 1u) << drop << "," << salt;
+      EXPECT_LE(churned.edge_count(), base.edge_count());
+    }
+  }
+  // Without the spare rule, drop = 1 removes every edge.
+  EXPECT_EQ(base.with_edge_churn(1.0, /*spare=*/false, 99ULL, 1).edge_count(), 0u);
+}
+
+TEST(TopologyTest, EdgeChurnIsDeterministicInSeedAndSalt) {
+  const Topology base = Topology::ring(16);
+  const Topology a = base.with_edge_churn(0.5, true, 5ULL, 3);
+  const Topology b = base.with_edge_churn(0.5, true, 5ULL, 3);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < 16; ++i) {
+    ASSERT_EQ(a.degree(i), b.degree(i)) << i;
+    for (std::size_t k = 0; k < a.degree(i); ++k) {
+      EXPECT_EQ(a.neighbor(i, k), b.neighbor(i, k));
+    }
+  }
+  // Drop probability 0 (environment state 0) keeps the full graph.
+  EXPECT_EQ(base.with_edge_churn(0.0, true, 5ULL, 0).edge_count(), base.edge_count());
+}
+
+// ---------- theory cross-check: diffusion contracts at the spectral gap ----
+
+/// One real-valued diffusion round x <- (I - alpha W L) x on `graph` with the
+/// Metropolis weights the DiffusionPolicy uses (core::metropolis_weight).
+std::vector<double> diffusion_round(const Topology& graph, const std::vector<double>& x,
+                                    double alpha) {
+  std::vector<double> next = x;
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    for (std::size_t k = 0; k < graph.degree(i); ++k) {
+      const std::size_t j = graph.neighbor(i, k);
+      if (j <= i) continue;  // each edge once
+      const double w = core::metropolis_weight(graph.degree(i), graph.degree(j));
+      const double flow = alpha * w * (x[i] - x[j]);
+      next[i] -= flow;
+      next[j] += flow;
+    }
+  }
+  return next;
+}
+
+double imbalance_norm(const std::vector<double>& x) {
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double sum = 0.0;
+  for (const double v : x) sum += (v - mean) * (v - mean);
+  return std::sqrt(sum);
+}
+
+/// Cycle Laplacian eigenvalue mu_k = 2 (1 - cos(2 pi k / n)).
+double cycle_eigenvalue(std::size_t k, std::size_t n) {
+  return 2.0 * (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(k) /
+                               static_cast<double>(n)));
+}
+
+TEST(DiffusionTheoryTest, RingContractsAtTheSpectralGapRate) {
+  // On C_n every degree is 2, so the Metropolis weight is uniformly 1/3 and
+  // the iteration matrix is M = I - (alpha/3) L. M is symmetric, so the
+  // l2 imbalance contracts by at least gamma = max_{k != 0} |1 - alpha mu_k / 3|
+  // every round — the spectral-gap bound this test pins.
+  const std::size_t n = 12;
+  const double alpha = 0.9;
+  const Topology ring = Topology::ring(n);
+  double gamma = 0.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    gamma = std::max(gamma, std::fabs(1.0 - alpha * cycle_eigenvalue(k, n) / 3.0));
+  }
+  ASSERT_LT(gamma, 1.0);
+
+  std::vector<double> x(n, 0.0);
+  x[0] = 120.0;  // worst-case concentration: all load on one node
+  double err = imbalance_norm(x);
+  for (int round = 0; round < 60; ++round) {
+    x = diffusion_round(ring, x, alpha);
+    const double next_err = imbalance_norm(x);
+    EXPECT_LE(next_err, gamma * err + 1e-9) << "round " << round;
+    err = next_err;
+  }
+  // And the bound is attained: after T rounds the slowest mode dominates, so
+  // the decay cannot be much faster than gamma^T either (the projection of
+  // the initial condition on the slowest eigenvector is nonzero here).
+  EXPECT_GT(err, 0.1 * std::pow(gamma, 60) * 120.0);
+}
+
+TEST(DiffusionTheoryTest, TorusContractsAtTheSpectralGapRate) {
+  // On the 4 x 4 torus every degree is 4 (weight 1/5) and the Laplacian
+  // eigenvalues are sums over the two cycle dimensions:
+  // mu_{a,b} = mu_a(C_rows) + mu_b(C_cols).
+  const std::size_t rows = 4;
+  const std::size_t cols = 4;
+  const double alpha = 1.0;
+  const Topology torus = Topology::torus(rows, cols);
+  double gamma = 0.0;
+  for (std::size_t a = 0; a < rows; ++a) {
+    for (std::size_t b = 0; b < cols; ++b) {
+      if (a == 0 && b == 0) continue;
+      const double mu = cycle_eigenvalue(a, rows) + cycle_eigenvalue(b, cols);
+      gamma = std::max(gamma, std::fabs(1.0 - alpha * mu / 5.0));
+    }
+  }
+  ASSERT_LT(gamma, 1.0);
+
+  std::vector<double> x(rows * cols, 0.0);
+  x[0] = 120.0;
+  x[5] = 40.0;
+  double err = imbalance_norm(x);
+  for (int round = 0; round < 40; ++round) {
+    x = diffusion_round(torus, x, alpha);
+    const double next_err = imbalance_norm(x);
+    EXPECT_LE(next_err, gamma * err + 1e-9) << "round " << round;
+    err = next_err;
+  }
+}
+
+}  // namespace
+}  // namespace lbsim::net

@@ -252,6 +252,26 @@ TEST(TheoryBridge, EnvFamiliesDeclineWithPinnedReasons) {
   EXPECT_EQ(scheduled.reason, "deterministic schedule");
 }
 
+TEST(TheoryBridge, GraphFamiliesDeclineWithPinnedTopologyReason) {
+  // The exact marker string the graph-* boundary points rely on.
+  const mc::TheoryMapping ring = mc::map_to_theory(family_scenario("graph-ring", {}));
+  EXPECT_FALSE(ring.ok);
+  EXPECT_EQ(ring.reason, "neighbourhood-restricted topology");
+  // The topology decline outranks every other marker: a graph family with env
+  // extras (edge churn) still surfaces the topology reason, not the env one.
+  const mc::TheoryMapping churned = mc::map_to_theory(family_scenario(
+      "graph-rr", {{"topology.churn.drop", "0.5"}, {"env.storm.mult", "1"}}));
+  EXPECT_FALSE(churned.ok);
+  EXPECT_EQ(churned.reason, "neighbourhood-restricted topology");
+  // topology=complete collapses to the global-state solver path exactly.
+  const mc::TheoryMapping complete = mc::map_to_theory(
+      family_scenario("graph-ring", {{"topology", "complete"},
+                                     {"policy", "none"},
+                                     {"nodes", "4"},
+                                     {"workloads", "10,6,4,3"}}));
+  EXPECT_TRUE(complete.ok) << complete.reason;
+}
+
 TEST(TheoryBridge, VacuousEnvironmentStillMaps) {
   // Unit multipliers everywhere (re-arming Exp at its own rate is a
   // distributional no-op) keep the scenario inside the solvers' model, as
@@ -323,6 +343,24 @@ TEST(ValidateCommand, EnvFamiliesPassWithBoundaryMarkers) {
     EXPECT_GE(report.skipped, 1u) << family;
     EXPECT_TRUE(report.passed()) << family;
     if (std::string(family) == "correlated-churn") {
+      EXPECT_EQ(report.checked, 1u);
+    }
+  }
+}
+
+TEST(ValidateCommand, GraphFamiliesPassWithBoundaryMarkersAndCompleteReduction) {
+  // Each graph family carries at least one topology boundary point;
+  // graph-ring additionally theory-checks its topology=complete reduction
+  // against the multi-node recursion.
+  for (const char* family : {"graph-ring", "graph-torus", "graph-rr"}) {
+    cli::ValidationOptions options;
+    options.family = family;
+    options.replications = 150;
+    options.seed = test::kFixedSeed;
+    const cli::ValidationReport report = cli::run_validation(options);
+    EXPECT_GE(report.skipped, 1u) << family;
+    EXPECT_TRUE(report.passed()) << family;
+    if (std::string(family) == "graph-ring") {
       EXPECT_EQ(report.checked, 1u);
     }
   }
