@@ -3,12 +3,19 @@
 
 Usage:
     compare_bench.py BASELINE.json CURRENT.json [--max-regression FRACTION]
+                     [--tolerance BENCH=FRACTION ...]
 
 Compares per-bench throughput (the last numeric column of each row) of
 CURRENT against BASELINE. Exits 1 when any baseline bench regressed by more
-than --max-regression (default 0.30, i.e. current must keep >= 70% of the
-baseline throughput) or disappeared from CURRENT. New benches only present in
-CURRENT are reported but never fail the gate.
+than its tolerance or disappeared from CURRENT. New benches only present in
+CURRENT are reported but never fail the gate; benches that sped up past their
+tolerance are flagged IMPROVED (also passing) so a stale baseline is visible.
+
+Tolerances resolve per row: a --tolerance BENCH=FRACTION flag wins, then a
+"tolerance.BENCH" entry in the baseline's metadata block (the committed
+baseline carries these for rows whose wall time is too small to hold a 30%
+gate — e.g. perf_solver's ~2 ms row), then --max-regression (default 0.30,
+i.e. current must keep >= 70% of the baseline throughput).
 """
 
 from __future__ import annotations
@@ -17,12 +24,14 @@ import argparse
 import json
 import sys
 
+TOLERANCE_PREFIX = "tolerance."
 
-def load_rows(path: str) -> dict[str, float]:
-    """bench name -> throughput (last numeric cell of the row)."""
+
+def load_doc(path: str) -> tuple[dict[str, float], dict[str, float]]:
+    """(bench name -> throughput, bench name -> metadata tolerance)."""
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
-    rows = {}
+    rows: dict[str, float] = {}
     for row in doc.get("rows", []):
         numbers = [c for c in row if isinstance(c, (int, float))]
         strings = [c for c in row if isinstance(c, str)]
@@ -31,7 +40,28 @@ def load_rows(path: str) -> dict[str, float]:
         rows[strings[0]] = float(numbers[-1])
     if not rows:
         raise SystemExit(f"error: no bench rows found in {path}")
-    return rows
+    tolerances: dict[str, float] = {}
+    for key, value in doc.get("metadata", {}).items():
+        if key.startswith(TOLERANCE_PREFIX):
+            tolerances[key[len(TOLERANCE_PREFIX):]] = parse_fraction(key, value)
+    return rows, tolerances
+
+
+def parse_fraction(label: str, value: object) -> float:
+    try:
+        fraction = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise SystemExit(f"error: tolerance {label!r} is not a number: {value!r}")
+    if not 0.0 <= fraction < 1.0:
+        raise SystemExit(f"error: tolerance {label!r} must be in [0, 1): {fraction}")
+    return fraction
+
+
+def parse_tolerance_flag(spec: str) -> tuple[str, float]:
+    name, sep, value = spec.partition("=")
+    if not sep or not name:
+        raise SystemExit(f"error: --tolerance expects BENCH=FRACTION, got {spec!r}")
+    return name, parse_fraction(name, value)
 
 
 def main() -> int:
@@ -42,42 +72,77 @@ def main() -> int:
         "--max-regression",
         type=float,
         default=0.30,
-        help="maximum tolerated fractional throughput drop per bench (default 0.30)",
+        help="default tolerated fractional throughput drop per bench (default 0.30)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        action="append",
+        default=[],
+        metavar="BENCH=FRACTION",
+        help="per-bench override of --max-regression (repeatable; wins over the "
+        "baseline's tolerance.BENCH metadata)",
     )
     args = parser.parse_args()
 
-    baseline = load_rows(args.baseline)
-    current = load_rows(args.current)
-    floor = 1.0 - args.max_regression
+    baseline, tolerances = load_doc(args.baseline)
+    current, _ = load_doc(args.current)
+    for spec in args.tolerance:
+        name, fraction = parse_tolerance_flag(spec)
+        tolerances[name] = fraction
 
     width = max(len(name) for name in baseline | current)
-    header = f"{'bench':<{width}}  {'baseline/s':>12}  {'current/s':>12}  {'ratio':>7}  verdict"
+    header = (
+        f"{'bench':<{width}}  {'baseline/s':>12}  {'current/s':>12}  {'ratio':>7}"
+        f"  {'floor':>6}  verdict"
+    )
     print(header)
     print("-" * len(header))
 
     failures = []
+    improved = 0
     for name in sorted(baseline):
         base = baseline[name]
+        tolerance = tolerances.get(name, args.max_regression)
+        floor = 1.0 - tolerance
         if name not in current:
-            print(f"{name:<{width}}  {base:>12.1f}  {'-':>12}  {'-':>7}  MISSING")
+            print(
+                f"{name:<{width}}  {base:>12.1f}  {'-':>12}  {'-':>7}  {floor:>6.2f}"
+                "  MISSING"
+            )
             failures.append(f"{name}: missing from {args.current}")
             continue
         now = current[name]
         ratio = now / base if base > 0 else 1.0
-        verdict = "ok"
         if ratio < floor:
             verdict = "REGRESSED"
-            failures.append(f"{name}: {ratio:.3f}x of baseline (floor {floor:.2f}x)")
-        print(f"{name:<{width}}  {base:>12.1f}  {now:>12.1f}  {ratio:>7.3f}  {verdict}")
+            failures.append(
+                f"{name}: {ratio:.3f}x of baseline (floor {floor:.2f}x)"
+            )
+        elif ratio > 1.0 + tolerance:
+            # Outside the noise band on the good side: not a failure, but the
+            # committed baseline understates the tree and deserves a refresh.
+            verdict = "IMPROVED"
+            improved += 1
+        else:
+            verdict = "ok"
+        print(
+            f"{name:<{width}}  {base:>12.1f}  {now:>12.1f}  {ratio:>7.3f}"
+            f"  {floor:>6.2f}  {verdict}"
+        )
     for name in sorted(set(current) - set(baseline)):
-        print(f"{name:<{width}}  {'-':>12}  {current[name]:>12.1f}  {'-':>7}  new")
+        print(
+            f"{name:<{width}}  {'-':>12}  {current[name]:>12.1f}  {'-':>7}  {'-':>6}  new"
+        )
 
     if failures:
         print(f"\nperf gate FAILED ({len(failures)}):", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print(f"\nperf gate passed: no bench below {floor:.2f}x of baseline")
+    summary = "\nperf gate passed: no bench below its floor"
+    if improved:
+        summary += f" ({improved} improved past tolerance; consider refreshing the baseline)"
+    print(summary)
     return 0
 
 

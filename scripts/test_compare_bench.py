@@ -1,0 +1,138 @@
+"""Unit tests for compare_bench.py (run via `python3 -m unittest` or ctest).
+
+Covers the verdict paths of the gate: ok, REGRESSED (exit 1), MISSING
+(exit 1), IMPROVED (exit 0), new-row (exit 0), and per-row tolerance
+resolution from both the baseline metadata and the --tolerance flag.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import compare_bench  # noqa: E402
+
+
+def bench_doc(rows: dict[str, float], metadata: dict[str, str] | None = None) -> dict:
+    """A minimal `lbsim perf` JSON document: [name, wall_ms, work, throughput]."""
+    return {
+        "metadata": metadata or {},
+        "columns": ["bench", "wall_ms", "work", "throughput_per_s"],
+        "rows": [[name, 1.0, "work", value] for name, value in rows.items()],
+    }
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self) -> None:
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, name: str, doc: dict) -> str:
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        return path
+
+    def run_gate(self, baseline: dict, current: dict, *flags: str) -> tuple[int, str, str]:
+        argv = [
+            "compare_bench.py",
+            self.write("baseline.json", baseline),
+            self.write("current.json", current),
+            *flags,
+        ]
+        out, err = io.StringIO(), io.StringIO()
+        old_argv, sys.argv = sys.argv, argv
+        try:
+            with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+                code = compare_bench.main()
+        finally:
+            sys.argv = old_argv
+        return code, out.getvalue(), err.getvalue()
+
+    def test_within_tolerance_passes(self) -> None:
+        code, out, err = self.run_gate(
+            bench_doc({"perf_mc": 1000.0}), bench_doc({"perf_mc": 800.0})
+        )
+        self.assertEqual(code, 0, err)
+        self.assertIn("ok", out)
+        self.assertIn("perf gate passed", out)
+
+    def test_regression_fails(self) -> None:
+        code, out, err = self.run_gate(
+            bench_doc({"perf_mc": 1000.0}), bench_doc({"perf_mc": 500.0})
+        )
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSED", out)
+        self.assertIn("perf gate FAILED", err)
+
+    def test_missing_row_fails(self) -> None:
+        code, out, err = self.run_gate(
+            bench_doc({"perf_mc": 1000.0, "perf_des": 500.0}),
+            bench_doc({"perf_mc": 1000.0}),
+        )
+        self.assertEqual(code, 1)
+        self.assertIn("MISSING", out)
+        self.assertIn("perf_des: missing", err)
+
+    def test_new_row_reported_but_passes(self) -> None:
+        code, out, _ = self.run_gate(
+            bench_doc({"perf_mc": 1000.0}),
+            bench_doc({"perf_mc": 1000.0, "perf_mc_vr": 2000.0}),
+        )
+        self.assertEqual(code, 0)
+        self.assertIn("new", out)
+
+    def test_improvement_flagged_but_passes(self) -> None:
+        code, out, _ = self.run_gate(
+            bench_doc({"perf_mc": 1000.0}), bench_doc({"perf_mc": 1500.0})
+        )
+        self.assertEqual(code, 0)
+        self.assertIn("IMPROVED", out)
+        self.assertIn("consider refreshing the baseline", out)
+
+    def test_metadata_tolerance_rescues_jittery_row(self) -> None:
+        # perf_solver's ~2 ms wall time jitters far beyond 30%; a 60% metadata
+        # tolerance in the committed baseline must widen ONLY that row's gate.
+        baseline = bench_doc(
+            {"perf_solver": 700.0, "perf_mc": 1000.0},
+            metadata={"tolerance.perf_solver": "0.60"},
+        )
+        current = bench_doc({"perf_solver": 350.0, "perf_mc": 1000.0})
+        code, out, _ = self.run_gate(baseline, current)
+        self.assertEqual(code, 0, out)
+        # The same 50% drop on a default-tolerance row still fails.
+        current = bench_doc({"perf_solver": 700.0, "perf_mc": 500.0})
+        code, out, _ = self.run_gate(baseline, current)
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSED", out)
+
+    def test_flag_tolerance_wins_over_metadata(self) -> None:
+        baseline = bench_doc(
+            {"perf_solver": 1000.0}, metadata={"tolerance.perf_solver": "0.60"}
+        )
+        current = bench_doc({"perf_solver": 500.0})
+        code, _, _ = self.run_gate(baseline, current, "--tolerance", "perf_solver=0.10")
+        self.assertEqual(code, 1)
+
+    def test_bad_tolerance_flag_rejected(self) -> None:
+        with self.assertRaises(SystemExit):
+            compare_bench.parse_tolerance_flag("perf_solver")
+        with self.assertRaises(SystemExit):
+            compare_bench.parse_tolerance_flag("perf_solver=1.5")
+        with self.assertRaises(SystemExit):
+            compare_bench.parse_tolerance_flag("=0.3")
+
+    def test_empty_rows_rejected(self) -> None:
+        with self.assertRaises(SystemExit):
+            self.run_gate({"metadata": {}, "rows": []}, bench_doc({"perf_mc": 1.0}))
+
+
+if __name__ == "__main__":
+    unittest.main()

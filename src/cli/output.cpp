@@ -162,4 +162,41 @@ std::string json_escape(const std::string& text) {
   return out.str();
 }
 
+const std::vector<std::string>& vr_columns() {
+  static const std::vector<std::string> columns = {"vr", "adj_mean_s", "adj_ci95_s",
+                                                   "vr_ratio"};
+  return columns;
+}
+
+void append_vr_cells(const mc::McResult& result, std::vector<std::string>& row) {
+  if (result.vr.requested == mc::VrMode::kNone) {
+    row.insert(row.end(), {"none", "-", "-", "-"});
+    return;
+  }
+  std::string mode = mc::vr_mode_name(result.vr.requested);
+  if (!result.vr.fallback.empty()) mode += "!";
+  row.push_back(std::move(mode));
+  row.push_back(util::format_double(result.vr.mean, 3));
+  row.push_back(util::format_double(result.vr.ci95(), 3));
+  row.push_back(util::format_double(result.vr.variance_ratio, 2));
+}
+
+void note_vr_metadata(const mc::McResult& result, RunMetadata& meta) {
+  if (result.vr.requested == mc::VrMode::kNone) return;
+  meta.extra.emplace_back("vr.mode", mc::vr_mode_name(result.vr.requested));
+  meta.extra.emplace_back("vr.variance_ratio",
+                          util::format_double(result.vr.variance_ratio, 4));
+  meta.extra.emplace_back("vr.observations", std::to_string(result.vr.observations));
+  if (result.vr.control) {
+    meta.extra.emplace_back("vr.beta", util::format_double(result.vr.beta, 4));
+    meta.extra.emplace_back("vr.pilot", std::to_string(result.vr.pilot));
+    meta.extra.emplace_back("vr.control_mean",
+                            util::format_double(result.vr.control_mean, 4));
+    meta.extra.emplace_back("vr.control_method", result.vr.control_method);
+  }
+  if (!result.vr.fallback.empty()) {
+    meta.extra.emplace_back("vr.fallback", result.vr.fallback);
+  }
+}
+
 }  // namespace lbsim::cli

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "mc/engine.hpp"
 #include "util/format.hpp"
 
 namespace lbsim::cli {
@@ -49,6 +50,20 @@ void write_json(std::ostream& os, const RunMetadata& meta, const util::TextTable
 
 /// JSON string escaping (quotes, backslashes, control characters).
 [[nodiscard]] std::string json_escape(const std::string& text);
+
+/// The extra columns a variance-reduced run appends to run/sweep tables
+/// (paired with append_vr_cells below; see mc::McVrReport).
+[[nodiscard]] const std::vector<std::string>& vr_columns();
+
+/// Formats one result's VR cells onto `row`: mode, adjusted mean, adjusted
+/// 95% CI half width, and the equal-budget variance ratio. "-" markers when
+/// the mode is none (mixed sweeps) and a "!" suffix on the mode name when a
+/// requested component fell back (McVrReport.fallback).
+void append_vr_cells(const mc::McResult& result, std::vector<std::string>& row);
+
+/// Metadata entries documenting the estimator (vr.mode, vr.beta, vr.fallback,
+/// ...) so JSON/CSV artefacts keep the full story behind the four table cells.
+void note_vr_metadata(const mc::McResult& result, RunMetadata& meta);
 
 /// One row of a `lbsim perf` JSON artefact.
 struct BenchRow {

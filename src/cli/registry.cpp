@@ -129,8 +129,8 @@ Schema n_node_schema(const char* default_nodes, const char* default_lambda_r,
                      std::vector<std::string> policy_choices = kGlobalPolicies) {
   Schema schema = common_schema(default_policy, 1.0, std::move(policy_choices));
   schema
-      .add(opt("nodes", OptionType::kSize, default_nodes, "number of compute nodes", 2.0,
-               64.0))
+      .add(opt("nodes", OptionType::kSize, default_nodes,
+               "number of compute nodes (down.mask addresses the first 64)", 2.0, 1024.0))
       .add(opt("lambda_d", OptionType::kDoubleList, "1.08,1.86,1.5,1.2",
                "per-node service rates, cycled to `nodes` entries", 1e-9, 1e6))
       .add(opt("lambda_f", OptionType::kDoubleList, "0.05",

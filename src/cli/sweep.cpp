@@ -42,6 +42,24 @@ void assign(const std::string& key, const std::string& value, RawConfig& raw,
     options.threads = static_cast<unsigned>(threads);
   } else if (key == "mc.seed") {
     options.seed = static_cast<std::uint64_t>(parse_int(value, key));
+  } else if (key == "mc.vr") {
+    if (!mc::parse_vr_mode(value, options.vr)) {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, key,
+                        "mc.vr must be none, antithetic, cv, or both (got '" + value + "')");
+    }
+  } else if (key == "mc.cv-pilot") {
+    const long long pilot = parse_int(value, key);
+    if (pilot < 0) {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, key,
+                        "mc.cv-pilot must be >= 0 (0 = auto)");
+    }
+    options.cv_pilot = static_cast<std::size_t>(pilot);
+  } else if (key == "mc.shards") {
+    const long long shards = parse_int(value, key);
+    if (shards < 1) {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, key, "mc.shards must be >= 1");
+    }
+    options.shards = static_cast<std::size_t>(shards);
   } else {
     raw.set(key, value);
   }
@@ -167,6 +185,20 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
       throw ConfigError(ConfigError::Kind::kUnknownKey, axis.key, msg);
     }
   }
+  // Any non-none VR (base option or an mc.vr axis value) appends the VR
+  // columns to every row, so a mixed-estimator sweep keeps a rectangular table.
+  const bool vr_axis = std::any_of(axes.begin(), axes.end(), [](const SweepAxis& axis) {
+    return axis.key == "mc.vr" || axis.key == "mc.shards";
+  });
+  const bool vr_active =
+      options.vr != mc::VrMode::kNone ||
+      std::any_of(axes.begin(), axes.end(),
+                  [](const SweepAxis& axis) { return axis.key == "mc.vr"; });
+  if (scenario.steady && (vr_active || vr_axis || options.shards != 1)) {
+    throw ConfigError(ConfigError::Kind::kOutOfRange, "mc.vr",
+                      "mc.vr/mc.shards apply to finite-horizon replications; scenario '" +
+                          scenario.name + "' is infinite-horizon");
+  }
   const auto grid = expand_grid(axes);
 
   // Validate-and-build the whole grid before a single replication runs: a
@@ -232,6 +264,9 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
     if (options.compare_theory) {
       header.insert(header.end(), {"theory_mean", "abs_err", "sigma_err"});
     }
+    if (vr_active) {
+      header.insert(header.end(), vr_columns().begin(), vr_columns().end());
+    }
   }
   SweepResult result{util::TextTable(header), {}};
 
@@ -294,6 +329,9 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
       mc_config.threads = point_options.threads;
       mc_config.seed = point_options.seed;
       mc_config.collect_samples = options.ecdf_points > 0;
+      mc_config.vr = point_options.vr;
+      mc_config.cv_pilot = point_options.cv_pilot;
+      mc_config.shards = point_options.shards;
       const mc::ScenarioConfig built = scenario.build(config);
       const mc::McResult mc_result = mc::run_monte_carlo(built, mc_config);
       row.push_back(util::format_double(mc_result.mean(), 3));
@@ -316,6 +354,9 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
       }
       if (options.compare_theory) {
         append_theory_cells(built, mc_result, row);
+      }
+      if (vr_active) {
+        append_vr_cells(mc_result, row);
       }
     }
     result.table.add_row(std::move(row));

@@ -16,6 +16,7 @@
 #include "cli/config.hpp"
 #include "cli/output.hpp"
 #include "cli/registry.hpp"
+#include "mc/engine.hpp"
 
 namespace lbsim::cli {
 
@@ -56,6 +57,12 @@ struct SweepOptions {
   /// point to the matching exact solver (markov::TheoryOracle); points past
   /// the tractability boundary carry the "-" no-solver marker.
   bool compare_theory = false;
+  /// Variance reduction per grid point (mc.vr / --vr); sweeping the mc.vr key
+  /// as an axis compares estimators side by side. Any non-none value (base or
+  /// axis) appends the vr/adj_mean_s/adj_ci95_s/vr_ratio columns.
+  mc::VrMode vr = mc::VrMode::kNone;
+  std::size_t cv_pilot = 0;  ///< control-variate pilot block (0 = engine auto)
+  std::size_t shards = 1;    ///< event-queue shards per replication
 };
 
 /// Result table of a sweep: one row per grid point (axis columns first, then

@@ -2,12 +2,41 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
+#include "markov/theory_oracle.hpp"
+#include "mc/theory.hpp"
 #include "sim/simulator.hpp"
+#include "stochastic/estimate.hpp"
 #include "stochastic/quantile_sketch.hpp"
 #include "util/error.hpp"
 
 namespace lbsim::mc {
+
+const char* vr_mode_name(VrMode mode) noexcept {
+  switch (mode) {
+    case VrMode::kNone: return "none";
+    case VrMode::kAntithetic: return "antithetic";
+    case VrMode::kControlVariate: return "cv";
+    case VrMode::kBoth: return "both";
+  }
+  return "none";
+}
+
+bool parse_vr_mode(std::string_view text, VrMode& mode) noexcept {
+  if (text == "none") {
+    mode = VrMode::kNone;
+  } else if (text == "antithetic") {
+    mode = VrMode::kAntithetic;
+  } else if (text == "cv") {
+    mode = VrMode::kControlVariate;
+  } else if (text == "both") {
+    mode = VrMode::kBoth;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 double McResult::ci95() const noexcept { return stoch::ci_half_width(completion); }
 
@@ -16,8 +45,250 @@ double McResult::sample_quantile(double q) const {
   return stoch::quantile_sorted(samples, q);
 }
 
+namespace {
+
+/// The control-variate plan: the control Y is the completion time of the
+/// scenario's *churn-free surrogate* (same workloads, policy, delay law;
+/// churn stripped) replayed under common random numbers, with E[Y] exact from
+/// the theory oracle. Admissible iff the scenario is churn-affected (else Y
+/// coincides with T and there is nothing to adjust) and the surrogate maps
+/// onto a tractable solver.
+struct ControlPlan {
+  bool ok = false;
+  std::string reason;        ///< fallback marker, valid iff !ok
+  ScenarioConfig surrogate;  ///< valid iff ok
+  double mean = 0.0;         ///< exact E[Y]
+  std::string method;        ///< oracle solver behind `mean`
+};
+
+ControlPlan plan_control(const ScenarioConfig& config) {
+  ControlPlan plan;
+  bool churn_affected = config.initially_down != 0 || !config.schedule.empty();
+  if (!churn_affected && config.churn_enabled) {
+    for (const markov::NodeParams& node : config.params.nodes) {
+      if (node.lambda_f > 0.0) {
+        churn_affected = true;
+        break;
+      }
+    }
+  }
+  if (!churn_affected) {
+    plan.reason =
+        "control variate unavailable: scenario is churn-free, so the control "
+        "would coincide with the target";
+    return plan;
+  }
+  ScenarioConfig surrogate = config.clone();
+  surrogate.churn_enabled = false;
+  surrogate.initially_down = 0;
+  surrogate.schedule = env::Schedule{};
+  const TheoryMapping mapping = map_to_theory(surrogate);
+  if (!mapping.ok) {
+    plan.reason = "control variate unavailable: " + mapping.reason;
+    return plan;
+  }
+  const markov::TheoryPrediction prediction = markov::TheoryOracle{}.mean(mapping.query);
+  if (!prediction.applicable) {
+    plan.reason = "control variate unavailable: " + prediction.reason;
+    return plan;
+  }
+  plan.ok = true;
+  plan.surrogate = std::move(surrogate);
+  plan.mean = prediction.mean;
+  plan.method = prediction.method;
+  return plan;
+}
+
+/// The VR replication loop. Kept apart from the plain loop so the historical
+/// (vr = none) path stays byte-for-byte identical; this path always stores
+/// the per-replication values (they are what the adjustment consumes), so its
+/// quantile summary is exact at any replication count.
+McResult run_variance_reduced(const ScenarioConfig& config, const McConfig& mc) {
+  const bool antithetic = mc.vr == VrMode::kAntithetic || mc.vr == VrMode::kBoth;
+  const bool want_control = mc.vr == VrMode::kControlVariate || mc.vr == VrMode::kBoth;
+  LBSIM_REQUIRE(!antithetic || mc.replications % 2 == 0,
+                "antithetic pairing needs an even replication count, got "
+                    << mc.replications);
+
+  McResult result;
+  result.vr.requested = mc.vr;
+  result.vr.antithetic = antithetic;
+
+  ControlPlan plan;
+  if (want_control) {
+    plan = plan_control(config);
+    if (!plan.ok) result.vr.fallback = plan.reason;
+  }
+  const bool use_control = want_control && plan.ok;
+
+  const std::size_t reps = mc.replications;
+  unsigned threads = mc.threads == 0 ? std::thread::hardware_concurrency() : mc.threads;
+  threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(reps)));
+
+  // Per-replication values, indexed by replication id: workers write disjoint
+  // entries, so the arrays need no synchronisation and every statistic below
+  // is independent of the thread count.
+  std::vector<double> target(reps, 0.0);
+  std::vector<double> control(use_control ? reps : 0, 0.0);
+
+  struct Partial {
+    stoch::RunningStats sojourn;
+    double failures = 0.0;
+    double tasks_moved = 0.0;
+    double bundles = 0.0;
+  };
+  std::vector<Partial> partials(threads);
+
+  const auto worker = [&](unsigned tid) {
+    const ScenarioConfig local = config.clone();
+    ScenarioConfig local_surrogate;
+    if (use_control) local_surrogate = plan.surrogate.clone();
+    des::Simulator sim;
+    sim.set_shard_count(mc.shards);
+    Partial& out = partials[tid];
+    for (std::size_t rep = tid; rep < reps; rep += threads) {
+      RunControls controls;
+      std::uint64_t stream_rep = rep;
+      if (antithetic) {
+        // Pair (2k, 2k+1): one stream id used twice, the odd member mirrored.
+        controls.antithetic = rep % 2 == 1;
+        stream_rep = rep / 2;
+      }
+      const RunResult run =
+          run_scenario(local, mc.seed, stream_rep, nullptr, sim, SteadyProbe{}, controls);
+      target[rep] = run.completion_time;
+      out.sojourn.merge(run.sojourn);
+      out.failures += static_cast<double>(run.failures);
+      out.tasks_moved += static_cast<double>(run.tasks_moved);
+      out.bundles += static_cast<double>(run.bundles_sent);
+      if (use_control) {
+        // Common random numbers: stripping churn leaves the stream layout
+        // unchanged, so the surrogate replays the same draws and Y stays
+        // tightly coupled to T.
+        const RunResult ctrl = run_scenario(local_surrogate, mc.seed, stream_rep, nullptr,
+                                            sim, SteadyProbe{}, controls);
+        control[rep] = ctrl.completion_time;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& th : pool) th.join();
+  }
+
+  // Raw (plain-estimator) statistics, accumulated in replication order.
+  for (const double t : target) result.completion.add(t);
+  double failures = 0.0;
+  double moved = 0.0;
+  double bundles = 0.0;
+  for (Partial& p : partials) {
+    result.sojourn.merge(p.sojourn);
+    failures += p.failures;
+    moved += p.tasks_moved;
+    bundles += p.bundles;
+  }
+  const double n = static_cast<double>(reps);
+  result.mean_failures = failures / n;
+  result.mean_tasks_moved = moved / n;
+  result.mean_bundles = bundles / n;
+  std::vector<double> sorted = target;
+  std::sort(sorted.begin(), sorted.end());
+  result.p50 = stoch::quantile_sorted(sorted, 0.5);
+  result.p90 = stoch::quantile_sorted(sorted, 0.9);
+  result.p99 = stoch::quantile_sorted(sorted, 0.99);
+  if (mc.collect_samples) result.samples = std::move(sorted);
+
+  // Adjusted estimator: pair means under antithetic pairing, then an optional
+  // control-variate regression on what remains.
+  std::vector<double> t_obs;
+  std::vector<double> y_obs;
+  if (antithetic) {
+    t_obs.reserve(reps / 2);
+    for (std::size_t k = 0; k < reps / 2; ++k) {
+      t_obs.push_back(0.5 * (target[2 * k] + target[2 * k + 1]));
+    }
+    if (use_control) {
+      y_obs.reserve(reps / 2);
+      for (std::size_t k = 0; k < reps / 2; ++k) {
+        y_obs.push_back(0.5 * (control[2 * k] + control[2 * k + 1]));
+      }
+    }
+  } else {
+    t_obs = target;
+    y_obs = control;
+  }
+
+  bool control_active = use_control;
+  double adj_mean = 0.0;
+  double adj_se = 0.0;
+  double adj_var = 0.0;
+  std::size_t adj_obs = 0;
+  if (control_active) {
+    const std::size_t pilot = mc.cv_pilot != 0
+                                  ? mc.cv_pilot
+                                  : std::clamp<std::size_t>(t_obs.size() / 10, 4, 64);
+    LBSIM_REQUIRE(t_obs.size() >= pilot + 2,
+                  "control variate needs at least pilot + 2 = "
+                      << pilot + 2 << " observations, have " << t_obs.size()
+                      << " (raise replications or lower the pilot)");
+    const stoch::ControlVariateEstimate cv =
+        stoch::control_variate_adjust(t_obs, y_obs, plan.mean, pilot);
+    if (cv.ok) {
+      result.vr.control = true;
+      result.vr.beta = cv.beta;
+      result.vr.pilot = cv.pilot;
+      result.vr.control_mean = plan.mean;
+      result.vr.control_method = plan.method;
+      adj_mean = cv.mean;
+      adj_se = cv.std_error;
+      adj_var = cv.variance;
+      adj_obs = cv.evaluated;
+    } else {
+      control_active = false;
+      result.vr.fallback =
+          "control variate unavailable: the control shows no variance in the pilot block";
+    }
+  }
+  if (!control_active) {
+    if (antithetic) {
+      stoch::RunningStats pair_stats;
+      for (const double z : t_obs) pair_stats.add(z);
+      adj_mean = pair_stats.mean();
+      adj_se = pair_stats.std_error();
+      adj_var = pair_stats.variance();
+      adj_obs = pair_stats.count();
+    } else {
+      // Everything fell back: the adjusted estimate is the raw one.
+      adj_mean = result.completion.mean();
+      adj_se = result.completion.std_error();
+      adj_var = result.completion.variance();
+      adj_obs = reps;
+    }
+  }
+  result.vr.mean = adj_mean;
+  result.vr.std_error = adj_se;
+  result.vr.observations = adj_obs;
+
+  // Per-replication variance of each estimator (a pair-mean observation costs
+  // two replications); degenerate zero-variance runs report a neutral ratio.
+  const double per_rep_adjusted = (antithetic ? 2.0 : 1.0) * adj_var;
+  const double per_rep_raw = result.completion.variance();
+  result.vr.variance_ratio =
+      per_rep_adjusted > 0.0 ? per_rep_raw / per_rep_adjusted : 1.0;
+  return result;
+}
+
+}  // namespace
+
 McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
   LBSIM_REQUIRE(mc.replications >= 1, "replications=" << mc.replications);
+  LBSIM_REQUIRE(mc.shards >= 1, "shards=" << mc.shards);
+  if (mc.vr != VrMode::kNone) return run_variance_reduced(config, mc);
   unsigned threads = mc.threads == 0 ? std::thread::hardware_concurrency() : mc.threads;
   threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(mc.replications)));
 
@@ -48,6 +319,7 @@ McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
     // recycled across the whole replication loop.
     const ScenarioConfig local = config.clone();
     des::Simulator sim;
+    sim.set_shard_count(mc.shards);
     Partial& out = partials[tid];
     if (keep_samples) out.samples.reserve(mc.replications / threads + 1);
     for (std::size_t rep = tid; rep < mc.replications; rep += threads) {

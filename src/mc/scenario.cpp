@@ -14,21 +14,25 @@
 namespace lbsim::mc {
 namespace {
 
-/// SystemView over the live CEs. When a (non-complete) topology is active the
-/// view restricts each node's visible peers to its current adjacency; the
-/// pointer is swapped on environment transitions under edge churn.
+/// SystemView over the live CEs' structure-of-arrays hot state: queue lengths
+/// and up flags are read from two packed arrays the CEs mirror on every
+/// transition, so a policy scan over n nodes walks contiguous memory instead
+/// of chasing one heap allocation per node. When a (non-complete) topology is
+/// active the view restricts each node's visible peers to its current
+/// adjacency; the pointer is swapped on environment transitions under edge
+/// churn.
 class LiveView final : public core::SystemView {
  public:
   LiveView(const markov::MultiNodeParams& params,
-           const std::vector<std::unique_ptr<node::ComputeElement>>& ces)
-      : params_(params), ces_(ces) {}
+           const std::vector<std::uint32_t>& queue_len, const std::vector<std::uint8_t>& up)
+      : params_(params), queue_len_(queue_len), up_(up) {}
 
-  [[nodiscard]] std::size_t node_count() const override { return ces_.size(); }
+  [[nodiscard]] std::size_t node_count() const override { return queue_len_.size(); }
   [[nodiscard]] std::size_t queue_length(int n) const override {
-    return ces_.at(static_cast<std::size_t>(n))->queue_length();
+    return queue_len_.at(static_cast<std::size_t>(n));
   }
   [[nodiscard]] bool is_up(int n) const override {
-    return ces_.at(static_cast<std::size_t>(n))->is_up();
+    return up_.at(static_cast<std::size_t>(n)) != 0;
   }
   [[nodiscard]] markov::NodeParams node_params(int n) const override {
     return params_.nodes.at(static_cast<std::size_t>(n));
@@ -50,7 +54,8 @@ class LiveView final : public core::SystemView {
 
  private:
   const markov::MultiNodeParams& params_;
-  const std::vector<std::unique_ptr<node::ComputeElement>>& ces_;
+  const std::vector<std::uint32_t>& queue_len_;
+  const std::vector<std::uint8_t>& up_;
   const net::Topology* topology_ = nullptr;  // null = complete (historical path)
 };
 
@@ -76,7 +81,7 @@ void validate_config(const ScenarioConfig& config, bool allow_unbounded) {
                 "topology edge churn (churn_drop > 0) needs a non-complete topology and "
                 "a configured environment CTMC to drive it");
   for (std::size_t i = 0; i < n; ++i) {
-    LBSIM_REQUIRE(!config.schedule.scheduled(i) || ((config.initially_down >> i) & 1u) == 0,
+    LBSIM_REQUIRE(!config.schedule.scheduled(i) || !config.starts_down(i),
                   "node " << i << " has both a schedule clause and an initially_down bit; "
                              "use down@0-... in the schedule instead");
   }
@@ -171,6 +176,12 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
 RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
                        std::uint64_t replication, RunTrace* trace, des::Simulator& sim,
                        const SteadyProbe& probe) {
+  return run_scenario(config, seed, replication, trace, sim, probe, RunControls{});
+}
+
+RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
+                       std::uint64_t replication, RunTrace* trace, des::Simulator& sim,
+                       const SteadyProbe& probe, const RunControls& controls) {
   validate_config(config, /*allow_unbounded=*/probe.target_completions > 0);
   const std::size_t n = config.params.nodes.size();
   sim.reset();  // recycles the pooled event slab when the caller reuses `sim`
@@ -210,6 +221,16 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
                                  (has_arrivals ? 1 : 0));
     config.policy->bind_rng(&*policy_rng);
   }
+  if (controls.antithetic) {
+    // The twin run: identical stream ids and draw counts, every
+    // uniform01-derived variate mirrored. Applied uniformly so the coupling
+    // covers service, churn, network, environment and arrival randomness.
+    for (stoch::RngStream& rng : rngs) rng.set_antithetic(true);
+    net_rng.set_antithetic(true);
+    if (env_rng) env_rng->set_antithetic(true);
+    if (arrival_rng) arrival_rng->set_antithetic(true);
+    if (policy_rng) policy_rng->set_antithetic(true);
+  }
 
   // --- nodes ---
   std::vector<std::unique_ptr<node::ComputeElement>> ces;
@@ -218,6 +239,15 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
     ces.push_back(std::make_unique<node::ComputeElement>(
         sim, static_cast<int>(i),
         app::exponential_service(config.params.nodes[i].lambda_d), rngs[i]));
+  }
+
+  // --- structure-of-arrays hot state: the per-node queue lengths and up
+  //     flags every policy scan touches live in two packed arrays owned here
+  //     and mirrored by each CE on every transition (LiveView reads these) ---
+  std::vector<std::uint32_t> hot_queue_len(n, 0);
+  std::vector<std::uint8_t> hot_up(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    ces[i]->bind_hot_cells(&hot_queue_len[i], &hot_up[i]);
   }
 
   if (trace != nullptr) {
@@ -290,7 +320,7 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
   }
 
   // --- transfer plumbing ---
-  LiveView view(config.params, ces);
+  LiveView view(config.params, hot_queue_len, hot_up);
   if (!topo_states.empty()) {
     const std::size_t s0 =
         config.topology.dynamic() ? config.environment.initial_state : 0;
@@ -394,7 +424,7 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
     if (config.churn_enabled && np.lambda_f > 0.0) {
       ttf = std::make_unique<stoch::Exponential>(np.lambda_f);
       ttr = std::make_unique<stoch::Exponential>(np.lambda_r);
-    } else if ((config.initially_down >> i) & 1u) {
+    } else if (config.starts_down(i)) {
       LBSIM_REQUIRE(np.lambda_r > 0.0, "initially-down node " << i << " cannot recover");
       ttr = std::make_unique<stoch::Exponential>(np.lambda_r);
     }
@@ -510,7 +540,7 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
       continue;
     }
     const bool can_churn = config.churn_enabled && config.params.nodes[i].lambda_f > 0.0;
-    const bool starts_down = (config.initially_down >> i) & 1u;
+    const bool starts_down = config.starts_down(i);
     if (can_churn || starts_down) churn[i]->start(starts_down);
   }
   if (environment) environment->start();

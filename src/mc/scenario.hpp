@@ -49,9 +49,17 @@ struct ScenarioConfig {
   /// Master switch for churn (false reproduces the paper's no-failure runs
   /// without touching the per-node rates).
   bool churn_enabled = true;
-  /// Bitmask of nodes that start down (bit i); all-up by default. 64 bits so
-  /// every node of the largest (n = 64) registry scenarios is addressable.
+  /// Bitmask of nodes that start down (bit i); all-up by default. The mask
+  /// addresses nodes 0..63; on larger systems (the sharded-queue scaling
+  /// regime) every node past bit 63 starts up — use `schedule` to take one
+  /// of those down. Query through starts_down(), which encodes that rule.
   std::uint64_t initially_down = 0;
+
+  /// Whether node `i` starts down under initially_down (false for i >= 64:
+  /// the mask cannot address those nodes, and a raw shift would be UB).
+  [[nodiscard]] bool starts_down(std::size_t i) const noexcept {
+    return i < 64 && ((initially_down >> i) & 1u) != 0;
+  }
   /// When > 0, the policy's on_periodic() hook fires every this many seconds
   /// (for PeriodicRebalancePolicy and similar extensions).
   double rebalance_period = 0.0;
@@ -148,5 +156,23 @@ struct SteadyProbe {
 [[nodiscard]] RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
                                      std::uint64_t replication, RunTrace* trace,
                                      des::Simulator& sim, const SteadyProbe& probe);
+
+/// Estimator-layer knobs threaded into the replication wiring (consumed by
+/// the MC engine's variance-reduction modes; the defaults reproduce the
+/// historical run bit-for-bit).
+struct RunControls {
+  /// Runs the antithetic twin: the same (seed, replication) stream layout,
+  /// with every uniform01-derived draw of every stream mirrored to 1 - U (see
+  /// stoch::RngStream::set_antithetic). Pairing (replication r plain,
+  /// replication r mirrored) yields negatively correlated twins.
+  bool antithetic = false;
+};
+
+/// Controls-carrying form of run_scenario; the most general overload, which
+/// every other form forwards to.
+[[nodiscard]] RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
+                                     std::uint64_t replication, RunTrace* trace,
+                                     des::Simulator& sim, const SteadyProbe& probe,
+                                     const RunControls& controls);
 
 }  // namespace lbsim::mc

@@ -22,7 +22,7 @@ class InitialView final : public core::SystemView {
     return config_.workloads.at(static_cast<std::size_t>(node));
   }
   [[nodiscard]] bool is_up(int node) const override {
-    return ((config_.initially_down >> node) & 1u) == 0;
+    return !config_.starts_down(static_cast<std::size_t>(node));
   }
   [[nodiscard]] markov::NodeParams node_params(int node) const override {
     return config_.params.nodes.at(static_cast<std::size_t>(node));

@@ -31,14 +31,17 @@ double Link::send(node::TaskBatch tasks, DeliveryHandler on_delivery) {
   in_flight_tasks_ += n;
   bytes_sent_ += transfer->wire_bytes();
 
-  sim_.schedule_in(delay, [this, transfer = std::move(transfer),
-                           handler = std::move(on_delivery), n]() mutable {
-    in_flight_bundles_ -= 1;
-    in_flight_tasks_ -= n;
-    delivered_bundles_ += 1;
-    delivered_tasks_ += n;
-    handler(std::move(*transfer));
-  });
+  // Shard hint: deliveries belong to the destination node's event shard.
+  sim_.schedule_in(
+      delay,
+      [this, transfer = std::move(transfer), handler = std::move(on_delivery), n]() mutable {
+        in_flight_bundles_ -= 1;
+        in_flight_tasks_ -= n;
+        delivered_bundles_ += 1;
+        delivered_tasks_ += n;
+        handler(std::move(*transfer));
+      },
+      static_cast<std::size_t>(to_));
   return delay;
 }
 

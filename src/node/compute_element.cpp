@@ -11,6 +11,9 @@ ComputeElement::ComputeElement(des::Simulator& sim, int id, ServiceTimeFn servic
 }
 
 void ComputeElement::record_queue() const {
+  if (hot_queue_len_ != nullptr) {
+    *hot_queue_len_ = static_cast<std::uint32_t>(queue_.size());
+  }
   if (queue_trace_ != nullptr) {
     queue_trace_->record(sim_.now(), static_cast<double>(queue_.size()));
   }
@@ -19,6 +22,15 @@ void ComputeElement::record_queue() const {
 void ComputeElement::set_queue_trace(des::TimeSeries* trace) {
   queue_trace_ = trace;
   record_queue();
+}
+
+void ComputeElement::bind_hot_cells(std::uint32_t* queue_len, std::uint8_t* up) noexcept {
+  hot_queue_len_ = queue_len;
+  hot_up_ = up;
+  if (hot_queue_len_ != nullptr) {
+    *hot_queue_len_ = static_cast<std::uint32_t>(queue_.size());
+  }
+  if (hot_up_ != nullptr) *hot_up_ = up_ ? 1 : 0;
 }
 
 void ComputeElement::enqueue(Task task) {
@@ -84,7 +96,9 @@ void ComputeElement::maybe_start_service() {
   }
   serving_ = true;
   service_started_at_ = sim_.now();
-  service_event_ = sim_.schedule_in(current_service_duration_, [this] { finish_current_task(); });
+  service_event_ = sim_.schedule_in(
+      current_service_duration_, [this] { finish_current_task(); },
+      static_cast<std::size_t>(id_));
 }
 
 void ComputeElement::finish_current_task() {
@@ -102,6 +116,7 @@ void ComputeElement::finish_current_task() {
 void ComputeElement::fail() {
   if (!up_) return;
   up_ = false;
+  if (hot_up_ != nullptr) *hot_up_ = 0;
   ++stats_.failures;
   went_down_at_ = sim_.now();
   if (serving_) {
@@ -115,6 +130,7 @@ void ComputeElement::fail() {
 void ComputeElement::recover() {
   if (up_) return;
   up_ = true;
+  if (hot_up_ != nullptr) *hot_up_ = 1;
   ++stats_.recoveries;
   stats_.down_time += sim_.now() - went_down_at_;
   maybe_start_service();

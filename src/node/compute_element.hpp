@@ -80,6 +80,13 @@ class ComputeElement {
   /// Optional queue-length trace (records on every change); pass nullptr to stop.
   void set_queue_trace(des::TimeSeries* trace);
 
+  /// Binds externally owned hot-state cells — the scenario's
+  /// structure-of-arrays mirror. After binding, *queue_len tracks
+  /// queue_length() and *up tracks is_up() on every transition, so policy
+  /// scans read two packed arrays instead of chasing one heap allocation per
+  /// node. Both cells must outlive the CE; pass nullptrs to unbind.
+  void bind_hot_cells(std::uint32_t* queue_len, std::uint8_t* up) noexcept;
+
   [[nodiscard]] const CeStats& stats() const noexcept { return stats_; }
 
  private:
@@ -105,6 +112,9 @@ class ComputeElement {
 
   CompletionHandler on_complete_;
   des::TimeSeries* queue_trace_ = nullptr;
+  /// Hot-state mirror cells (see bind_hot_cells); null = no mirror.
+  std::uint32_t* hot_queue_len_ = nullptr;
+  std::uint8_t* hot_up_ = nullptr;
   CeStats stats_;
 };
 

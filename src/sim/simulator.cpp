@@ -6,14 +6,14 @@
 
 namespace lbsim::des {
 
-EventId Simulator::schedule_in(double delay, EventQueue::Callback cb) {
+EventId Simulator::schedule_in(double delay, EventQueue::Callback cb, std::size_t shard_hint) {
   LBSIM_REQUIRE(std::isfinite(delay) && delay >= 0.0, "delay " << delay);
-  return queue_.push(now_ + delay, std::move(cb));
+  return queue_.push(now_ + delay, std::move(cb), shard_hint);
 }
 
-EventId Simulator::schedule_at(double time, EventQueue::Callback cb) {
+EventId Simulator::schedule_at(double time, EventQueue::Callback cb, std::size_t shard_hint) {
   LBSIM_REQUIRE(time >= now_, "schedule_at(" << time << ") is in the past (now=" << now_ << ")");
-  return queue_.push(time, std::move(cb));
+  return queue_.push(time, std::move(cb), shard_hint);
 }
 
 bool Simulator::step() {

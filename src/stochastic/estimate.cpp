@@ -1,11 +1,65 @@
 #include "stochastic/estimate.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "util/error.hpp"
 
 namespace lbsim::stoch {
+
+ControlVariateEstimate control_variate_adjust(const std::vector<double>& target,
+                                              const std::vector<double>& control,
+                                              double control_mean, std::size_t pilot) {
+  LBSIM_REQUIRE(target.size() == control.size(),
+                "control variate needs paired samples: " << target.size() << " vs "
+                                                         << control.size());
+  LBSIM_REQUIRE(pilot >= 2 && target.size() >= pilot + 2,
+                "control variate needs pilot >= 2 and >= 2 evaluation samples (pilot="
+                    << pilot << ", n=" << target.size() << ")");
+  ControlVariateEstimate out;
+  out.pilot = pilot;
+
+  // Pilot block: beta-hat = Cov(T, Y) / Var(Y), centred single pass.
+  double t_mean = 0.0;
+  double y_mean = 0.0;
+  for (std::size_t i = 0; i < pilot; ++i) {
+    t_mean += target[i];
+    y_mean += control[i];
+  }
+  t_mean /= static_cast<double>(pilot);
+  y_mean /= static_cast<double>(pilot);
+  double cov = 0.0;
+  double var_y = 0.0;
+  for (std::size_t i = 0; i < pilot; ++i) {
+    const double dy = control[i] - y_mean;
+    cov += (target[i] - t_mean) * dy;
+    var_y += dy * dy;
+  }
+  // Degenerate control (constant Y in the pilot): no signal to regress on.
+  const double scale = std::max({std::fabs(t_mean), std::fabs(y_mean), 1.0});
+  if (var_y <= static_cast<double>(pilot) * scale * scale * 1e-24) return out;
+  out.beta = cov / var_y;
+
+  // Evaluation block: the adjusted samples are iid with mean E[T] because
+  // beta-hat is independent of them.
+  double mean = 0.0;
+  for (std::size_t i = pilot; i < target.size(); ++i) {
+    mean += target[i] - out.beta * (control[i] - control_mean);
+  }
+  out.evaluated = target.size() - pilot;
+  mean /= static_cast<double>(out.evaluated);
+  double m2 = 0.0;
+  for (std::size_t i = pilot; i < target.size(); ++i) {
+    const double d = target[i] - out.beta * (control[i] - control_mean) - mean;
+    m2 += d * d;
+  }
+  out.mean = mean;
+  out.variance = m2 / static_cast<double>(out.evaluated - 1);
+  out.std_error = std::sqrt(out.variance / static_cast<double>(out.evaluated));
+  out.ok = true;
+  return out;
+}
 
 void ExponentialRateEstimator::observe(double duration) {
   LBSIM_REQUIRE(duration >= 0.0, "duration=" << duration);

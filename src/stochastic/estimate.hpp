@@ -9,10 +9,35 @@
 #include <cstddef>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "markov/params.hpp"
 
 namespace lbsim::stoch {
+
+/// Result of a pilot-calibrated linear control-variate adjustment (the
+/// estimator layer of the MC engine; see docs/ARCHITECTURE.md).
+struct ControlVariateEstimate {
+  bool ok = false;          ///< false: pilot had no usable signal (Var(Y) ~ 0)
+  std::size_t pilot = 0;    ///< observations consumed to calibrate beta only
+  std::size_t evaluated = 0;  ///< observations behind mean / std_error
+  double beta = 0.0;        ///< fitted coefficient Cov(T, Y) / Var(Y)
+  double mean = 0.0;        ///< mean of the adjusted samples T - beta (Y - mu)
+  double std_error = 0.0;   ///< standard error of that mean
+  double variance = 0.0;    ///< per-observation variance of the adjusted samples
+};
+
+/// Pilot-block control variate: the first `pilot` pairs calibrate
+/// beta = Cov(T, Y) / Var(Y); the remaining pairs are adjusted to
+/// T_i - beta (Y_i - control_mean) and summarised. Because beta never sees the
+/// evaluation block, the adjusted mean is exactly unbiased for E[T] whenever
+/// control_mean = E[Y] (Lavenberg & Welch splitting). Requires
+/// pilot >= 2 and target.size() >= pilot + 2; `ok` is false when the pilot
+/// shows (numerically) zero control variance — the caller should fall back to
+/// the plain estimator.
+[[nodiscard]] ControlVariateEstimate control_variate_adjust(
+    const std::vector<double>& target, const std::vector<double>& control,
+    double control_mean, std::size_t pilot);
 
 /// MLE for the rate of an exponential law from observed iid durations:
 /// rate-hat = n / sum(x). Streaming, mergeable, O(1) memory.

@@ -74,7 +74,12 @@ RngStream::RngStream(std::uint64_t seed, std::uint64_t stream) noexcept
 }
 
 double RngStream::uniform01() noexcept {
-  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  const double u = static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  if (!antithetic_) return u;
+  // Mirror into (0, 1]; fold the single point 1.0 (from u = 0) back below 1
+  // so the contract "in [0, 1)" holds for both modes.
+  const double mirrored = 1.0 - u;
+  return mirrored < 1.0 ? mirrored : 1.0 - 0x1.0p-53;
 }
 
 double RngStream::uniform(double lo, double hi) noexcept {

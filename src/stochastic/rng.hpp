@@ -42,11 +42,26 @@ class Xoshiro256pp {
 
 /// A named random stream: engine plus convenience variate generators.
 /// Distinct (seed, stream) pairs produce statistically independent sequences.
+///
+/// A stream may be switched into *antithetic* mode: every uniform01-derived
+/// variate U is replaced by its mirror 1 - U, so a run driven by the mirrored
+/// stream is the antithetic twin of the run driven by the plain stream (same
+/// seed/stream id, same number of draws). Raw-bit draws (next_u64,
+/// uniform_index) are NOT mirrored — there is no meaningful reflection of a
+/// discrete index — so policies drawing indices see identical choices in both
+/// twins, which keeps the pair coupling tight.
 class RngStream {
  public:
   explicit RngStream(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
 
-  /// Uniform double in [0, 1) with 53 random bits.
+  /// Switches uniform01-derived variates to mirrored (1 - U) draws. The
+  /// underlying bit sequence is unchanged, so plain and antithetic streams
+  /// stay in lockstep draw-for-draw.
+  void set_antithetic(bool on) noexcept { antithetic_ = on; }
+  [[nodiscard]] bool antithetic() const noexcept { return antithetic_; }
+
+  /// Uniform double in [0, 1) with 53 random bits (mirrored to 1 - U in
+  /// antithetic mode, nudged to stay inside [0, 1)).
   [[nodiscard]] double uniform01() noexcept;
 
   /// Uniform double in [lo, hi).
@@ -65,6 +80,7 @@ class RngStream {
 
  private:
   Xoshiro256pp engine_;
+  bool antithetic_ = false;
 };
 
 }  // namespace lbsim::stoch
