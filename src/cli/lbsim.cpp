@@ -66,7 +66,8 @@ Usage:
         timing baseline (perf_solver/perf_mc/perf_des, many-node
         perf_mc_n16/32/64 and sharded-queue perf_mc_n256, variance-reduced
         effective throughput perf_mc_vr, env-modulated perf_mc_env,
-        topology-restricted perf_mc_graph, open-system perf_mc_steady);
+        topology-restricted perf_mc_graph, open-system perf_mc_steady,
+        lossy state-plane perf_testbed_lossy);
         --check exits nonzero when any bench regresses >F (default 0.30) vs the
         baseline JSON (default BENCH_baseline.json)
 
@@ -261,9 +262,20 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
   for (const std::string& assignment : invocation.extra) {
     apply_override(invocation.raw, assignment);
   }
-  const EngineOptions engine = extract_engine_options(invocation.raw, args);
+  EngineOptions engine = extract_engine_options(invocation.raw, args);
   const Config config = invocation.spec->schema.resolve(invocation.raw);
   mc::ScenarioConfig scenario = invocation.spec->build(config);
+
+  if (invocation.spec->testbed) {
+    // Emulation family: the testbed engine is the only one with a state plane
+    // to degrade, so the family always routes there.
+    if (engine.vr != mc::VrMode::kNone || engine.shards != 1) {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, "vr",
+                        "--vr/--shards belong to the mc engine; scenario '" +
+                            invocation.spec->name + "' runs on the testbed engine");
+    }
+    engine.engine = "testbed";
+  }
 
   if (invocation.spec->steady) {
     // Infinite-horizon family: the steady-state engine is the only one whose
@@ -329,6 +341,9 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
   if (engine.vr != mc::VrMode::kNone) {
     header.insert(header.end(), vr_columns().begin(), vr_columns().end());
   }
+  if (engine.engine == "testbed") {
+    header.insert(header.end(), {"state_age_mean_s", "state_age_max_s", "state_lost"});
+  }
   util::TextTable table(header);
   RunMetadata meta;
   meta.command = joined_command(argc, argv);
@@ -374,15 +389,9 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
     // refuse scenario semantics it cannot honour rather than silently
     // dropping them (mc is the engine for those keys).
     std::string unsupported;
-    if (scenario.initially_down != 0) unsupported = "down.mask";
-    if (scenario.rebalance_period > 0.0) {
-      unsupported += std::string(unsupported.empty() ? "" : ", ") + "policy=periodic";
-    }
+    if (scenario.rebalance_period > 0.0) unsupported = "policy=periodic";
     if (scenario.delay_model != nullptr) {
       unsupported += std::string(unsupported.empty() ? "" : ", ") + "delay.model/delay.shift";
-    }
-    if (scenario.environment.enabled()) {
-      unsupported += std::string(unsupported.empty() ? "" : ", ") + "env.*";
     }
     if (scenario.arrivals.active()) {
       unsupported += std::string(unsupported.empty() ? "" : ", ") + "arrivals.*";
@@ -398,11 +407,7 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
                         "the testbed engine does not emulate " + unsupported +
                             " for this scenario; use the default mc engine");
     }
-    testbed::TestbedConfig tb;
-    tb.params = scenario.params;
-    tb.workloads = scenario.workloads;
-    tb.policy = std::move(scenario.policy);
-    tb.churn_enabled = scenario.churn_enabled;
+    testbed::TestbedConfig tb = testbed::from_scenario(std::move(scenario));
     const std::size_t realizations = engine.replications != 0 ? engine.replications : 60;
     const std::uint64_t seed = engine.seed != 0 ? engine.seed : 0xbed2006;
     const std::string policy_name = tb.policy->name();
@@ -415,7 +420,10 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
                    util::format_double(result.completion.min(), 3),
                    util::format_double(result.completion.max(), 3), "-", "-", "-",
                    util::format_double(result.mean_failures, 2),
-                   util::format_double(result.mean_tasks_moved, 2), "-"});
+                   util::format_double(result.mean_tasks_moved, 2), "-",
+                   util::format_double(result.state_age.mean(), 3),
+                   util::format_double(result.state_age.max(), 3),
+                   util::format_double(result.mean_state_lost, 1)});
     meta.seed = seed;
     meta.replications = realizations;
   }
@@ -447,7 +455,7 @@ int cmd_sweep(int argc, const char* const* argv, const util::CliArgs& args,
 
   SweepOptions options;
   EngineOptions engine = extract_engine_options(invocation.raw, args);
-  if (engine.engine != "mc") {
+  if (engine.engine != "mc" && !invocation.spec->testbed) {
     throw ConfigError(ConfigError::Kind::kOutOfRange, "engine",
                       "lbsim sweep drives the MC engine only");
   }
@@ -651,6 +659,7 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
   meta.extra.emplace_back("tolerance.perf_des", "0.60");
   meta.extra.emplace_back("tolerance.perf_mc_vr", "0.45");
   meta.extra.emplace_back("tolerance.perf_mc_steady", "0.45");
+  meta.extra.emplace_back("tolerance.perf_testbed_lossy", "0.45");
 
   // perf_solver: one cold exact-solver evaluation at the pinned operating point.
   {
@@ -857,6 +866,27 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
                        util::format_double(mean, 2) + " s",
                    util::format_double(tasks * 1000.0 / ms, 1)});
     note_reps("perf_mc_steady", 1);
+  }
+
+  // perf_testbed_lossy: the emulated testbed with a bursty 2-state channel on
+  // the state plane — guards the per-round broadcast cost (channel stepping,
+  // shared-delivery captures, staleness accounting) of the lossy-exchange hot
+  // path, which no abstract-MC row exercises.
+  {
+    const std::size_t reps = quick ? 20 : 60;
+    const ScenarioSpec& spec = find_scenario("lossy-exchange");
+    RawConfig raw;
+    raw.set("channel.states", "2");
+    testbed::TestbedConfig tb = testbed::from_scenario(spec.build(spec.schema.resolve(raw)));
+    double mean = 0.0;
+    const double ms = time_ms(3, [&] {
+      mean = testbed::run_experiment(tb, reps, 0xbed2006, /*threads=*/0).mean();
+    });
+    table.add_row({"perf_testbed_lossy", util::format_double(ms, 2),
+                   std::to_string(reps) + " realizations, 2-state channel, mean " +
+                       util::format_double(mean, 2) + " s",
+                   util::format_double(reps * 1000.0 / ms, 1)});
+    note_reps("perf_testbed_lossy", reps);
   }
 
   meta.command = joined_command(argc, argv);

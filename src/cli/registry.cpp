@@ -231,6 +231,74 @@ env::EnvironmentSpec build_environment(const Config& config) {
   return spec;
 }
 
+/// State-exchange / channel key group (the testbed-engine families). The
+/// channel.* lists are per-state, cycled to channel.states entries — so a
+/// scalar channel.burst sweep stretches every state's dwell while holding the
+/// stationary loss mix fixed (the controlled staleness experiment).
+Schema channel_schema(const char* default_states) {
+  Schema schema;
+  schema
+      .add(opt("exchange.period", OptionType::kDouble, "1",
+               "UDP state-broadcast period (s)", 1e-3, 1e3))
+      .add(opt("exchange.latency", OptionType::kDouble, "0.001",
+               "one-way state-packet latency (s)", 0.0, 10.0))
+      .add(opt("exchange.loss", OptionType::kDouble, "0",
+               "i.i.d. state-packet loss probability (1 = blackout; ignored when "
+               "channel.states >= 1)",
+               0.0, 1.0))
+      .add(opt("channel.states", OptionType::kSize, default_states,
+               "Markov channel state count k (0 = i.i.d. exchange.loss; 2 = "
+               "Gilbert-Elliott)",
+               kNoMin, 16.0))
+      .add(opt("channel.loss", OptionType::kDoubleList, "0,0.9",
+               "per-state loss probabilities, cycled to channel.states", 0.0, 1.0))
+      .add(opt("channel.burst", OptionType::kDoubleList, "16,4",
+               "per-state mean burst lengths in packets (geometric dwell), cycled", 1.0, 1e6))
+      .add(opt("channel.latency.mult", OptionType::kDoubleList, "1",
+               "per-state multipliers on exchange.latency, cycled", 0.0, 1e3))
+      .add(opt("channel.data.mult", OptionType::kDoubleList, "1",
+               "per-state multipliers on data-bundle delays, cycled", 1e-6, 1e3))
+      .add(opt("channel.env", OptionType::kBool, "false",
+               "floor the channel state by the env.* CTMC state (storms jam the "
+               "state plane)"));
+  return schema;
+}
+
+/// Applies the exchange.*/channel.* keys onto a built scenario.
+void apply_channel(mc::ScenarioConfig& scenario, const Config& config) {
+  scenario.exchange_period = config.get_double("exchange.period");
+  scenario.exchange_latency = config.get_double("exchange.latency");
+  scenario.exchange_loss = config.get_double("exchange.loss");
+  const std::size_t k = config.get_size("channel.states");
+  if (k == 0) {
+    if (config.get_bool("channel.env")) {
+      throw ConfigError(ConfigError::Kind::kBadValue, "channel.env",
+                        "channel.env=true needs channel.states >= 1");
+    }
+    return;
+  }
+  net::ChannelSpec channel;
+  channel.states = k;
+  // Empty lists keep ChannelModel's documented defaults (loss 0, burst 1,
+  // multipliers 1); non-empty lists are cycled to k entries here so the spec
+  // that lands in the scenario is fully explicit.
+  const auto cyc = [&](const char* key) {
+    std::vector<double> values = config.get_double_list(key);
+    return values.empty() ? values : cycled(std::move(values), k);
+  };
+  channel.loss = cyc("channel.loss");
+  channel.mean_burst = cyc("channel.burst");
+  channel.latency_mult = cyc("channel.latency.mult");
+  channel.data_mult = cyc("channel.data.mult");
+  channel.env_coupled = config.get_bool("channel.env");
+  try {
+    net::validate(channel);
+  } catch (const std::invalid_argument& e) {
+    throw ConfigError(ConfigError::Kind::kBadValue, "channel.states", e.what());
+  }
+  scenario.state_channel = std::move(channel);
+}
+
 /// Topology key group (the graph-* families). `topology` selects the
 /// exchange-graph kind; `complete` takes the historical full-mesh path, so a
 /// graph-* family at topology=complete is bit-identical to its global-state
@@ -694,6 +762,44 @@ std::vector<ScenarioSpec> build_registry() {
                     "balancing and optional environment-driven edge churn",
          .schema = std::move(schema),
          .build = [](const Config& config) { return build_graph(config); }});
+  }
+
+  // --- testbed-engine family (src/testbed + net channel layer) ---
+
+  {
+    // Lossy/bursty state exchange: the Section 3 emulation with the state
+    // plane degraded by i.i.d. loss or a k-state Markov (Gilbert-Elliott)
+    // channel. Runs on the testbed engine — policies act on the possibly
+    // stale state board, so this is where "how does stale state break
+    // LBP-1/LBP-2 gains" becomes a one-line channel.burst sweep.
+    // The Gilbert-Elliott channel is ON by default (the family exists to
+    // model bursty loss); channel.states=0 recovers the i.i.d. exchange.loss
+    // plane.
+    Schema schema = two_node_schema("lbp2", 1.0);
+    schema.merge(channel_schema("2")).merge(env_schema("10"));
+    schema.add(opt("aware", OptionType::kBool, "true",
+                   "LBP-2's failure compensation consults the advertised (possibly "
+                   "stale) peer up/down state instead of shipping blindly — the decision "
+                   "the channel's staleness actually corrupts"));
+    registry.push_back(
+        {.name = "lossy-exchange",
+         .summary = "testbed-engine two-node with lossy/bursty UDP state exchange "
+                    "(channel.* = k-state Markov channel; Gilbert-Elliott at k=2)",
+         .schema = std::move(schema),
+         .build =
+             [](const Config& config) {
+               mc::ScenarioConfig scenario = build_two_node(config);
+               apply_channel(scenario, config);
+               if (config.get_bool("aware") && config.get_string("policy") == "lbp2") {
+                 scenario.policy = std::make_unique<core::Lbp2Policy>(
+                     config.get_double("gain"), /*state_aware=*/true);
+               }
+               if (config.get_bool("channel.env") || env_supplied(config)) {
+                 scenario.environment = build_environment(config);
+               }
+               return scenario;
+             },
+         .testbed = true});
   }
 
   return registry;

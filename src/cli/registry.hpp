@@ -28,6 +28,9 @@ struct ScenarioSpec {
   /// Infinite-horizon family: routed to the steady-state engine
   /// (mc::run_steady) instead of the finite completion-time engines.
   bool steady = false;
+  /// Emulation family: routed to the testbed engine (lossy state plane,
+  /// distributed decisions) instead of the abstract MC engine.
+  bool testbed = false;
 };
 
 /// All registered families, in presentation order.

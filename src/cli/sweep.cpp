@@ -11,6 +11,8 @@
 #include "mc/steady.hpp"
 #include "mc/theory.hpp"
 #include "stochastic/stats.hpp"
+#include "testbed/config.hpp"
+#include "testbed/experiment.hpp"
 #include "util/math.hpp"
 
 namespace lbsim::cli {
@@ -199,6 +201,19 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
                       "mc.vr/mc.shards apply to finite-horizon replications; scenario '" +
                           scenario.name + "' is infinite-horizon");
   }
+  if (scenario.testbed) {
+    if (vr_active || vr_axis || options.shards != 1) {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, "mc.vr",
+                        "mc.vr/mc.shards belong to the abstract MC engine; scenario '" +
+                            scenario.name + "' runs on the testbed engine");
+    }
+    if (options.compare_theory) {
+      throw ConfigError(ConfigError::Kind::kOutOfRange, "compare",
+                        "--compare joins the exact-solver oracle, which models the abstract MC "
+                        "semantics only; scenario '" +
+                            scenario.name + "' runs on the testbed engine");
+    }
+  }
   const auto grid = expand_grid(axes);
 
   // Validate-and-build the whole grid before a single replication runs: a
@@ -241,6 +256,25 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
     }
     if (options.compare_theory) {
       header.insert(header.end(), {"theory_mean", "abs_err", "sigma_err"});
+    }
+  } else if (scenario.testbed) {
+    // Testbed families swap the bundle column for the state-plane staleness
+    // diagnostics: mean/max peer state age observed at decision points, and
+    // state packets lost per realization.
+    header.insert(header.end(), {"mean_s", "ci95_s", "stderr_s", "reps", "mean_failures",
+                                 "mean_tasks_moved", "state_age_mean_s", "state_age_max_s",
+                                 "state_lost"});
+    if (options.quantiles) {
+      header.insert(header.end(), {"p50_s", "p90_s", "p99_s"});
+    }
+    if (options.ecdf_points > 0) {
+      for (std::size_t i = 0; i <= options.ecdf_points; ++i) {
+        std::string name = "q";
+        name += format_axis_value(100.0 * static_cast<double>(i) /
+                                  static_cast<double>(options.ecdf_points));
+        name += "_s";
+        header.push_back(std::move(name));
+      }
     }
   } else {
     header.insert(header.end(), {"mean_s", "ci95_s", "stderr_s", "reps", "mean_failures",
@@ -288,9 +322,11 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
       // Build (but do not run) the scenario so every point is validated.
       const mc::ScenarioConfig built = scenario.build(config);
       row.push_back(built.policy->name());
-      const std::size_t shown = scenario.steady && !point_options.replications_explicit
-                                    ? 1
-                                    : point_options.replications;
+      std::size_t shown = point_options.replications;
+      if (!point_options.replications_explicit) {
+        if (scenario.steady) shown = 1;          // one batch-means window
+        if (scenario.testbed) shown = 60;        // paper's realization count
+      }
       row.push_back(std::to_string(shown));
     } else if (scenario.steady) {
       mc::SteadyConfig steady_config;
@@ -322,6 +358,32 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
       }
       if (options.compare_theory) {
         append_open_theory_cells(built, steady, row);
+      }
+    } else if (scenario.testbed) {
+      const std::size_t reps =
+          point_options.replications_explicit ? point_options.replications : 60;
+      testbed::TestbedConfig tb = testbed::from_scenario(scenario.build(config));
+      const testbed::ExperimentSummary summary =
+          testbed::run_experiment(tb, reps, point_options.seed, point_options.threads);
+      row.push_back(util::format_double(summary.mean(), 3));
+      row.push_back(util::format_double(summary.ci95(), 3));
+      row.push_back(util::format_double(summary.completion.std_error(), 3));
+      row.push_back(std::to_string(reps));
+      row.push_back(util::format_double(summary.mean_failures, 2));
+      row.push_back(util::format_double(summary.mean_tasks_moved, 2));
+      row.push_back(util::format_double(summary.state_age.mean(), 3));
+      row.push_back(util::format_double(summary.state_age.max(), 3));
+      row.push_back(util::format_double(summary.mean_state_lost, 1));
+      if (options.quantiles) {
+        row.push_back(util::format_double(stoch::quantile_sorted(summary.samples, 0.50), 3));
+        row.push_back(util::format_double(stoch::quantile_sorted(summary.samples, 0.90), 3));
+        row.push_back(util::format_double(stoch::quantile_sorted(summary.samples, 0.99), 3));
+      }
+      if (options.ecdf_points > 0) {
+        for (std::size_t i = 0; i <= options.ecdf_points; ++i) {
+          const double q = static_cast<double>(i) / static_cast<double>(options.ecdf_points);
+          row.push_back(util::format_double(stoch::quantile_sorted(summary.samples, q), 3));
+        }
       }
     } else {
       mc::McConfig mc_config;

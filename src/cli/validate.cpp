@@ -13,6 +13,8 @@
 #include "mc/steady.hpp"
 #include "mc/theory.hpp"
 #include "stochastic/stats.hpp"
+#include "testbed/config.hpp"
+#include "testbed/experiment.hpp"
 
 namespace lbsim::cli {
 namespace {
@@ -114,6 +116,17 @@ const std::vector<ValidationPoint>& validation_points() {
         {"policy", "none"},
         {"nodes", "4"},
         {"workloads", "10,6,4,3"}}},
+      // Testbed family: no exact oracle applies, so the checkable point is the
+      // i.i.d.-reduction identity — a 1-state channel with loss p must be
+      // bit-identical to the Bernoulli fallback exchange.loss = p (the
+      // degenerate channel IS the fallback code path; any drift means the
+      // per-packet CRN stream discipline broke). Bursty (k >= 2) and blackout
+      // points are pinned boundary markers (validation_test pins the strings).
+      {"lossy-exchange", "iid-reduction",
+       {{"channel.states", "1"}, {"channel.loss", "0.25"}, {"channel.burst", "1"}}},
+      {"lossy-exchange", "bursty-boundary", {{"channel.states", "2"}}},
+      {"lossy-exchange", "blackout-boundary",
+       {{"channel.states", "0"}, {"exchange.loss", "1"}}},
   };
   return points;
 }
@@ -225,6 +238,45 @@ ValidationReport run_validation(const ValidationOptions& options) {
                             util::format_double(steady.mean(), 3),
                             util::format_double(sigma_err, 2), ks_cell,
                             failed ? "FAIL" : "ok"});
+      continue;
+    }
+
+    if (spec.testbed) {
+      const net::ChannelSpec& channel = built.state_channel;
+      if (channel.enabled() && (channel.states >= 2 || channel.env_coupled)) {
+        ++report.skipped;
+        report.table.add_row({point.family, point.label, "-", "-", "-", "-", "-",
+                              "skip: bursty Markov state-plane channel (no closed form)"});
+        continue;
+      }
+      if (!channel.enabled() && built.exchange_loss >= 1.0) {
+        ++report.skipped;
+        report.table.add_row({point.family, point.label, "-", "-", "-", "-", "-",
+                              "skip: blackout state plane (no closed form)"});
+        continue;
+      }
+      // i.i.d. reduction: re-run the same point with the channel stripped and
+      // its single-state loss moved to the Bernoulli fallback. Both paths draw
+      // the same per-packet uniforms from the same stream, so the gate is
+      // exact equality of the completion-time statistics, not a z-score.
+      mc::ScenarioConfig reduced = built.clone();
+      reduced.exchange_loss = channel.enabled() && !channel.loss.empty() ? channel.loss[0]
+                                                                        : built.exchange_loss;
+      reduced.state_channel = net::ChannelSpec{};
+      constexpr std::size_t kTestbedReps = 20;
+      const testbed::ExperimentSummary with_channel = testbed::run_experiment(
+          testbed::from_scenario(built.clone()), kTestbedReps, options.seed, options.threads);
+      const testbed::ExperimentSummary fallback = testbed::run_experiment(
+          testbed::from_scenario(std::move(reduced)), kTestbedReps, options.seed,
+          options.threads);
+      const bool failed = with_channel.completion.mean() != fallback.completion.mean() ||
+                          with_channel.completion.max() != fallback.completion.max();
+      ++report.checked;
+      if (failed) ++report.failures;
+      report.table.add_row({point.family, point.label, "iid-reduction",
+                            util::format_double(fallback.mean(), 3),
+                            util::format_double(with_channel.mean(), 3),
+                            failed ? "inf" : "0", "-", failed ? "FAIL" : "ok"});
       continue;
     }
 

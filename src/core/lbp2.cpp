@@ -7,13 +7,16 @@
 
 namespace lbsim::core {
 
-Lbp2Policy::Lbp2Policy(double gain) : gain_(gain) {
+Lbp2Policy::Lbp2Policy(double gain, bool state_aware)
+    : gain_(gain), state_aware_(state_aware) {
   LBSIM_REQUIRE(gain >= 0.0 && gain <= 1.0 + 1e-9, "gain=" << gain);
 }
 
 std::string Lbp2Policy::name() const {
   std::ostringstream os;
-  os << "LBP-2(K=" << gain_ << ")";
+  os << "LBP-2(K=" << gain_;
+  if (state_aware_) os << ", aware";
+  os << ")";
   return os.str();
 }
 
@@ -43,6 +46,9 @@ std::vector<TransferDirective> Lbp2Policy::on_failure(int node, const SystemView
   std::size_t available = view.queue_length(node);
   for (std::size_t i = 0; i < n && available > 0; ++i) {
     if (static_cast<int>(i) == node) continue;
+    // State-aware mode: don't ship to a peer believed down. The belief may be
+    // stale (testbed state board) — wrong in either direction it costs gain.
+    if (state_aware_ && !view.is_up(static_cast<int>(i))) continue;
     const std::size_t lf = lbp2_failure_transfer(nodes, i, static_cast<std::size_t>(node));
     if (lf == 0) continue;
     const std::size_t count = std::min(lf, available);

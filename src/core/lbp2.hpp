@@ -14,7 +14,13 @@ class Lbp2Policy final : public LoadBalancingPolicy {
  public:
   /// `gain` is the initial-balance gain K (optimised under the no-failure
   /// theory; see core/optimizer.hpp, or take the paper's Table 2 values).
-  explicit Lbp2Policy(double gain);
+  /// With `state_aware`, the failure compensation additionally consults the
+  /// view's peer up/down state and withholds eq. (8) shipments to peers it
+  /// believes are down. Under an exact view this only avoids dead letters; on
+  /// the testbed the belief comes from the (possibly stale) state board, which
+  /// is precisely how outdated information erodes the policy's gain. Default
+  /// off: the historical failure response stays bit-identical.
+  explicit Lbp2Policy(double gain, bool state_aware = false);
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::vector<TransferDirective> on_start(const SystemView& view) override;
@@ -27,9 +33,11 @@ class Lbp2Policy final : public LoadBalancingPolicy {
   [[nodiscard]] PolicyPtr clone() const override;
 
   [[nodiscard]] double gain() const noexcept { return gain_; }
+  [[nodiscard]] bool state_aware() const noexcept { return state_aware_; }
 
  private:
   double gain_;
+  bool state_aware_;
 };
 
 }  // namespace lbsim::core

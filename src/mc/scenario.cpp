@@ -149,6 +149,10 @@ ScenarioConfig ScenarioConfig::clone() const {
   copy.schedule = schedule;
   copy.steady = steady;
   copy.topology = topology;
+  copy.exchange_period = exchange_period;
+  copy.exchange_latency = exchange_latency;
+  copy.exchange_loss = exchange_loss;
+  copy.state_channel = state_channel;
   return copy;
 }
 

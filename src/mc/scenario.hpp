@@ -14,6 +14,7 @@
 #include "env/environment.hpp"
 #include "env/schedule.hpp"
 #include "markov/params.hpp"
+#include "net/channel.hpp"
 #include "net/delay_model.hpp"
 #include "net/topology.hpp"
 #include "sim/trace.hpp"
@@ -80,6 +81,14 @@ struct ScenarioConfig {
   net::TopologySpec topology;
   /// Steady-state window parameters (consumed by mc::run_steady only).
   SteadySpec steady;
+  /// State-exchange plane emulation (consumed by the testbed engine only; the
+  /// abstract MC's policies see exact state, so these are inert there).
+  double exchange_period = 1.0;    ///< UDP sync period (s)
+  double exchange_latency = 1e-3;  ///< one-way state-packet latency (s)
+  double exchange_loss = 0.0;      ///< i.i.d. state-packet loss (1 = blackout)
+  /// Optional bursty k-state Markov channel for the state plane (states == 0
+  /// keeps the i.i.d. exchange_loss above); testbed engine only.
+  net::ChannelSpec state_channel;
 
   /// Deep copy (clones policy and delay model).
   [[nodiscard]] ScenarioConfig clone() const;
@@ -103,8 +112,13 @@ struct RunResult {
   std::uint64_t tasks_completed = 0;
   std::uint64_t tasks_arrived = 0;     ///< externally injected tasks (open arrivals)
   std::uint64_t env_transitions = 0;   ///< environment CTMC jumps during the run
+  std::uint64_t state_packets_lost = 0;  ///< state-plane drops (testbed engine)
   stoch::RunningStats sojourn;         ///< per-task time in system (all completed tasks)
   stoch::RunningStats queue_delay;     ///< per-task wait before first service
+  /// Age (now - peer packet timestamp) of every peer entry consulted at every
+  /// policy decision instant — the staleness the state plane imposes on
+  /// distributed decisions (testbed engine; empty on the abstract MC path).
+  stoch::RunningStats state_age;
 
   /// Time-averaged number of tasks in system over the run, by Little's law
   /// (total completed task-seconds / horizon); 0 for an empty run.

@@ -1,0 +1,80 @@
+#include "net/channel.hpp"
+
+#include "util/error.hpp"
+
+namespace lbsim::net {
+
+namespace {
+
+constexpr std::size_t kMaxStates = 16;
+
+/// Expands a per-state vector to exactly `states` entries, cycling the given
+/// values; an empty vector expands to `fallback` everywhere.
+std::vector<double> expand(const std::vector<double>& values, std::size_t states,
+                           double fallback) {
+  std::vector<double> out(states, fallback);
+  if (!values.empty()) {
+    for (std::size_t s = 0; s < states; ++s) out[s] = values[s % values.size()];
+  }
+  return out;
+}
+
+}  // namespace
+
+void validate(const ChannelSpec& spec) {
+  LBSIM_REQUIRE(spec.states <= kMaxStates, "channel states=" << spec.states);
+  if (!spec.enabled()) {
+    LBSIM_REQUIRE(!spec.env_coupled, "channel env coupling needs channel states >= 1");
+    return;
+  }
+  for (double p : spec.loss) {
+    LBSIM_REQUIRE(p >= 0.0 && p <= 1.0, "channel loss=" << p);
+  }
+  for (double b : spec.mean_burst) {
+    LBSIM_REQUIRE(b >= 1.0, "channel mean burst=" << b << " packets (must be >= 1)");
+  }
+  for (double m : spec.latency_mult) {
+    LBSIM_REQUIRE(m >= 0.0, "channel latency multiplier=" << m);
+  }
+  for (double m : spec.data_mult) {
+    LBSIM_REQUIRE(m > 0.0, "channel data-delay multiplier=" << m);
+  }
+}
+
+ChannelModel::ChannelModel(const ChannelSpec& spec, double fallback_loss) {
+  validate(spec);
+  const std::size_t k = spec.enabled() ? spec.states : 1;
+  loss_ = expand(spec.loss, k, spec.enabled() ? 0.0 : fallback_loss);
+  latency_mult_ = expand(spec.latency_mult, k, 1.0);
+  data_mult_ = expand(spec.data_mult, k, 1.0);
+  const std::vector<double> burst = expand(spec.mean_burst, k, 1.0);
+  exit_prob_.resize(k);
+  for (std::size_t s = 0; s < k; ++s) exit_prob_[s] = 1.0 / burst[s];
+}
+
+ChannelHop ChannelModel::step(stoch::RngStream& rng) {
+  // Always three draws (dwell, jump target, loss) so that changing the number
+  // of states, burst lengths, or loss probabilities never shifts downstream
+  // stream consumption — common-random-numbers comparisons stay paired.
+  const double u_dwell = rng.uniform01();
+  const double u_jump = rng.uniform01();
+  const double u_loss = rng.uniform01();
+  const std::size_t k = loss_.size();
+  if (k > 1 && u_dwell < exit_prob_[state_]) {
+    // Jump to a uniformly-chosen *other* state; for k=2 this is the
+    // deterministic good<->bad flip of the Gilbert-Elliott model.
+    std::size_t target = static_cast<std::size_t>(u_jump * static_cast<double>(k - 1));
+    if (target >= k - 1) target = k - 2;
+    if (target >= state_) ++target;
+    state_ = target;
+  }
+  const std::size_t s = effective_state();
+  return ChannelHop{u_loss < loss_[s], latency_mult_[s]};
+}
+
+void ChannelModel::set_floor_state(std::size_t state) noexcept {
+  const std::size_t last = loss_.size() - 1;
+  floor_ = state > last ? last : state;
+}
+
+}  // namespace lbsim::net

@@ -13,11 +13,12 @@ Link::Link(des::Simulator& sim, int from, int to, TransferDelayModelPtr delay,
   LBSIM_REQUIRE(from != to, "self-link from node " << from);
 }
 
-double Link::send(node::TaskBatch tasks, DeliveryHandler on_delivery) {
+double Link::send(node::TaskBatch tasks, DeliveryHandler on_delivery, double delay_scale) {
   LBSIM_REQUIRE(!tasks.empty(), "cannot send an empty bundle");
   LBSIM_REQUIRE(on_delivery != nullptr, "null delivery handler");
+  LBSIM_REQUIRE(delay_scale > 0.0, "delay_scale=" << delay_scale);
   const std::size_t n = tasks.size();
-  const double delay = delay_->sample(n, rng_);
+  const double delay = delay_->sample(n, rng_) * delay_scale;
 
   // The event callback is move-only (des::SmallCallback), so it can own the
   // transfer outright — no shared_ptr control block per bundle.

@@ -25,8 +25,9 @@ class Link {
   Link& operator=(const Link&) = delete;
 
   /// Ships `tasks` (non-empty) and invokes `on_delivery` when they arrive.
-  /// Returns the sampled delay.
-  double send(node::TaskBatch tasks, DeliveryHandler on_delivery);
+  /// The sampled delay is scaled by `delay_scale` (> 0; the channel layer
+  /// passes its per-state data multiplier here). Returns the scaled delay.
+  double send(node::TaskBatch tasks, DeliveryHandler on_delivery, double delay_scale = 1.0);
 
   [[nodiscard]] int from() const noexcept { return from_; }
   [[nodiscard]] int to() const noexcept { return to_; }

@@ -1,16 +1,26 @@
 #include "net/network.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace lbsim::net {
 
 Network::Network(des::Simulator& sim, std::size_t node_count, Config config,
-                 stoch::RngStream& rng)
-    : sim_(sim), node_count_(node_count), config_(std::move(config)), rng_(rng) {
+                 stoch::RngStream& rng, stoch::RngStream& state_rng)
+    : sim_(sim),
+      node_count_(node_count),
+      config_(std::move(config)),
+      rng_(rng),
+      state_rng_(state_rng),
+      channel_(config_.channel, config_.state_loss_probability) {
   LBSIM_REQUIRE(node_count >= 2, "network needs >= 2 nodes");
   LBSIM_REQUIRE(config_.data_delay != nullptr, "network needs a data delay model");
   LBSIM_REQUIRE(config_.state_latency >= 0.0, "state_latency=" << config_.state_latency);
-  LBSIM_REQUIRE(config_.state_loss_probability >= 0.0 && config_.state_loss_probability < 1.0,
+  // p == 1 is a legitimate boundary (total state-plane blackout), matching the
+  // topology layer's churn.drop=1; only p > 1 is a configuration error.
+  LBSIM_REQUIRE(config_.state_loss_probability >= 0.0 && config_.state_loss_probability <= 1.0,
                 "state_loss_probability=" << config_.state_loss_probability);
   links_.resize(node_count_ * node_count_);
   for (std::size_t from = 0; from < node_count_; ++from) {
@@ -36,23 +46,40 @@ const Link& Network::link(int from, int to) const { return *links_[index(from, t
 
 double Network::transfer(int from, int to, node::TaskBatch tasks,
                          DeliveryHandler on_delivery) {
-  return link(from, to).send(std::move(tasks), std::move(on_delivery));
+  return link(from, to).send(std::move(tasks), std::move(on_delivery),
+                             channel_.data_multiplier());
 }
 
 std::size_t Network::broadcast_state(const StateInfoPacket& packet, StateHandler on_state) {
   LBSIM_REQUIRE(on_state != nullptr, "null state handler");
+  // One shared allocation per round holds the handler and the packet; each of
+  // the n-1 deliveries captures only {shared_ptr, receiver}, which fits
+  // des::SmallCallback's inline buffer (no per-copy std::function or packet
+  // copies, and no per-event heap allocation).
+  struct StateDelivery {
+    StateHandler handler;
+    StateInfoPacket packet;
+  };
+  auto delivery =
+      std::make_shared<const StateDelivery>(StateDelivery{std::move(on_state), packet});
   std::size_t delivered = 0;
   for (std::size_t to = 0; to < node_count_; ++to) {
     if (static_cast<int>(to) == packet.sender) continue;
     state_bytes_ += packet.wire_bytes();
-    if (config_.state_loss_probability > 0.0 &&
-        rng_.uniform01() < config_.state_loss_probability) {
+    // Unconditionally-per-packet channel step: stream consumption is the same
+    // whatever the loss/channel configuration, so CRN pairing survives sweeps.
+    const ChannelHop hop = channel_.step(state_rng_);
+    if (hop.lost) {
       ++state_lost_;
       continue;
     }
     ++delivered;
-    sim_.schedule_in(config_.state_latency,
-                     [on_state, to, packet] { on_state(static_cast<int>(to), packet); });
+    // Shard hint: state deliveries belong to the receiver's event shard, the
+    // same convention Link::send uses for data deliveries.
+    sim_.schedule_in(
+        config_.state_latency * hop.latency_mult,
+        [delivery, to] { delivery->handler(static_cast<int>(to), delivery->packet); },
+        /*shard_hint=*/to);
   }
   return delivered;
 }

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/channel.hpp"
 #include "net/link.hpp"
 #include "net/message.hpp"
 
@@ -19,15 +20,24 @@ class Network {
     TransferDelayModelPtr data_delay;
     /// One-way latency of a state packet, seconds (UDP datagrams are small).
     double state_latency = 1e-3;
-    /// Probability that a state packet is lost (UDP is unreliable).
+    /// Probability that a state packet is lost (UDP is unreliable). 1.0 is a
+    /// legitimate boundary: a total state-plane blackout.
     double state_loss_probability = 0.0;
+    /// Optional k-state Markov channel. When disabled (states == 0) the state
+    /// plane behaves as i.i.d. Bernoulli(state_loss_probability) at fixed
+    /// latency — bit-identical to the historical behaviour.
+    ChannelSpec channel;
   };
 
   using DeliveryHandler = std::function<void(DataTransfer&&)>;
   using StateHandler = std::function<void(int receiver, const StateInfoPacket&)>;
 
-  /// Builds links for every ordered pair of `node_count` >= 2 nodes.
-  Network(des::Simulator& sim, std::size_t node_count, Config config, stoch::RngStream& rng);
+  /// Builds links for every ordered pair of `node_count` >= 2 nodes. Data
+  /// delays draw from `rng`; every state-plane decision (channel stepping and
+  /// loss) draws from the dedicated `state_rng` so sweeping channel or loss
+  /// axes never perturbs data-plane stream consumption (CRN-safe).
+  Network(des::Simulator& sim, std::size_t node_count, Config config, stoch::RngStream& rng,
+          stoch::RngStream& state_rng);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -41,10 +51,17 @@ class Network {
   /// Ships tasks from -> to; returns the sampled delay.
   double transfer(int from, int to, node::TaskBatch tasks, DeliveryHandler on_delivery);
 
-  /// Sends `packet` to every other node. Each copy independently suffers the
-  /// configured loss probability; survivors arrive after `state_latency`.
-  /// Returns the number of copies actually delivered (scheduled).
+  /// Sends `packet` to every other node. Each copy steps the channel once and
+  /// suffers that state's loss probability; survivors arrive after
+  /// `state_latency` scaled by the state's latency multiplier. Returns the
+  /// number of copies actually delivered (scheduled).
   std::size_t broadcast_state(const StateInfoPacket& packet, StateHandler on_state);
+
+  /// Environment-coupling hook: forces the channel into (at least) `state`.
+  void set_channel_floor(std::size_t state) noexcept { channel_.set_floor_state(state); }
+
+  /// The shared state-plane channel (read-mostly; tests inspect its state).
+  [[nodiscard]] const ChannelModel& channel() const noexcept { return channel_; }
 
   /// Total tasks currently in flight over all links.
   [[nodiscard]] std::size_t tasks_in_flight() const noexcept;
@@ -60,6 +77,8 @@ class Network {
   std::size_t node_count_;
   Config config_;
   stoch::RngStream& rng_;
+  stoch::RngStream& state_rng_;
+  ChannelModel channel_;
   std::vector<std::unique_ptr<Link>> links_;  // row-major [from][to], diagonal empty
   std::uint64_t state_lost_ = 0;
   std::uint64_t state_bytes_ = 0;

@@ -1,5 +1,8 @@
 #include "testbed/config.hpp"
 
+#include <utility>
+
+#include "mc/scenario.hpp"
 #include "util/error.hpp"
 
 namespace lbsim::testbed {
@@ -13,7 +16,10 @@ TestbedConfig TestbedConfig::clone() const {
   copy.state_broadcast_period = state_broadcast_period;
   copy.state_latency = state_latency;
   copy.state_loss_probability = state_loss_probability;
+  copy.channel = channel;
+  copy.environment = environment;
   copy.churn_enabled = churn_enabled;
+  copy.initially_down = initially_down;
   return copy;
 }
 
@@ -29,15 +35,45 @@ TestbedConfig paper_testbed(std::size_t m0, std::size_t m1, core::PolicyPtr poli
 
 void validate(const TestbedConfig& config) {
   markov::validate(config.params);
-  LBSIM_REQUIRE(config.params.nodes.size() >= 2, "testbed needs >= 2 nodes");
-  LBSIM_REQUIRE(config.workloads.size() == config.params.nodes.size(),
-                "workloads/nodes size mismatch");
+  const std::size_t n = config.params.nodes.size();
+  LBSIM_REQUIRE(n >= 2, "testbed needs >= 2 nodes");
+  LBSIM_REQUIRE(config.workloads.size() == n, "workloads/nodes size mismatch");
   LBSIM_REQUIRE(config.policy != nullptr, "testbed needs a policy");
   LBSIM_REQUIRE(config.transfer_setup_shift >= 0.0, "setup shift");
   LBSIM_REQUIRE(config.state_broadcast_period > 0.0, "broadcast period");
   LBSIM_REQUIRE(config.state_latency >= 0.0, "state latency");
-  LBSIM_REQUIRE(config.state_loss_probability >= 0.0 && config.state_loss_probability < 1.0,
+  // Loss 1.0 is the legitimate total-blackout boundary; only > 1 is an error.
+  LBSIM_REQUIRE(config.state_loss_probability >= 0.0 && config.state_loss_probability <= 1.0,
                 "state loss");
+  net::validate(config.channel);
+  env::validate(config.environment);
+  LBSIM_REQUIRE(!config.channel.env_coupled || config.environment.enabled(),
+                "channel env coupling needs a configured environment");
+  if (n < 64) {
+    LBSIM_REQUIRE(config.initially_down < (std::uint64_t{1} << n),
+                  "initially_down mask addresses nodes >= " << n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (config.starts_down(i)) {
+      LBSIM_REQUIRE(config.params.nodes[i].lambda_r > 0.0,
+                    "initially-down node " << i << " cannot recover (lambda_r == 0)");
+    }
+  }
+}
+
+TestbedConfig from_scenario(mc::ScenarioConfig&& scenario) {
+  TestbedConfig config;
+  config.params = scenario.params;
+  config.workloads = scenario.workloads;
+  config.policy = std::move(scenario.policy);
+  config.state_broadcast_period = scenario.exchange_period;
+  config.state_latency = scenario.exchange_latency;
+  config.state_loss_probability = scenario.exchange_loss;
+  config.channel = scenario.state_channel;
+  config.environment = scenario.environment;
+  config.churn_enabled = scenario.churn_enabled;
+  config.initially_down = scenario.initially_down;
+  return config;
 }
 
 }  // namespace lbsim::testbed

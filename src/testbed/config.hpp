@@ -12,7 +12,9 @@
 #include <cstdint>
 
 #include "core/policy.hpp"
+#include "env/environment.hpp"
 #include "markov/params.hpp"
+#include "net/channel.hpp"
 
 namespace lbsim::testbed {
 
@@ -25,10 +27,24 @@ struct TestbedConfig {
   double transfer_setup_shift = 0.005;   ///< TCP setup; the Fig. 2 pdf shift (s)
   double state_broadcast_period = 1.0;   ///< UDP sync period (s)
   double state_latency = 1e-3;           ///< one-way state-packet latency (s)
-  double state_loss_probability = 0.0;   ///< UDP loss
+  double state_loss_probability = 0.0;   ///< UDP loss (i.i.d.; 1 = blackout)
+
+  /// Optional bursty k-state Markov channel for the state plane; when
+  /// disabled (states == 0) the i.i.d. loss above applies unchanged.
+  net::ChannelSpec channel;
+  /// Optional environment CTMC: modulates every node's failure hazard and,
+  /// when channel.env_coupled, floors the channel state during storms.
+  env::EnvironmentSpec environment;
 
   /// When true, churn is injected (failure injector of Section 3).
   bool churn_enabled = true;
+  /// Bitmask of nodes that start down (bit i); same addressing rule as
+  /// mc::ScenarioConfig::initially_down.
+  std::uint64_t initially_down = 0;
+
+  [[nodiscard]] bool starts_down(std::size_t i) const noexcept {
+    return i < 64 && ((initially_down >> i) & 1u) != 0;
+  }
 
   [[nodiscard]] TestbedConfig clone() const;
 };
@@ -39,5 +55,18 @@ struct TestbedConfig {
                                           core::PolicyPtr policy);
 
 void validate(const TestbedConfig& config);
+
+}  // namespace lbsim::testbed
+
+namespace lbsim::mc {
+struct ScenarioConfig;
+}
+
+namespace lbsim::testbed {
+
+/// Converts a registry-built mc::ScenarioConfig into a testbed config — the
+/// single mapping shared by `lbsim run --engine=testbed`, the sweep driver,
+/// and the validation harness. Consumes the scenario (moves its policy).
+[[nodiscard]] TestbedConfig from_scenario(mc::ScenarioConfig&& scenario);
 
 }  // namespace lbsim::testbed

@@ -1,10 +1,13 @@
 #include "testbed/experiment.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 #include <sstream>
 #include <thread>
 
 #include "app/workload.hpp"
+#include "env/environment.hpp"
 #include "node/failure_process.hpp"
 #include "testbed/state_exchange.hpp"
 #include "util/error.hpp"
@@ -16,8 +19,12 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
   validate(config);
   const std::size_t n = config.params.nodes.size();
 
-  // Streams: sizes per node, churn per node, network data, state plane.
-  const std::uint64_t streams_per_run = 2 * static_cast<std::uint64_t>(n) + 2;
+  // Streams: sizes per node, churn per node, network data, state plane; the
+  // environment stream is appended only when one is configured, so every
+  // environment-free scenario keeps the historical layout bit-identically.
+  const bool env_enabled = config.environment.enabled();
+  const std::uint64_t streams_per_run =
+      2 * static_cast<std::uint64_t>(n) + 2 + (env_enabled ? 1 : 0);
   const std::uint64_t base = replication * streams_per_run;
   std::vector<stoch::RngStream> size_rngs;
   std::vector<stoch::RngStream> churn_rngs;
@@ -26,6 +33,11 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
     churn_rngs.emplace_back(seed, base + n + i);
   }
   stoch::RngStream net_rng(seed, base + 2 * n);
+  // The state-plane slot has been reserved in streams_per_run since the
+  // beginning; drawing from it now changes no other stream's seeding.
+  stoch::RngStream state_rng(seed, base + 2 * n + 1);
+  std::optional<stoch::RngStream> env_rng;
+  if (env_enabled) env_rng.emplace(seed, base + 2 * n + 2);
 
   des::Simulator sim;
 
@@ -48,7 +60,8 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
       config.params.per_task_delay_mean, config.transfer_setup_shift);
   net_config.state_latency = config.state_latency;
   net_config.state_loss_probability = config.state_loss_probability;
-  net::Network network(sim, n, std::move(net_config), net_rng);
+  net_config.channel = config.channel;
+  net::Network network(sim, n, std::move(net_config), net_rng, state_rng);
 
   StateBoard board(n);
   StateBroadcaster broadcaster(sim, network, board, ces, config.params,
@@ -106,39 +119,11 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
     }
   };
 
-  // t = 0: each node runs the policy against its local (here: exact) view and
-  // executes only its own outgoing transfers — the distributed decision of
-  // Section 3 where every node computes the same schedule from synced state.
-  std::vector<NodeLocalView> views;
-  views.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    views.emplace_back(static_cast<int>(i), config.params, ces, board);
-  }
-  {
-    // All nodes know the exact initial workloads (paper assumption): seed the
-    // state board with true t = 0 packets before any decision runs.
-    for (std::size_t sender = 0; sender < n; ++sender) {
-      net::StateInfoPacket packet;
-      packet.sender = static_cast<int>(sender);
-      packet.timestamp = 0.0;
-      packet.queue_size = static_cast<std::uint32_t>(ces[sender]->queue_length());
-      packet.processing_rate = config.params.nodes[sender].lambda_d;
-      packet.node_up = true;
-      for (std::size_t observer = 0; observer < n; ++observer) {
-        if (observer == sender) continue;
-        board.store(static_cast<int>(observer), packet);
-      }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      std::vector<core::TransferDirective> mine;
-      for (const core::TransferDirective& d : policy.on_start(views[i])) {
-        if (d.from == static_cast<int>(i)) mine.push_back(d);
-      }
-      execute(mine, static_cast<int>(i));
-    }
-  }
-
-  // Failure injector + backup agent.
+  // Failure injector + backup agent. Processes are created — and initially-
+  // down nodes failed — before the t = 0 decisions, so the state board can be
+  // seeded with the exact initial state; churn handlers are attached after
+  // that, so starting down is an initial condition (visible to every t = 0
+  // decision), not a t = 0 failure event.
   std::vector<std::unique_ptr<node::FailureProcess>> churn;
   churn.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -148,26 +133,111 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
     if (config.churn_enabled && np.lambda_f > 0.0) {
       ttf = std::make_unique<stoch::Exponential>(np.lambda_f);
       ttr = std::make_unique<stoch::Exponential>(np.lambda_r);
+    } else if (config.starts_down(i)) {
+      // No stochastic churn, but the node must still recover once.
+      ttr = std::make_unique<stoch::Exponential>(np.lambda_r);
     }
-    auto process = std::make_unique<node::FailureProcess>(sim, *ces[i], std::move(ttf),
-                                                          std::move(ttr), churn_rngs[i]);
-    process->set_failure_handler([&, i](int node_id) {
+    churn.push_back(std::make_unique<node::FailureProcess>(sim, *ces[i], std::move(ttf),
+                                                           std::move(ttr), churn_rngs[i]));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (config.starts_down(i)) churn[i]->start(/*initially_down=*/true);
+  }
+
+  // t = 0: each node runs the policy against its local view and executes only
+  // its own outgoing transfers — the distributed decision of Section 3 where
+  // every node computes the same schedule from synced state.
+  std::vector<NodeLocalView> views;
+  views.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    views.emplace_back(static_cast<int>(i), config.params, ces, board);
+  }
+
+  // Staleness accounting: the age of every peer entry a decision consults.
+  const auto sample_staleness = [&](int acting_node) {
+    for (std::size_t peer = 0; peer < n; ++peer) {
+      if (static_cast<int>(peer) == acting_node) continue;
+      result.state_age.add(sim.now() - board.last_heard(acting_node, peer).timestamp);
+    }
+  };
+
+  {
+    // All nodes know the exact initial state (paper assumption): seed the
+    // state board with true t = 0 packets — including each node's actual
+    // up/down status, so an initially-down peer never masquerades as
+    // up-and-empty for the first broadcast period.
+    for (std::size_t sender = 0; sender < n; ++sender) {
+      net::StateInfoPacket packet;
+      packet.sender = static_cast<int>(sender);
+      packet.timestamp = 0.0;
+      packet.queue_size = static_cast<std::uint32_t>(ces[sender]->queue_length());
+      packet.processing_rate = config.params.nodes[sender].lambda_d;
+      packet.node_up = ces[sender]->is_up();
+      for (std::size_t observer = 0; observer < n; ++observer) {
+        if (observer == sender) continue;
+        board.store(static_cast<int>(observer), packet);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<core::TransferDirective> mine;
+      sample_staleness(static_cast<int>(i));
+      for (const core::TransferDirective& d : policy.on_start(views[i])) {
+        if (d.from == static_cast<int>(i)) mine.push_back(d);
+      }
+      execute(mine, static_cast<int>(i));
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    churn[i]->set_failure_handler([&, i](int node_id) {
       ++result.failures;
       if (trace != nullptr) trace->events.log(sim.now(), "fail", std::to_string(node_id));
       // The backup agent of the failing node reacts with its local view.
+      sample_staleness(node_id);
       execute(policy.on_failure(node_id, views[i]), node_id);
     });
-    process->set_recovery_handler([&, i](int node_id) {
+    churn[i]->set_recovery_handler([&, i](int node_id) {
       ++result.recoveries;
       if (trace != nullptr) {
         trace->events.log(sim.now(), "recover", std::to_string(node_id));
       }
+      sample_staleness(node_id);
       execute(policy.on_recovery(node_id, views[i]), node_id);
     });
-    churn.push_back(std::move(process));
   }
+
+  // Environment coupling: storms raise every node's failure hazard and, when
+  // the channel is env-coupled, floor the channel state (channel storms then
+  // correlate with failure storms). Applied before the up-node churn starts so
+  // the first time-to-failure draws already see the initial multiplier.
+  std::unique_ptr<env::Environment> environment;
+  if (env_enabled) {
+    environment = std::make_unique<env::Environment>(sim, config.environment, *env_rng);
+    const auto apply_env = [&](std::size_t state) {
+      const double mult = config.environment.failure_mult[state];
+      for (const auto& process : churn) process->set_hazard_multiplier(mult);
+      if (config.channel.env_coupled) {
+        const std::size_t k_env = config.environment.states;
+        const std::size_t k_ch = config.channel.states;
+        const double frac =
+            k_env > 1 ? static_cast<double>(state) / static_cast<double>(k_env - 1) : 0.0;
+        network.set_channel_floor(
+            static_cast<std::size_t>(std::lround(frac * static_cast<double>(k_ch - 1))));
+      }
+    };
+    environment->set_transition_listener([&, apply_env](std::size_t, std::size_t to) {
+      if (trace != nullptr) trace->events.log(sim.now(), "env", std::to_string(to));
+      apply_env(to);
+    });
+    apply_env(environment->state());
+    environment->start();
+  }
+
   for (std::size_t i = 0; i < n; ++i) {
-    if (config.churn_enabled && config.params.nodes[i].lambda_f > 0.0) churn[i]->start();
+    if (config.churn_enabled && config.params.nodes[i].lambda_f > 0.0 &&
+        !config.starts_down(i)) {
+      churn[i]->start();
+    }
   }
   broadcaster.start();
 
@@ -178,6 +248,8 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
 
   result.completion_time = completion_time;
   for (const auto& ce : ces) result.tasks_completed += ce->stats().tasks_completed;
+  result.state_packets_lost = network.state_packets_lost();
+  if (environment != nullptr) result.env_transitions = environment->transitions();
   return result;
 }
 
@@ -189,8 +261,10 @@ ExperimentSummary run_experiment(const TestbedConfig& config, std::size_t realiz
 
   struct Partial {
     stoch::RunningStats completion;
+    stoch::RunningStats state_age;
     double failures = 0.0;
     double moved = 0.0;
+    double state_lost = 0.0;
     std::vector<double> samples;
   };
   std::vector<Partial> partials(workers);
@@ -201,8 +275,10 @@ ExperimentSummary run_experiment(const TestbedConfig& config, std::size_t realiz
     for (std::size_t rep = tid; rep < realizations; rep += workers) {
       const mc::RunResult run = run_realization(local, seed, rep);
       out.completion.add(run.completion_time);
+      out.state_age.merge(run.state_age);
       out.failures += static_cast<double>(run.failures);
       out.moved += static_cast<double>(run.tasks_moved);
+      out.state_lost += static_cast<double>(run.state_packets_lost);
       out.samples.push_back(run.completion_time);
     }
   };
@@ -218,14 +294,18 @@ ExperimentSummary run_experiment(const TestbedConfig& config, std::size_t realiz
   ExperimentSummary summary;
   double failures = 0.0;
   double moved = 0.0;
+  double state_lost = 0.0;
   for (Partial& p : partials) {
     summary.completion.merge(p.completion);
+    summary.state_age.merge(p.state_age);
     failures += p.failures;
     moved += p.moved;
+    state_lost += p.state_lost;
     summary.samples.insert(summary.samples.end(), p.samples.begin(), p.samples.end());
   }
   summary.mean_failures = failures / static_cast<double>(realizations);
   summary.mean_tasks_moved = moved / static_cast<double>(realizations);
+  summary.mean_state_lost = state_lost / static_cast<double>(realizations);
   std::sort(summary.samples.begin(), summary.samples.end());
   return summary;
 }

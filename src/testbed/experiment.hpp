@@ -25,6 +25,11 @@ struct ExperimentSummary {
   stoch::RunningStats completion;
   double mean_failures = 0.0;
   double mean_tasks_moved = 0.0;
+  /// Per-decision peer state age pooled over all realizations (see
+  /// mc::RunResult::state_age).
+  stoch::RunningStats state_age;
+  /// State-plane packets dropped per realization, averaged.
+  double mean_state_lost = 0.0;
   std::vector<double> samples;
 
   [[nodiscard]] double mean() const noexcept { return completion.mean(); }

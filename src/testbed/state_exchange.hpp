@@ -22,8 +22,10 @@ class StateBoard {
 
   void store(int observer, const net::StateInfoPacket& packet);
 
-  /// Packet last heard by `observer` from `peer` (observer != peer); the
-  /// default-constructed packet (timestamp 0, queue 0) before any exchange.
+  /// Packet last heard by `observer` from `peer` (observer != peer). Before
+  /// any store this is the default-constructed packet (timestamp 0, queue 0,
+  /// node up) — which is why the experiment seeds the board with the exact
+  /// t = 0 state before any decision runs (see run_realization).
   [[nodiscard]] const net::StateInfoPacket& last_heard(int observer, int peer) const;
 
   [[nodiscard]] std::size_t node_count() const noexcept { return n_; }

@@ -83,11 +83,10 @@ TEST(CliReproduce, RejectsUnknownFormats) {
 }
 
 TEST(CliRun, TestbedEngineRejectsSemanticsItCannotEmulate) {
-  // cold-start defaults node 0 down; the testbed has no initially-down
-  // support, so silently running it would produce wrong numbers.
+  // cold-start defaults node 0 down; since the channel-layer PR the testbed
+  // honours initially-down nodes as an initial condition, so it runs.
   const CliResult down = run({"run", "cold-start", "--engine=testbed", "--reps=2"});
-  EXPECT_EQ(down.exit_code, 2);
-  EXPECT_NE(down.err.find("down.mask"), std::string::npos);
+  EXPECT_EQ(down.exit_code, 0) << down.err;
 
   const CliResult periodic =
       run({"run", "periodic-rebalance", "--engine=testbed", "--reps=2"});

@@ -156,7 +156,8 @@ net::Network::Config deterministic_config(double per_task = 0.1) {
 TEST(NetworkTest, FullMeshTransfers) {
   des::Simulator sim;
   stoch::RngStream rng(13);
-  Network network(sim, 3, deterministic_config(), rng);
+  stoch::RngStream state_rng(113);
+  Network network(sim, 3, deterministic_config(), rng, state_rng);
   int delivered_to = -1;
   network.transfer(2, 0, node::make_unit_tasks(4, 2, 1),
                    [&](DataTransfer&& xfer) { delivered_to = xfer.to; });
@@ -171,7 +172,8 @@ TEST(NetworkTest, FullMeshTransfers) {
 TEST(NetworkTest, BroadcastReachesAllPeers) {
   des::Simulator sim;
   stoch::RngStream rng(14);
-  Network network(sim, 4, deterministic_config(), rng);
+  stoch::RngStream state_rng(114);
+  Network network(sim, 4, deterministic_config(), rng, state_rng);
   StateInfoPacket packet;
   packet.sender = 1;
   packet.queue_size = 42;
@@ -190,9 +192,10 @@ TEST(NetworkTest, BroadcastReachesAllPeers) {
 TEST(NetworkTest, LossyStatePlaneDropsSomePackets) {
   des::Simulator sim;
   stoch::RngStream rng(15);
+  stoch::RngStream state_rng(115);
   auto config = deterministic_config();
   config.state_loss_probability = 0.5;
-  Network network(sim, 2, std::move(config), rng);
+  Network network(sim, 2, std::move(config), rng, state_rng);
   StateInfoPacket packet;
   packet.sender = 0;
   std::size_t delivered = 0;
@@ -207,12 +210,19 @@ TEST(NetworkTest, LossyStatePlaneDropsSomePackets) {
 TEST(NetworkTest, RejectsDegenerateConfigs) {
   des::Simulator sim;
   stoch::RngStream rng(16);
-  EXPECT_THROW(Network(sim, 1, deterministic_config(), rng), std::invalid_argument);
+  stoch::RngStream state_rng(116);
+  EXPECT_THROW(Network(sim, 1, deterministic_config(), rng, state_rng),
+               std::invalid_argument);
+  // loss = 1.0 is a legitimate boundary (total state-plane blackout); only
+  // probabilities above 1 are malformed.
+  auto blackout = deterministic_config();
+  blackout.state_loss_probability = 1.0;
+  EXPECT_NO_THROW(Network(sim, 2, std::move(blackout), rng, state_rng));
   auto bad = deterministic_config();
-  bad.state_loss_probability = 1.0;
-  EXPECT_THROW(Network(sim, 2, std::move(bad), rng), std::invalid_argument);
+  bad.state_loss_probability = 1.0 + 1e-9;
+  EXPECT_THROW(Network(sim, 2, std::move(bad), rng, state_rng), std::invalid_argument);
   net::Network::Config no_delay;
-  EXPECT_THROW(Network(sim, 2, std::move(no_delay), rng), std::invalid_argument);
+  EXPECT_THROW(Network(sim, 2, std::move(no_delay), rng, state_rng), std::invalid_argument);
 }
 
 }  // namespace

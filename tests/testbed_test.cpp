@@ -35,8 +35,13 @@ TEST(TestbedConfigTest, PaperPresetAndValidation) {
   TestbedConfig broken = config.clone();
   broken.policy = nullptr;
   EXPECT_THROW(validate(broken), std::invalid_argument);
+  // loss = 1.0 is the blackout boundary and must validate; above 1 is
+  // malformed.
+  TestbedConfig blackout = config.clone();
+  blackout.state_loss_probability = 1.0;
+  EXPECT_NO_THROW(validate(blackout));
   TestbedConfig bad_loss = config.clone();
-  bad_loss.state_loss_probability = 1.0;
+  bad_loss.state_loss_probability = 1.0 + 1e-9;
   EXPECT_THROW(validate(bad_loss), std::invalid_argument);
 }
 
