@@ -62,11 +62,24 @@ int main(int argc, char** argv) {
   std::cout << "One realisation: completed " << run.tasks_completed << " tasks in "
             << util::format_double(run.completion_time, 1) << " s (" << run.failures
             << " failures, " << run.tasks_moved << " tasks migrated)\n";
-  std::cout << "event log:\n";
-  for (const auto& record : trace.events.records()) {
-    std::cout << "  t=" << util::format_double(record.time, 2) << "  " << record.tag << " "
-              << record.detail << "\n";
-  }
+  std::cout << "event log (churn and transfers):\n";
+  trace.events.for_each([&](const obs::Record& record) {
+    switch (record.kind_enum()) {
+      case obs::Kind::kTransferSend:
+      case obs::Kind::kTransferDeliver:
+        std::cout << "  t=" << util::format_double(record.time, 2) << "  "
+                  << obs::kind_name(record.kind_enum()) << " " << record.node << "->"
+                  << record.peer << " x" << record.count << "\n";
+        break;
+      case obs::Kind::kFail:
+      case obs::Kind::kRecover:
+        std::cout << "  t=" << util::format_double(record.time, 2) << "  "
+                  << obs::kind_name(record.kind_enum()) << " " << record.node << "\n";
+        break;
+      default:
+        break;  // per-task and state-plane records are too chatty for stdout
+    }
+  });
 
   // queue sizes at a few checkpoints (the Fig. 4 view, numeric form)
   std::cout << "\nqueue sizes over time:\n  t(s)    node1  node2\n";

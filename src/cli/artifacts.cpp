@@ -435,12 +435,37 @@ void fig4_show_realization(std::ostream& os, util::TextTable& all, const std::st
   print_ascii_curve(os, xs, {q0, q1}, {"node 1 queue (Crusoe)", "node 2 queue (P4)"}, 14);
 
   os << "churn/transfer log (first 12 records):\n";
+  // Render the historical string-log lines from the typed records: only the
+  // kinds the old churn/transfer log carried, with identical formatting, so
+  // the artefact stays byte-identical across the tracing refactor.
   std::size_t shown = 0;
-  for (const auto& record : trace.events.records()) {
-    if (shown++ >= 12) break;
-    os << "  t=" << util::format_double(record.time, 2) << "  " << record.tag << " "
-       << record.detail << "\n";
-  }
+  trace.events.for_each([&](const obs::Record& record) {
+    if (shown >= 12) return;
+    std::string line;
+    switch (record.kind_enum()) {
+      case obs::Kind::kTransferSend:
+        line = "transfer " + std::to_string(record.node) + "->" +
+               std::to_string(record.peer) + " x" + std::to_string(record.count);
+        break;
+      case obs::Kind::kTransferDeliver:
+        line = "arrival " + std::to_string(record.node) + "->" +
+               std::to_string(record.peer) + " x" + std::to_string(record.count);
+        break;
+      case obs::Kind::kFail:
+        line = "fail " + std::to_string(record.node);
+        break;
+      case obs::Kind::kRecover:
+        line = "recover " + std::to_string(record.node);
+        break;
+      case obs::Kind::kEnvTransition:
+        line = "env " + std::to_string(record.peer);
+        break;
+      default:
+        return;  // task/service/policy/channel records were never in this log
+    }
+    ++shown;
+    os << "  t=" << util::format_double(record.time, 2) << "  " << line << "\n";
+  });
 }
 
 util::TextTable run_fig4(ArtifactOptions& options, std::ostream& os) {

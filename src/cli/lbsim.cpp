@@ -17,10 +17,15 @@
 #include "mc/engine.hpp"
 #include "mc/scenario.hpp"
 #include "mc/steady.hpp"
+#include "obs/export.hpp"
+#include "obs/profile.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "testbed/config.hpp"
 #include "testbed/experiment.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 
 namespace lbsim::cli {
 namespace {
@@ -32,7 +37,13 @@ Usage:
   lbsim run <scenario> [key=value ...]
         [--config=FILE] [--engine=mc|testbed] [--reps=N] [--threads=N]
         [--seed=S] [--vr=none|antithetic|cv|both] [--cv-pilot=N] [--shards=N]
+        [--trace=FILE[:jsonl|chrome]] [--metrics=FILE]
         [--format=table|csv|json] [--out=FILE]
+        --trace writes the structured event trace (task/service/transfer/
+        churn/env records, replications in order behind rep_begin markers) as
+        JSONL or the Chrome trace-event JSON Perfetto opens; --metrics dumps
+        the merged counters/gauges/histograms registry as JSON. Both are
+        bit-identity-neutral: the run's statistics are unchanged.
         --vr selects the variance-reduced estimator (mc engine, finite
         horizon): antithetic mirrors replication pairs, cv adjusts by a
         churn-free surrogate under common random numbers with its exact mean
@@ -43,9 +54,10 @@ Usage:
         results at any N)
   lbsim sweep <scenario> [key=v1,v2 | key=lo:hi:step ...]
         [--reps=N] [--threads=N] [--seed=S] [--dry-run]
-        [--vr=MODE] [--cv-pilot=N] [--shards=N]
+        [--vr=MODE] [--cv-pilot=N] [--shards=N] [--metrics=FILE]
         [--quantiles] [--ecdf[=K]] [--compare=theory]
         [--format=table|csv|json] [--out=FILE]
+        --metrics dumps one registry merged over every grid point
         --quantiles adds p50/p90/p99 columns (streaming P2 estimates);
         --ecdf=K adds the empirical quantile function at K+1 evenly spaced
         probabilities (exact, collects samples); --compare=theory joins the
@@ -62,14 +74,19 @@ Usage:
   lbsim reproduce <table1|table2|table3|fig1..fig5>
         [--quick] [--golden-only] [--reps=N] [--realizations=N] [--seed=S]
         [--format=table|csv|json] [--out=FILE]
-  lbsim perf [--quick] [--out=FILE] [--check[=BASELINE]] [--max-regression=F]
+  lbsim perf [--quick] [--profile] [--out=FILE] [--check[=BASELINE]]
+        [--max-regression=F]
         timing baseline (perf_solver/perf_mc/perf_des, many-node
         perf_mc_n16/32/64 and sharded-queue perf_mc_n256, variance-reduced
         effective throughput perf_mc_vr, env-modulated perf_mc_env,
         topology-restricted perf_mc_graph, open-system perf_mc_steady,
         lossy state-plane perf_testbed_lossy);
         --check exits nonzero when any bench regresses >F (default 0.30) vs the
-        baseline JSON (default BENCH_baseline.json)
+        baseline JSON (default BENCH_baseline.json); --profile appends a
+        per-bench phase breakdown (setup / event loop / stats fold wall time)
+        from the engines' self-profiling
+
+Global flags: --log-level=trace|debug|info|warn|error|off (default warn).
 
 Scenario keys are INI-style (`lbsim list <scenario>` documents them); a
 --config file may also carry them, with command-line key=value pairs winning.
@@ -104,6 +121,73 @@ void emit(const util::CliArgs& args, const RunMetadata& meta, const util::TextTa
   if (!file) throw std::runtime_error("cannot write to '" + path + "'");
   write(file);
   out << "wrote " << format << " to " << path << "\n";
+}
+
+/// Observability sinks shared by run (all engines) and sweep (metrics only):
+/// `--trace=FILE[:jsonl|chrome]` and `--metrics=FILE`. Attaching them never
+/// perturbs the run — no RNG draws, bit-identical statistics.
+struct ObsOptions {
+  std::string trace_path;
+  std::string trace_format = "jsonl";
+  std::string metrics_path;
+  [[nodiscard]] bool any() const { return !trace_path.empty() || !metrics_path.empty(); }
+};
+
+ObsOptions parse_obs_options(const util::CliArgs& args) {
+  ObsOptions options;
+  options.metrics_path = args.get_string("metrics", "");
+  std::string spec = args.get_string("trace", "");
+  if (args.has("trace") && spec.empty()) {
+    throw ConfigError(ConfigError::Kind::kSyntax, "trace",
+                      "--trace needs a file path (FILE[:jsonl|chrome])");
+  }
+  if (!spec.empty()) {
+    // Only a recognised exporter suffix splits off, so plain paths with
+    // colons (e.g. Windows drives, timestamps) pass through untouched.
+    if (const std::size_t colon = spec.rfind(':'); colon != std::string::npos) {
+      const std::string suffix = spec.substr(colon + 1);
+      if (suffix == "jsonl" || suffix == "chrome") {
+        options.trace_format = suffix;
+        spec.resize(colon);
+      }
+    }
+    if (spec.empty()) {
+      throw ConfigError(ConfigError::Kind::kSyntax, "trace",
+                        "--trace needs a file path before the ':" + options.trace_format +
+                            "' suffix");
+    }
+    options.trace_path = spec;
+  }
+  return options;
+}
+
+void write_trace_file(const ObsOptions& options, const obs::TraceBuffer& trace,
+                      const obs::TraceMeta& trace_meta, std::ostream& out) {
+  std::ofstream file(options.trace_path);
+  if (!file) throw std::runtime_error("cannot write to '" + options.trace_path + "'");
+  if (options.trace_format == "chrome") {
+    obs::write_chrome(file, trace);
+  } else {
+    obs::write_jsonl(file, trace, &trace_meta);
+  }
+  out << "wrote " << trace.size() << " trace records (" << options.trace_format << ") to "
+      << options.trace_path << "\n";
+}
+
+void write_metrics_file(const std::string& path, const obs::Registry& metrics,
+                        const RunMetadata& meta, std::ostream& out) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot write to '" + path + "'");
+  file << "{\n  \"metadata\": {";
+  const auto items = meta.items();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    file << (i != 0 ? ",\n" : "\n") << "    \"" << json_escape(items[i].first) << "\": \""
+         << json_escape(items[i].second) << "\"";
+  }
+  file << "\n  },\n  \"metrics\": ";
+  metrics.write_json(file, 2);
+  file << "\n}\n";
+  out << "wrote metrics to " << path << "\n";
 }
 
 std::string joined_command(int argc, const char* const* argv) {
@@ -266,6 +350,29 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
   const Config config = invocation.spec->schema.resolve(invocation.raw);
   mc::ScenarioConfig scenario = invocation.spec->build(config);
 
+  // Observability sinks: in-memory buffers the engines fill (every family),
+  // flushed to files after the result table. Zero RNG draws, so attaching
+  // them leaves every statistic bit-identical.
+  const ObsOptions obs_options = parse_obs_options(args);
+  obs::TraceBuffer trace_buffer;
+  obs::Registry metrics_registry;
+  mc::ObsSinks sinks;
+  if (!obs_options.trace_path.empty()) sinks.trace = &trace_buffer;
+  if (!obs_options.metrics_path.empty()) sinks.metrics = &metrics_registry;
+  const auto flush_obs = [&](const RunMetadata& run_meta, std::ostream& os) {
+    if (sinks.trace != nullptr) {
+      obs::TraceMeta trace_meta;
+      trace_meta.scenario = invocation.spec->name;
+      trace_meta.seed = run_meta.seed;
+      trace_meta.replications = run_meta.replications;
+      trace_meta.git_revision = git_revision();
+      write_trace_file(obs_options, trace_buffer, trace_meta, os);
+    }
+    if (sinks.metrics != nullptr) {
+      write_metrics_file(obs_options.metrics_path, metrics_registry, run_meta, os);
+    }
+  };
+
   if (invocation.spec->testbed) {
     // Emulation family: the testbed engine is the only one with a state plane
     // to degrade, so the family always routes there.
@@ -295,6 +402,7 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
     if (engine.replications != 0) steady_config.replications = engine.replications;
     if (engine.seed != 0) steady_config.seed = engine.seed;
     steady_config.threads = engine.threads;
+    steady_config.obs = sinks;
     const std::string policy_name = scenario.policy->name();
     const auto steady_start = std::chrono::steady_clock::now();
     const mc::SteadyResult result = mc::run_steady(scenario, steady_config);
@@ -331,6 +439,7 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
                             std::chrono::steady_clock::now() - steady_start)
                             .count();
     emit(args, meta, table, out);
+    flush_obs(meta, out);
     return 0;
   }
 
@@ -359,6 +468,7 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
     mc_config.vr = engine.vr;
     mc_config.cv_pilot = engine.cv_pilot;
     mc_config.shards = engine.shards;
+    mc_config.obs = sinks;
     const std::string policy_name = scenario.policy->name();
     const mc::McResult result = mc::run_monte_carlo(scenario, mc_config);
     std::vector<std::string> row = {invocation.spec->name, policy_name, "mc",
@@ -412,7 +522,7 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
     const std::uint64_t seed = engine.seed != 0 ? engine.seed : 0xbed2006;
     const std::string policy_name = tb.policy->name();
     const testbed::ExperimentSummary result =
-        testbed::run_experiment(tb, realizations, seed, engine.threads);
+        testbed::run_experiment(tb, realizations, seed, engine.threads, sinks);
     table.add_row({invocation.spec->name, policy_name, "testbed",
                    std::to_string(realizations), util::format_double(result.mean(), 3),
                    util::format_double(result.ci95(), 3),
@@ -431,6 +541,7 @@ int cmd_run(int argc, const char* const* argv, const util::CliArgs& args, std::o
                           std::chrono::steady_clock::now() - start)
                           .count();
   emit(args, meta, table, out);
+  flush_obs(meta, out);
   return 0;
 }
 
@@ -454,6 +565,13 @@ int cmd_sweep(int argc, const char* const* argv, const util::CliArgs& args,
   }
 
   SweepOptions options;
+  const ObsOptions obs_options = parse_obs_options(args);
+  if (!obs_options.trace_path.empty()) {
+    throw ConfigError(ConfigError::Kind::kOutOfRange, "trace",
+                      "--trace is per-run; `lbsim sweep` supports --metrics only");
+  }
+  obs::Registry metrics_registry;
+  if (!obs_options.metrics_path.empty()) options.obs.metrics = &metrics_registry;
   EngineOptions engine = extract_engine_options(invocation.raw, args);
   if (engine.engine != "mc" && !invocation.spec->testbed) {
     throw ConfigError(ConfigError::Kind::kOutOfRange, "engine",
@@ -495,6 +613,9 @@ int cmd_sweep(int argc, const char* const* argv, const util::CliArgs& args,
         << " axes (nothing executed)\n";
   }
   emit(args, result.metadata, result.table, out);
+  if (options.obs.metrics != nullptr && !options.dry_run) {
+    write_metrics_file(obs_options.metrics_path, metrics_registry, result.metadata, out);
+  }
   return 0;
 }
 
@@ -622,6 +743,26 @@ int check_against_baseline(const std::string& baseline_path, const util::TextTab
 
 int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::ostream& out) {
   const bool quick = args.has("quick");
+  const bool profile = args.has("profile");
+
+  // --profile: the engines' per-phase self-profiling (setup / event loop /
+  // stats fold), printed as a separate table so the bench columns — and the
+  // parse_bench_json baseline format — stay fixed. The breakdown is the last
+  // timed run of each bench (best-of-k reruns would sum phases across runs).
+  util::TextTable profile_table({"bench", "setup_ms", "loop_ms", "fold_ms", "reps"});
+  obs::PhaseProfile bench_profile;
+  const auto profile_sinks = [&] {
+    mc::ObsSinks sinks;
+    if (profile) sinks.profile = &bench_profile;
+    return sinks;
+  };
+  const auto note_profile = [&](const std::string& bench) {
+    if (!profile) return;
+    profile_table.add_row({bench, util::format_double(bench_profile.setup_s * 1000.0, 2),
+                           util::format_double(bench_profile.loop_s * 1000.0, 2),
+                           util::format_double(bench_profile.fold_s * 1000.0, 2),
+                           std::to_string(bench_profile.reps)});
+  };
 
   const auto time_once_ms = [](const auto& fn) {
     const auto start = std::chrono::steady_clock::now();
@@ -660,6 +801,10 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
   meta.extra.emplace_back("tolerance.perf_mc_vr", "0.45");
   meta.extra.emplace_back("tolerance.perf_mc_steady", "0.45");
   meta.extra.emplace_back("tolerance.perf_testbed_lossy", "0.45");
+  meta.extra.emplace_back("tolerance.perf_mc_traced", "0.45");
+
+  // perf_mc_traced reports its overhead against perf_mc_n16's wall time.
+  double untraced_n16_ms = 0.0;
 
   // perf_solver: one cold exact-solver evaluation at the pinned operating point.
   {
@@ -679,8 +824,10 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
     const std::size_t reps = quick ? 100 : 500;
     mc::McConfig mc_config;
     mc_config.replications = reps;
+    mc_config.obs = profile_sinks();
     double mean = 0.0;
     const double ms = time_ms(3, [&] {
+      bench_profile = {};
       mc::ScenarioConfig scenario =
           mc::make_two_node_scenario(markov::ipdps2006_params(), 100, 60,
                                      std::make_unique<core::Lbp1Policy>(0, 0.35));
@@ -690,6 +837,7 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
                    std::to_string(reps) + " reps, mean " + util::format_double(mean, 2) + " s",
                    util::format_double(reps * 1000.0 / ms, 1)});
     note_reps("perf_mc", reps);
+    note_profile("perf_mc");
   }
 
   // perf_des: sequential discrete-event replications (single-threaded hot path).
@@ -724,16 +872,61 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
     mc::ScenarioConfig scenario = spec.build(spec.schema.resolve(raw));
     mc::McConfig mc_config;
     mc_config.replications = reps;
+    mc_config.obs = profile_sinks();
     double mean = 0.0;
     const int repeats = nodes <= 16 ? 3 : 2;
-    const double ms =
-        time_ms(repeats, [&] { mean = mc::run_monte_carlo(scenario, mc_config).mean(); });
+    const double ms = time_ms(repeats, [&] {
+      bench_profile = {};
+      mean = mc::run_monte_carlo(scenario, mc_config).mean();
+    });
+    if (nodes == 16) untraced_n16_ms = ms;
     const std::string name = "perf_mc_n" + std::to_string(nodes);
     table.add_row({name, util::format_double(ms, 2),
                    std::to_string(reps) + " reps x " + std::to_string(nodes) +
                        " nodes, mean " + util::format_double(mean, 2) + " s",
                    util::format_double(reps * 1000.0 / ms, 1)});
     note_reps(name, reps);
+    note_profile(name);
+  }
+
+  // perf_mc_traced: perf_mc_n16 with every observability sink attached
+  // (trace + metrics + profile, into in-memory buffers). The row pins the
+  // whole-stack observability overhead: "overhead.perf_mc_traced" metadata is
+  // the fractional wall-time cost over the untraced sibling, budgeted at
+  // <= 15% (scripts/compare_bench.py gates the throughput like any row).
+  {
+    const std::size_t reps = quick ? 50 : 500;
+    const ScenarioSpec& spec = find_scenario("many-node-churn");
+    RawConfig raw;
+    raw.set("nodes", "16");
+    mc::ScenarioConfig scenario = spec.build(spec.schema.resolve(raw));
+    mc::McConfig mc_config;
+    mc_config.replications = reps;
+    obs::TraceBuffer trace_sink;
+    obs::Registry metrics_sink;
+    obs::PhaseProfile profile_sink;
+    mc_config.obs.trace = &trace_sink;
+    mc_config.obs.metrics = &metrics_sink;
+    mc_config.obs.profile = &profile_sink;
+    double mean = 0.0;
+    const double ms = time_ms(3, [&] {
+      trace_sink.clear();
+      metrics_sink = obs::Registry{};
+      profile_sink = {};
+      mean = mc::run_monte_carlo(scenario, mc_config).mean();
+    });
+    const double overhead = untraced_n16_ms > 0.0 ? ms / untraced_n16_ms - 1.0 : 0.0;
+    table.add_row({"perf_mc_traced", util::format_double(ms, 2),
+                   std::to_string(reps) + " reps x 16 nodes, " +
+                       std::to_string(trace_sink.size()) + " records, overhead " +
+                       util::format_double(overhead * 100.0, 1) + "%",
+                   util::format_double(reps * 1000.0 / ms, 1)});
+    note_reps("perf_mc_traced", reps);
+    meta.extra.emplace_back("overhead.perf_mc_traced", util::format_double(overhead, 3));
+    if (profile) {
+      bench_profile = profile_sink;
+      note_profile("perf_mc_traced");
+    }
   }
 
   // perf_mc_n256: the sharded-queue scaling witness — many-node-churn at
@@ -749,14 +942,18 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
     mc::McConfig mc_config;
     mc_config.replications = reps;
     mc_config.shards = 8;
+    mc_config.obs = profile_sinks();
     double mean = 0.0;
-    const double ms =
-        time_ms(2, [&] { mean = mc::run_monte_carlo(scenario, mc_config).mean(); });
+    const double ms = time_ms(2, [&] {
+      bench_profile = {};
+      mean = mc::run_monte_carlo(scenario, mc_config).mean();
+    });
     table.add_row({"perf_mc_n256", util::format_double(ms, 2),
                    std::to_string(reps) + " reps x 256 nodes, 8 queue shards, mean " +
                        util::format_double(mean, 2) + " s",
                    util::format_double(reps * 1000.0 / ms, 1)});
     note_reps("perf_mc_n256", reps);
+    note_profile("perf_mc_n256");
   }
 
   // perf_mc_vr: effective throughput of the variance-reduced estimator —
@@ -777,8 +974,10 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
     mc::McConfig mc_config;
     mc_config.replications = reps;
     mc_config.vr = mc::VrMode::kAntithetic;
+    mc_config.obs = profile_sinks();
     mc::McVrReport vr;
     const double ms = time_ms(3, [&] {
+      bench_profile = {};
       mc::ScenarioConfig scenario = spec.build(spec.schema.resolve(RawConfig{}));
       vr = mc::run_monte_carlo(scenario, mc_config).vr;
     });
@@ -789,6 +988,7 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
                        util::format_double(vr.mean, 2) + " s",
                    util::format_double(effective, 1)});
     note_reps("perf_mc_vr", reps);
+    note_profile("perf_mc_vr");
     meta.extra.emplace_back("variance_ratio.perf_mc_vr",
                             util::format_double(vr.variance_ratio, 3));
   }
@@ -814,14 +1014,18 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
     mc::ScenarioConfig scenario = spec.build(spec.schema.resolve(raw));
     mc::McConfig mc_config;
     mc_config.replications = reps;
+    mc_config.obs = profile_sinks();
     double mean = 0.0;
-    const double ms =
-        time_ms(3, [&] { mean = mc::run_monte_carlo(scenario, mc_config).mean(); });
+    const double ms = time_ms(3, [&] {
+      bench_profile = {};
+      mean = mc::run_monte_carlo(scenario, mc_config).mean();
+    });
     table.add_row({"perf_mc_env", util::format_double(ms, 2),
                    std::to_string(reps) + " reps x 16 nodes correlated churn, mean " +
                        util::format_double(mean, 2) + " s",
                    util::format_double(reps * 1000.0 / ms, 1)});
     note_reps("perf_mc_env", reps);
+    note_profile("perf_mc_env");
   }
 
   // perf_mc_graph: the topology-restricted hot path (graph-rr at n=32 with
@@ -836,14 +1040,18 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
     mc::ScenarioConfig scenario = spec.build(spec.schema.resolve(raw));
     mc::McConfig mc_config;
     mc_config.replications = reps;
+    mc_config.obs = profile_sinks();
     double mean = 0.0;
-    const double ms =
-        time_ms(2, [&] { mean = mc::run_monte_carlo(scenario, mc_config).mean(); });
+    const double ms = time_ms(2, [&] {
+      bench_profile = {};
+      mean = mc::run_monte_carlo(scenario, mc_config).mean();
+    });
     table.add_row({"perf_mc_graph", util::format_double(ms, 2),
                    std::to_string(reps) + " reps x 32 nodes random-regular probe, mean " +
                        util::format_double(mean, 2) + " s",
                    util::format_double(reps * 1000.0 / ms, 1)});
     note_reps("perf_mc_graph", reps);
+    note_profile("perf_mc_graph");
   }
 
   // perf_mc_steady: the infinite-horizon engine on the open-steady defaults —
@@ -858,14 +1066,18 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
     mc::ScenarioConfig scenario = spec.build(spec.schema.resolve(raw));
     mc::SteadyConfig steady_config;
     steady_config.seed = 0x5eed2006;
+    steady_config.obs = profile_sinks();
     double mean = 0.0;
-    const double ms =
-        time_ms(3, [&] { mean = mc::run_steady(scenario, steady_config).mean(); });
+    const double ms = time_ms(3, [&] {
+      bench_profile = {};
+      mean = mc::run_steady(scenario, steady_config).mean();
+    });
     table.add_row({"perf_mc_steady", util::format_double(ms, 2),
                    std::to_string(tasks) + " completions open-steady, mean sojourn " +
                        util::format_double(mean, 2) + " s",
                    util::format_double(tasks * 1000.0 / ms, 1)});
     note_reps("perf_mc_steady", 1);
+    note_profile("perf_mc_steady");
   }
 
   // perf_testbed_lossy: the emulated testbed with a bursty 2-state channel on
@@ -880,13 +1092,16 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
     testbed::TestbedConfig tb = testbed::from_scenario(spec.build(spec.schema.resolve(raw)));
     double mean = 0.0;
     const double ms = time_ms(3, [&] {
-      mean = testbed::run_experiment(tb, reps, 0xbed2006, /*threads=*/0).mean();
+      bench_profile = {};
+      mean = testbed::run_experiment(tb, reps, 0xbed2006, /*threads=*/0, profile_sinks())
+                 .mean();
     });
     table.add_row({"perf_testbed_lossy", util::format_double(ms, 2),
                    std::to_string(reps) + " realizations, 2-state channel, mean " +
                        util::format_double(mean, 2) + " s",
                    util::format_double(reps * 1000.0 / ms, 1)});
     note_reps("perf_testbed_lossy", reps);
+    note_profile("perf_testbed_lossy");
   }
 
   meta.command = joined_command(argc, argv);
@@ -897,6 +1112,10 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
                           .count();
 
   table.print(out);
+  if (profile) {
+    out << "\nper-phase breakdown (engine self-profiling, last timed run):\n\n";
+    profile_table.print(out);
+  }
   const std::string path = args.get_string("out", "");
   if (!path.empty()) {
     // git_revision() is the configure-time snapshot — the same value stamped
@@ -930,6 +1149,9 @@ int cmd_perf(int argc, const char* const* argv, const util::CliArgs& args, std::
 int run_lbsim(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
   try {
     const util::CliArgs args(argc, argv);
+    if (const std::string level = args.get_string("log-level", ""); !level.empty()) {
+      util::set_log_level(util::parse_log_level(level));
+    }
     if (args.positional().empty() || args.has("help")) {
       out << kUsage;
       return args.positional().empty() && !args.has("help") ? 2 : 0;

@@ -335,6 +335,7 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
       steady_config.threads = point_options.threads;
       steady_config.seed = point_options.seed;
       steady_config.collect_samples = options.ecdf_points > 0;
+      steady_config.obs = options.obs;
       const mc::ScenarioConfig built = scenario.build(config);
       const mc::SteadyResult steady = mc::run_steady(built, steady_config);
       row.push_back(util::format_double(steady.mean(), 3));
@@ -363,8 +364,8 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
       const std::size_t reps =
           point_options.replications_explicit ? point_options.replications : 60;
       testbed::TestbedConfig tb = testbed::from_scenario(scenario.build(config));
-      const testbed::ExperimentSummary summary =
-          testbed::run_experiment(tb, reps, point_options.seed, point_options.threads);
+      const testbed::ExperimentSummary summary = testbed::run_experiment(
+          tb, reps, point_options.seed, point_options.threads, options.obs);
       row.push_back(util::format_double(summary.mean(), 3));
       row.push_back(util::format_double(summary.ci95(), 3));
       row.push_back(util::format_double(summary.completion.std_error(), 3));
@@ -394,6 +395,7 @@ SweepResult run_sweep(const ScenarioSpec& scenario, const RawConfig& base,
       mc_config.vr = point_options.vr;
       mc_config.cv_pilot = point_options.cv_pilot;
       mc_config.shards = point_options.shards;
+      mc_config.obs = options.obs;
       const mc::ScenarioConfig built = scenario.build(config);
       const mc::McResult mc_result = mc::run_monte_carlo(built, mc_config);
       row.push_back(util::format_double(mc_result.mean(), 3));

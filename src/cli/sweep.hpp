@@ -63,6 +63,10 @@ struct SweepOptions {
   mc::VrMode vr = mc::VrMode::kNone;
   std::size_t cv_pilot = 0;  ///< control-variate pilot block (0 = engine auto)
   std::size_t shards = 1;    ///< event-queue shards per replication
+  /// Observability sinks attached to every grid point (`--metrics`): the
+  /// engines merge into the same registry, so the dump covers the whole grid.
+  /// Attaching them never perturbs the swept statistics.
+  mc::ObsSinks obs;
 };
 
 /// Result table of a sweep: one row per grid point (axis columns first, then

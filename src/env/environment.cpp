@@ -94,6 +94,10 @@ void Environment::fire() {
   }
   state_ = to;
   ++transitions_;
+  if (event_trace_ != nullptr) {
+    event_trace_->emit(sim_.now(), obs::Kind::kEnvTransition, static_cast<std::int32_t>(from),
+                       static_cast<std::int32_t>(to));
+  }
   if (listener_) listener_(from, to);
   arm();
 }

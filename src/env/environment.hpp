@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "stochastic/rng.hpp"
 
@@ -86,6 +87,11 @@ class Environment {
     listener_ = std::move(listener);
   }
 
+  /// Optional structured event sink: every CTMC jump is recorded as
+  /// kEnvTransition (node = from state, peer = to state) before the listener
+  /// runs. Consumes no RNG draws; pass nullptr to stop.
+  void set_event_trace(obs::TraceBuffer* trace) noexcept { event_trace_ = trace; }
+
  private:
   void arm();
   void fire();
@@ -98,6 +104,7 @@ class Environment {
   bool running_ = false;
   std::uint64_t transitions_ = 0;
   TransitionListener listener_;
+  obs::TraceBuffer* event_trace_ = nullptr;
 };
 
 }  // namespace lbsim::env

@@ -1,6 +1,7 @@
 #include "mc/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -46,6 +47,45 @@ double McResult::sample_quantile(double q) const {
 }
 
 namespace {
+
+using ProfileClock = std::chrono::steady_clock;
+
+/// Folds one replication's result counters into a worker-local registry.
+/// Called from worker threads on their own registry — no synchronisation.
+void fold_run_metrics(obs::Registry& metrics, const RunResult& run) {
+  metrics.counter("mc.replications").add(1);
+  metrics.counter("mc.failures").add(run.failures);
+  metrics.counter("mc.recoveries").add(run.recoveries);
+  metrics.counter("mc.tasks_completed").add(run.tasks_completed);
+  metrics.counter("mc.tasks_arrived").add(run.tasks_arrived);
+  metrics.counter("env.transitions").add(run.env_transitions);
+  metrics.counter("net.tasks_moved").add(run.tasks_moved);
+  metrics.counter("net.bundles_sent").add(run.bundles_sent);
+  metrics.histogram("mc.completion_time").observe(run.completion_time);
+}
+
+/// Folds the worker simulator's cumulative DES-core stats (the simulator is
+/// reused across the worker's whole replication loop).
+void fold_queue_metrics(obs::Registry& metrics, const des::Simulator& sim) {
+  const des::EventQueue::Stats& qs = sim.queue_stats();
+  metrics.counter("des.events.scheduled").add(qs.scheduled);
+  metrics.counter("des.events.popped").add(qs.popped);
+  metrics.counter("des.events.cancelled").add(qs.cancelled);
+  metrics.counter("des.slab.compactions").add(qs.compactions);
+  metrics.gauge("des.queue.max_depth").max_of(static_cast<double>(qs.max_depth));
+  metrics.gauge("des.queue.max_shard_depth")
+      .max_of(static_cast<double>(qs.max_shard_depth));
+}
+
+/// Stitches per-replication trace buffers into the sink in replication order,
+/// each behind a kRepBegin marker — the merged trace is thread-count-
+/// independent because workers wrote disjoint buffers.
+void fold_traces(obs::TraceBuffer& sink, std::vector<RunTrace>& rep_traces) {
+  for (std::size_t rep = 0; rep < rep_traces.size(); ++rep) {
+    sink.emit(0.0, obs::Kind::kRepBegin, -1, -1, 0, rep);
+    sink.absorb(std::move(rep_traces[rep].events));
+  }
+}
 
 /// The control-variate plan: the control Y is the completion time of the
 /// scenario's *churn-free surrogate* (same workloads, policy, delay law;
@@ -114,10 +154,15 @@ McResult run_variance_reduced(const ScenarioConfig& config, const McConfig& mc) 
   result.vr.requested = mc.vr;
   result.vr.antithetic = antithetic;
 
+  const ProfileClock::time_point wall_begin = ProfileClock::now();
+
   ControlPlan plan;
   if (want_control) {
     plan = plan_control(config);
-    if (!plan.ok) result.vr.fallback = plan.reason;
+    if (!plan.ok) {
+      result.vr.fallback = plan.reason;
+      if (mc.obs.metrics != nullptr) mc.obs.metrics->counter("mc.vr.fallbacks").add(1);
+    }
   }
   const bool use_control = want_control && plan.ok;
 
@@ -131,11 +176,22 @@ McResult run_variance_reduced(const ScenarioConfig& config, const McConfig& mc) 
   std::vector<double> target(reps, 0.0);
   std::vector<double> control(use_control ? reps : 0, 0.0);
 
+  // Per-replication trace buffers, also indexed by replication id (the
+  // control surrogate runs are never traced — they are estimator internals,
+  // not model events).
+  std::vector<RunTrace> rep_traces;
+  if (mc.obs.trace != nullptr) {
+    rep_traces.resize(reps);
+    for (RunTrace& t : rep_traces) t.record_queues = false;
+  }
+
   struct Partial {
     stoch::RunningStats sojourn;
     double failures = 0.0;
     double tasks_moved = 0.0;
     double bundles = 0.0;
+    obs::Registry metrics;
+    obs::PhaseProfile profile;
   };
   std::vector<Partial> partials(threads);
 
@@ -146,30 +202,47 @@ McResult run_variance_reduced(const ScenarioConfig& config, const McConfig& mc) 
     des::Simulator sim;
     sim.set_shard_count(mc.shards);
     Partial& out = partials[tid];
+    obs::Registry* metrics = mc.obs.metrics != nullptr ? &out.metrics : nullptr;
     for (std::size_t rep = tid; rep < reps; rep += threads) {
       RunControls controls;
+      // Only the target run is profiled; the surrogate's cost shows up in
+      // measured reps/s and the mc.vr.surrogate_runs counter instead, so
+      // profile.reps keeps meaning "replications".
+      if (mc.obs.profile != nullptr) controls.profile = &out.profile;
       std::uint64_t stream_rep = rep;
       if (antithetic) {
         // Pair (2k, 2k+1): one stream id used twice, the odd member mirrored.
         controls.antithetic = rep % 2 == 1;
         stream_rep = rep / 2;
       }
+      RunTrace* trace = mc.obs.trace != nullptr ? &rep_traces[rep] : nullptr;
       const RunResult run =
-          run_scenario(local, mc.seed, stream_rep, nullptr, sim, SteadyProbe{}, controls);
+          run_scenario(local, mc.seed, stream_rep, trace, sim, SteadyProbe{}, controls);
+      ProfileClock::time_point fold_begin{};
+      if (controls.profile != nullptr) fold_begin = ProfileClock::now();
       target[rep] = run.completion_time;
       out.sojourn.merge(run.sojourn);
       out.failures += static_cast<double>(run.failures);
       out.tasks_moved += static_cast<double>(run.tasks_moved);
       out.bundles += static_cast<double>(run.bundles_sent);
+      if (metrics != nullptr) fold_run_metrics(*metrics, run);
+      if (controls.profile != nullptr) {
+        controls.profile->fold_s +=
+            std::chrono::duration<double>(ProfileClock::now() - fold_begin).count();
+      }
       if (use_control) {
         // Common random numbers: stripping churn leaves the stream layout
         // unchanged, so the surrogate replays the same draws and Y stays
         // tightly coupled to T.
+        RunControls ctrl_controls;
+        ctrl_controls.antithetic = controls.antithetic;
         const RunResult ctrl = run_scenario(local_surrogate, mc.seed, stream_rep, nullptr,
-                                            sim, SteadyProbe{}, controls);
+                                            sim, SteadyProbe{}, ctrl_controls);
         control[rep] = ctrl.completion_time;
+        if (metrics != nullptr) metrics->counter("mc.vr.surrogate_runs").add(1);
       }
     }
+    if (metrics != nullptr) fold_queue_metrics(*metrics, sim);
   };
 
   if (threads == 1) {
@@ -191,6 +264,16 @@ McResult run_variance_reduced(const ScenarioConfig& config, const McConfig& mc) 
     failures += p.failures;
     moved += p.tasks_moved;
     bundles += p.bundles;
+    if (mc.obs.metrics != nullptr) mc.obs.metrics->merge(p.metrics);
+    if (mc.obs.profile != nullptr) mc.obs.profile->merge(p.profile);
+  }
+  if (mc.obs.trace != nullptr) fold_traces(*mc.obs.trace, rep_traces);
+  if (mc.obs.metrics != nullptr) {
+    const double wall_s =
+        std::chrono::duration<double>(ProfileClock::now() - wall_begin).count();
+    if (wall_s > 0.0) {
+      mc.obs.metrics->gauge("mc.reps_per_s").set(static_cast<double>(reps) / wall_s);
+    }
   }
   const double n = static_cast<double>(reps);
   result.mean_failures = failures / n;
@@ -252,6 +335,7 @@ McResult run_variance_reduced(const ScenarioConfig& config, const McConfig& mc) 
       control_active = false;
       result.vr.fallback =
           "control variate unavailable: the control shows no variance in the pilot block";
+      if (mc.obs.metrics != nullptr) mc.obs.metrics->counter("mc.vr.fallbacks").add(1);
     }
   }
   if (!control_active) {
@@ -292,6 +376,17 @@ McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
   unsigned threads = mc.threads == 0 ? std::thread::hardware_concurrency() : mc.threads;
   threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(mc.replications)));
 
+  const ProfileClock::time_point wall_begin = ProfileClock::now();
+
+  // Per-replication trace buffers, indexed by replication id: workers write
+  // disjoint entries, and the post-join fold stitches them in replication
+  // order, so the merged trace is thread-count-independent.
+  std::vector<RunTrace> rep_traces;
+  if (mc.obs.trace != nullptr) {
+    rep_traces.resize(mc.replications);
+    for (RunTrace& t : rep_traces) t.record_queues = false;
+  }
+
   struct Partial {
     stoch::RunningStats completion;
     stoch::RunningStats sojourn;
@@ -303,6 +398,8 @@ McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
     stoch::P2Quantile p50{0.5};
     stoch::P2Quantile p90{0.9};
     stoch::P2Quantile p99{0.99};
+    obs::Registry metrics;      // folded into the sink in worker-id order
+    obs::PhaseProfile profile;  // folded by summation
   };
   std::vector<Partial> partials(threads);
 
@@ -321,9 +418,16 @@ McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
     des::Simulator sim;
     sim.set_shard_count(mc.shards);
     Partial& out = partials[tid];
+    obs::Registry* metrics = mc.obs.metrics != nullptr ? &out.metrics : nullptr;
+    RunControls controls;
+    if (mc.obs.profile != nullptr) controls.profile = &out.profile;
     if (keep_samples) out.samples.reserve(mc.replications / threads + 1);
     for (std::size_t rep = tid; rep < mc.replications; rep += threads) {
-      const RunResult run = run_scenario(local, mc.seed, rep, nullptr, sim);
+      RunTrace* trace = mc.obs.trace != nullptr ? &rep_traces[rep] : nullptr;
+      const RunResult run =
+          run_scenario(local, mc.seed, rep, trace, sim, SteadyProbe{}, controls);
+      ProfileClock::time_point fold_begin{};
+      if (controls.profile != nullptr) fold_begin = ProfileClock::now();
       out.completion.add(run.completion_time);
       out.sojourn.merge(run.sojourn);
       out.failures += static_cast<double>(run.failures);
@@ -336,7 +440,13 @@ McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
         out.p90.add(run.completion_time);
         out.p99.add(run.completion_time);
       }
+      if (metrics != nullptr) fold_run_metrics(*metrics, run);
+      if (controls.profile != nullptr) {
+        controls.profile->fold_s +=
+            std::chrono::duration<double>(ProfileClock::now() - fold_begin).count();
+      }
     }
+    if (metrics != nullptr) fold_queue_metrics(*metrics, sim);
   };
 
   if (threads == 1) {
@@ -359,6 +469,17 @@ McResult run_monte_carlo(const ScenarioConfig& config, const McConfig& mc) {
     moved += p.tasks_moved;
     bundles += p.bundles;
     result.samples.insert(result.samples.end(), p.samples.begin(), p.samples.end());
+    if (mc.obs.metrics != nullptr) mc.obs.metrics->merge(p.metrics);
+    if (mc.obs.profile != nullptr) mc.obs.profile->merge(p.profile);
+  }
+  if (mc.obs.trace != nullptr) fold_traces(*mc.obs.trace, rep_traces);
+  if (mc.obs.metrics != nullptr) {
+    const double wall_s =
+        std::chrono::duration<double>(ProfileClock::now() - wall_begin).count();
+    if (wall_s > 0.0) {
+      mc.obs.metrics->gauge("mc.reps_per_s")
+          .set(static_cast<double>(mc.replications) / wall_s);
+    }
   }
   const double n = static_cast<double>(mc.replications);
   result.mean_failures = failures / n;

@@ -46,6 +46,10 @@ struct McConfig {
   /// Event-queue shards per replication (>= 1). Bit-neutral at every value;
   /// 1 keeps the historical single-heap layout.
   std::size_t shards = 1;
+  /// Observability sinks (trace / metrics / profile), all optional. Attaching
+  /// any of them consumes zero RNG draws and leaves every statistic
+  /// bit-identical to an unobserved run.
+  ObsSinks obs;
 };
 
 /// Largest replication count for which the engine computes its quantile

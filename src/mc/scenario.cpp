@@ -1,8 +1,8 @@
 #include "mc/scenario.hpp"
 
+#include <chrono>
 #include <functional>
 #include <optional>
-#include <sstream>
 
 #include "app/workload.hpp"
 #include "node/compute_element.hpp"
@@ -186,6 +186,12 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
 RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
                        std::uint64_t replication, RunTrace* trace, des::Simulator& sim,
                        const SteadyProbe& probe, const RunControls& controls) {
+  // Phase profiling reads the monotonic clock only (never the RNG streams):
+  // everything before the event loop is "setup", the loop itself is "loop".
+  using ProfileClock = std::chrono::steady_clock;
+  ProfileClock::time_point profile_begin{};
+  if (controls.profile != nullptr) profile_begin = ProfileClock::now();
+
   validate_config(config, /*allow_unbounded=*/probe.target_completions > 0);
   const std::size_t n = config.params.nodes.size();
   sim.reset();  // recycles the pooled event slab when the caller reuses `sim`
@@ -255,10 +261,13 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
   }
 
   if (trace != nullptr) {
-    trace->queue_lengths.assign(n, des::TimeSeries{});
-    for (std::size_t i = 0; i < n; ++i) {
-      ces[i]->set_queue_trace(&trace->queue_lengths[i]);
+    if (trace->record_queues) {
+      trace->queue_lengths.assign(n, des::TimeSeries{});
+      for (std::size_t i = 0; i < n; ++i) {
+        ces[i]->set_queue_trace(&trace->queue_lengths[i]);
+      }
     }
+    for (std::size_t i = 0; i < n; ++i) ces[i]->set_event_trace(&trace->events);
   }
 
   // --- links (full mesh, built lazily: an n-node replication only pays for
@@ -355,16 +364,15 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
       result.bundles_sent += 1;
       result.tasks_moved += batch.size();
       if (trace != nullptr) {
-        std::ostringstream os;
-        os << d.from << "->" << d.to << " x" << batch.size();
-        trace->events.log(sim.now(), "transfer", os.str());
+        trace->events.emit(sim.now(), obs::Kind::kTransferSend, d.from, d.to,
+                           static_cast<std::uint32_t>(batch.size()));
       }
       link_for(static_cast<std::size_t>(d.from), static_cast<std::size_t>(d.to))
           .send(std::move(batch), [ctx = &delivery](net::DataTransfer&& xfer) {
             if (ctx->trace != nullptr) {
-              std::ostringstream os;
-              os << xfer.from << "->" << xfer.to << " x" << xfer.tasks.size();
-              ctx->trace->events.log(ctx->sim->now(), "arrival", os.str());
+              ctx->trace->events.emit(ctx->sim->now(), obs::Kind::kTransferDeliver,
+                                      xfer.from, xfer.to,
+                                      static_cast<std::uint32_t>(xfer.tasks.size()));
             }
             (*ctx->ces)[static_cast<std::size_t>(xfer.to)]->enqueue_batch(
                 std::move(xfer.tasks));
@@ -388,15 +396,25 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
 
     void on_failure(int node_id) const {
       ++result->failures;
-      if (trace != nullptr) trace->events.log(sim->now(), "fail", std::to_string(node_id));
-      (*execute_directives)(policy->on_failure(node_id, *view));
+      if (trace != nullptr) trace->events.emit(sim->now(), obs::Kind::kFail, node_id);
+      const std::vector<core::TransferDirective> directives =
+          policy->on_failure(node_id, *view);
+      if (trace != nullptr) {
+        trace->events.emit(sim->now(), obs::Kind::kPolicyDecision, node_id, -1,
+                           static_cast<std::uint32_t>(directives.size()));
+      }
+      (*execute_directives)(directives);
     }
     void on_recovery(int node_id) const {
       ++result->recoveries;
+      if (trace != nullptr) trace->events.emit(sim->now(), obs::Kind::kRecover, node_id);
+      const std::vector<core::TransferDirective> directives =
+          policy->on_recovery(node_id, *view);
       if (trace != nullptr) {
-        trace->events.log(sim->now(), "recover", std::to_string(node_id));
+        trace->events.emit(sim->now(), obs::Kind::kPolicyDecision, node_id, -1,
+                           static_cast<std::uint32_t>(directives.size()));
       }
-      (*execute_directives)(policy->on_recovery(node_id, *view));
+      (*execute_directives)(directives);
     }
   };
   ChurnHooks hooks{&result, trace, &sim, &policy, &view, &execute};
@@ -441,7 +459,10 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
 
   // --- environment (common-shock CTMC modulating every failure hazard) ---
   std::optional<env::Environment> environment;
-  if (has_environment) environment.emplace(sim, config.environment, *env_rng);
+  if (has_environment) {
+    environment.emplace(sim, config.environment, *env_rng);
+    if (trace != nullptr) environment->set_event_trace(&trace->events);
+  }
 
   // --- external arrivals (open-system task injection) ---
   std::optional<env::ArrivalProcess> arrivals;
@@ -468,14 +489,21 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
       (*ctx->ces)[node]->enqueue_units(tasks, *ctx->next_id);
       *ctx->next_id += tasks;
       if (ctx->trace != nullptr) {
-        std::ostringstream os;
-        os << node << " x" << tasks;
-        ctx->trace->events.log(ctx->sim->now(), "inject", os.str());
+        ctx->trace->events.emit(ctx->sim->now(), obs::Kind::kInject,
+                                static_cast<std::int32_t>(node), -1,
+                                static_cast<std::uint32_t>(tasks));
       }
       if (ctx->rebalance) {
         // Section 5's "LB episode at every external arrival": replay the
         // policy's initial balancing decision against the live queues.
-        (*ctx->execute_directives)(ctx->policy->on_start(*ctx->view));
+        const std::vector<core::TransferDirective> directives =
+            ctx->policy->on_start(*ctx->view);
+        if (ctx->trace != nullptr) {
+          ctx->trace->events.emit(ctx->sim->now(), obs::Kind::kPolicyDecision,
+                                  static_cast<std::int32_t>(node), -1,
+                                  static_cast<std::uint32_t>(directives.size()));
+        }
+        (*ctx->execute_directives)(directives);
       }
       if (last) {
         ctx->tracker->injection_done = true;
@@ -495,13 +523,13 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
       env::ArrivalProcess* arrivals;
       LiveView* view;
       const std::vector<net::Topology>* topo_states;  // null unless edge churn
-      RunTrace* trace;
-      des::Simulator* sim;
     };
+    // (The kEnvTransition trace record is emitted by the Environment itself,
+    // before this listener runs.)
     environment->set_transition_listener(
         [ctx = EnvCtx{&churn, &*environment, arrivals ? &*arrivals : nullptr, &view,
-                      config.topology.dynamic() ? &topo_states : nullptr, trace, &sim}](
-            std::size_t from, std::size_t to) {
+                      config.topology.dynamic() ? &topo_states : nullptr}](
+            std::size_t /*from*/, std::size_t to) {
           const double mult = ctx.environment->spec().failure_mult[to];
           for (const auto& process : *ctx.churn) {
             if (process) process->set_hazard_multiplier(mult);
@@ -509,11 +537,6 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
           if (ctx.arrivals != nullptr) ctx.arrivals->on_environment_transition();
           if (ctx.topo_states != nullptr) {
             ctx.view->set_topology(&(*ctx.topo_states)[to]);
-          }
-          if (ctx.trace != nullptr) {
-            std::ostringstream os;
-            os << from << "->" << to;
-            ctx.trace->events.log(ctx.sim->now(), "env", os.str());
           }
         });
     // The initial state's multiplier applies to the very first TTF draws.
@@ -524,7 +547,14 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
   }
 
   // --- t = 0: policy's initial action, then churn starts ---
-  execute(policy.on_start(view));
+  {
+    const std::vector<core::TransferDirective> initial = policy.on_start(view);
+    if (trace != nullptr) {
+      trace->events.emit(sim.now(), obs::Kind::kPolicyDecision, -1, -1,
+                         static_cast<std::uint32_t>(initial.size()));
+    }
+    execute(initial);
+  }
   std::function<void()> tick;
   if (config.rebalance_period > 0.0) {
     // Recurring timer for periodic policies; stops mattering once done.
@@ -533,7 +563,12 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
     // self-captured shared_ptr here leaks one cycle per replication.
     tick = [&] {
       if (tracker.done) return;
-      execute(policy.on_periodic(view));
+      const std::vector<core::TransferDirective> directives = policy.on_periodic(view);
+      if (trace != nullptr) {
+        trace->events.emit(sim.now(), obs::Kind::kPolicyDecision, -1, -1,
+                           static_cast<std::uint32_t>(directives.size()));
+      }
+      execute(directives);
       sim.schedule_in(config.rebalance_period, tick);
     };
     sim.schedule_in(config.rebalance_period, tick);
@@ -550,7 +585,18 @@ RunResult run_scenario(const ScenarioConfig& config, std::uint64_t seed,
   if (environment) environment->start();
   if (arrivals) arrivals->start();
 
+  ProfileClock::time_point profile_loop{};
+  if (controls.profile != nullptr) {
+    profile_loop = ProfileClock::now();
+    controls.profile->setup_s +=
+        std::chrono::duration<double>(profile_loop - profile_begin).count();
+  }
   sim.run_while_pending([&] { return tracker.done; });
+  if (controls.profile != nullptr) {
+    controls.profile->loop_s +=
+        std::chrono::duration<double>(ProfileClock::now() - profile_loop).count();
+    controls.profile->reps += 1;
+  }
   LBSIM_CHECK(tracker.done, "simulation drained its event queue before completing "
                                 << tracker.remaining << " tasks"
                                 << (tracker.injection_done

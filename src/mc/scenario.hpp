@@ -17,6 +17,9 @@
 #include "net/channel.hpp"
 #include "net/delay_model.hpp"
 #include "net/topology.hpp"
+#include "obs/profile.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/trace.hpp"
 #include "stochastic/stats.hpp"
 
@@ -129,12 +132,38 @@ struct RunResult {
   }
 };
 
-/// Optional per-run observability (Fig. 4): queue traces and a churn/transfer log.
+/// Optional per-run observability: queue traces (Fig. 4) and the structured
+/// event log. Recording consumes zero RNG draws and leaves every statistic
+/// bit-identical to an untraced run.
 struct RunTrace {
-  std::vector<des::TimeSeries> queue_lengths;  // one per node
-  /// Tags: fail, recover, transfer, arrival (bundle delivery), inject
-  /// (external arrival epoch), env (environment transition).
-  des::EventLog events;
+  std::vector<des::TimeSeries> queue_lengths;  // one per node (record_queues only)
+  /// Whether the per-node queue-length TimeSeries above are recorded. The
+  /// Fig-4 artifact wants them; engine-level tracing of large runs turns them
+  /// off and keeps only the fixed-width `events` records.
+  bool record_queues = true;
+  /// Typed 32-byte records: task arrive/service-start/complete, transfer
+  /// send/deliver, fail/recover, env transitions, channel-state changes,
+  /// state-packet loss, policy decisions, external injections (see obs::Kind).
+  obs::TraceBuffer events;
+};
+
+/// Non-owning observability sinks threaded through the engines (all three
+/// layers optional and mutually independent). Everything reached through
+/// these pointers consumes zero RNG draws and is bit-identity-neutral.
+struct ObsSinks {
+  /// Merged structured trace: engines record each replication into its own
+  /// buffer and fold them in replication order behind a kRepBegin marker
+  /// (payload = replication index), so the file is thread-count-independent.
+  obs::TraceBuffer* trace = nullptr;
+  /// Merged metrics: per-worker registries folded in worker-id order plus
+  /// driver-level counters/gauges (see docs/ARCHITECTURE.md).
+  obs::Registry* metrics = nullptr;
+  /// Aggregated per-phase wall-time breakdown across all replications.
+  obs::PhaseProfile* profile = nullptr;
+
+  [[nodiscard]] bool any() const noexcept {
+    return trace != nullptr || metrics != nullptr || profile != nullptr;
+  }
 };
 
 /// Runs one replication. `seed` is the experiment master seed; `replication`
@@ -180,6 +209,10 @@ struct RunControls {
   /// stoch::RngStream::set_antithetic). Pairing (replication r plain,
   /// replication r mirrored) yields negatively correlated twins.
   bool antithetic = false;
+  /// When non-null, the replication's setup and event-loop wall times are
+  /// accumulated here (the stats fold is timed by the engine). Reads the
+  /// monotonic clock only — no RNG draws, no behavioural change.
+  obs::PhaseProfile* profile = nullptr;
 };
 
 /// Controls-carrying form of run_scenario; the most general overload, which

@@ -1,6 +1,7 @@
 #include "mc/steady.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
@@ -34,6 +35,9 @@ SteadyResult run_steady(const ScenarioConfig& config, const SteadyConfig& sc) {
   const bool keep_samples =
       sc.collect_samples || sc.replications * spec.tasks <= kExactQuantileCap;
 
+  using ProfileClock = std::chrono::steady_clock;
+  const ProfileClock::time_point wall_begin = ProfileClock::now();
+
   // Indexed by replication (not worker), so every fold below runs in
   // replication order and the result is independent of the thread count.
   struct Per {
@@ -44,13 +48,23 @@ SteadyResult run_steady(const ScenarioConfig& config, const SteadyConfig& sc) {
     stoch::P2Quantile p50{0.5};
     stoch::P2Quantile p90{0.9};
     stoch::P2Quantile p99{0.99};
+    RunTrace trace;  // events only; used when sc.obs.trace is attached
   };
   std::vector<Per> per(sc.replications);
+  for (Per& p : per) p.trace.record_queues = false;
+
+  // Per-worker observability state, folded in worker-id order after the join
+  // (all merges commute, so the dump is thread-count-independent).
+  std::vector<obs::Registry> worker_metrics(threads);
+  std::vector<obs::PhaseProfile> worker_profiles(threads);
 
   const auto worker = [&](unsigned tid) {
     const ScenarioConfig local = config.clone();
     des::Simulator sim;
     std::vector<double> log;
+    obs::Registry* metrics = sc.obs.metrics != nullptr ? &worker_metrics[tid] : nullptr;
+    RunControls controls;
+    if (sc.obs.profile != nullptr) controls.profile = &worker_profiles[tid];
     for (std::size_t rep = tid; rep < sc.replications; rep += threads) {
       log.clear();
       log.reserve(spec.tasks);
@@ -58,7 +72,10 @@ SteadyResult run_steady(const ScenarioConfig& config, const SteadyConfig& sc) {
       probe.target_completions = spec.tasks;
       probe.sojourn_log = &log;
       Per& out = per[rep];
-      out.run = run_scenario(local, sc.seed, rep, nullptr, sim, probe);
+      RunTrace* trace = sc.obs.trace != nullptr ? &out.trace : nullptr;
+      out.run = run_scenario(local, sc.seed, rep, trace, sim, probe, controls);
+      ProfileClock::time_point fold_begin{};
+      if (controls.profile != nullptr) fold_begin = ProfileClock::now();
       out.warmup = stoch::mser5_truncation(log, spec.warmup_cap);
       out.bm = stoch::batch_means(log, out.warmup, spec.batches);
       if (keep_samples) {
@@ -70,6 +87,31 @@ SteadyResult run_steady(const ScenarioConfig& config, const SteadyConfig& sc) {
           out.p99.add(log[i]);
         }
       }
+      if (metrics != nullptr) {
+        metrics->counter("steady.replications").add(1);
+        metrics->counter("steady.failures").add(out.run.failures);
+        metrics->counter("steady.recoveries").add(out.run.recoveries);
+        metrics->counter("steady.tasks_completed").add(out.run.tasks_completed);
+        metrics->counter("steady.warmup_discarded").add(out.warmup);
+        metrics->counter("net.tasks_moved").add(out.run.tasks_moved);
+        metrics->counter("net.bundles_sent").add(out.run.bundles_sent);
+        obs::Histogram& sojourn = metrics->histogram("steady.sojourn");
+        for (std::size_t i = out.warmup; i < log.size(); ++i) sojourn.observe(log[i]);
+      }
+      if (controls.profile != nullptr) {
+        controls.profile->fold_s +=
+            std::chrono::duration<double>(ProfileClock::now() - fold_begin).count();
+      }
+    }
+    if (metrics != nullptr) {
+      const des::EventQueue::Stats& qs = sim.queue_stats();
+      metrics->counter("des.events.scheduled").add(qs.scheduled);
+      metrics->counter("des.events.popped").add(qs.popped);
+      metrics->counter("des.events.cancelled").add(qs.cancelled);
+      metrics->counter("des.slab.compactions").add(qs.compactions);
+      metrics->gauge("des.queue.max_depth").max_of(static_cast<double>(qs.max_depth));
+      metrics->gauge("des.queue.max_shard_depth")
+          .max_of(static_cast<double>(qs.max_shard_depth));
     }
   };
 
@@ -101,6 +143,24 @@ SteadyResult run_steady(const ScenarioConfig& config, const SteadyConfig& sc) {
   }
   result.batch = stoch::summarize_batch_means(std::move(pooled), per[0].bm.batch_size);
   result.batch.observations = observations;  // per-rep batch sizes may differ by 1
+  if (sc.obs.trace != nullptr) {
+    for (std::size_t rep = 0; rep < sc.replications; ++rep) {
+      sc.obs.trace->emit(0.0, obs::Kind::kRepBegin, -1, -1, 0, rep);
+      sc.obs.trace->absorb(std::move(per[rep].trace.events));
+    }
+  }
+  if (sc.obs.metrics != nullptr) {
+    for (const obs::Registry& r : worker_metrics) sc.obs.metrics->merge(r);
+    const double wall_s =
+        std::chrono::duration<double>(ProfileClock::now() - wall_begin).count();
+    if (wall_s > 0.0) {
+      sc.obs.metrics->gauge("steady.reps_per_s")
+          .set(static_cast<double>(sc.replications) / wall_s);
+    }
+  }
+  if (sc.obs.profile != nullptr) {
+    for (const obs::PhaseProfile& p : worker_profiles) sc.obs.profile->merge(p);
+  }
   result.mean_queue_length =
       result.horizon_time > 0.0 ? task_seconds / result.horizon_time : 0.0;
   const double reps = static_cast<double>(sc.replications);

@@ -24,6 +24,9 @@ struct SteadyConfig {
   std::uint64_t seed = 0x5eed2006;
   unsigned threads = 0;         ///< 0 = std::thread::hardware_concurrency()
   bool collect_samples = false; ///< keep post-warm-up sojourns (ECDF/KS use)
+  /// Observability sinks (trace / metrics / profile), all optional and
+  /// bit-identity-neutral (zero RNG draws).
+  ObsSinks obs;
 };
 
 /// Everything the steady engine reports. Deterministic in (config, seed,

@@ -68,9 +68,19 @@ std::size_t Network::broadcast_state(const StateInfoPacket& packet, StateHandler
     state_bytes_ += packet.wire_bytes();
     // Unconditionally-per-packet channel step: stream consumption is the same
     // whatever the loss/channel configuration, so CRN pairing survives sweeps.
+    const std::size_t state_before = channel_.effective_state();
     const ChannelHop hop = channel_.step(state_rng_);
+    if (event_trace_ != nullptr && channel_.effective_state() != state_before) {
+      event_trace_->emit(sim_.now(), obs::Kind::kChannelState, packet.sender,
+                         static_cast<std::int32_t>(to),
+                         static_cast<std::uint32_t>(channel_.effective_state()));
+    }
     if (hop.lost) {
       ++state_lost_;
+      if (event_trace_ != nullptr) {
+        event_trace_->emit(sim_.now(), obs::Kind::kStatePacketLost, packet.sender,
+                           static_cast<std::int32_t>(to));
+      }
       continue;
     }
     ++delivered;

@@ -10,6 +10,7 @@
 #include "net/channel.hpp"
 #include "net/link.hpp"
 #include "net/message.hpp"
+#include "obs/trace.hpp"
 
 namespace lbsim::net {
 
@@ -70,6 +71,13 @@ class Network {
   [[nodiscard]] std::uint64_t state_packets_lost() const noexcept { return state_lost_; }
   [[nodiscard]] std::uint64_t state_bytes_sent() const noexcept { return state_bytes_; }
 
+  /// Optional structured event sink: state-packet drops (kStatePacketLost,
+  /// node = sender, peer = intended receiver) and state-plane channel jumps
+  /// (kChannelState, count = new effective state). Recording reads the
+  /// channel after the unconditional per-copy step — it consumes no RNG draws
+  /// of its own and never changes behaviour. Pass nullptr to stop.
+  void set_event_trace(obs::TraceBuffer* trace) noexcept { event_trace_ = trace; }
+
  private:
   [[nodiscard]] std::size_t index(int from, int to) const;
 
@@ -82,6 +90,7 @@ class Network {
   std::vector<std::unique_ptr<Link>> links_;  // row-major [from][to], diagonal empty
   std::uint64_t state_lost_ = 0;
   std::uint64_t state_bytes_ = 0;
+  obs::TraceBuffer* event_trace_ = nullptr;
 };
 
 }  // namespace lbsim::net

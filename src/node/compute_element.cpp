@@ -37,6 +37,9 @@ void ComputeElement::enqueue(Task task) {
   task.arrival_time = sim_.now();
   queue_.push_back(task);
   ++stats_.tasks_received;
+  if (event_trace_ != nullptr) {
+    event_trace_->emit(sim_.now(), obs::Kind::kTaskArrive, id_, -1, 1, task.id);
+  }
   record_queue();
   maybe_start_service();
 }
@@ -47,6 +50,10 @@ void ComputeElement::enqueue_batch(TaskBatch batch) {
     queue_.push_back(task);
   }
   stats_.tasks_received += batch.size();
+  if (event_trace_ != nullptr) {
+    event_trace_->emit(sim_.now(), obs::Kind::kTaskArrive, id_, -1,
+                       static_cast<std::uint32_t>(batch.size()));
+  }
   record_queue();
   maybe_start_service();
 }
@@ -57,6 +64,10 @@ void ComputeElement::enqueue_units(std::size_t count, std::uint64_t first_id) {
     queue_.push_back(Task{first_id + i, 1.0, id_, sim_.now()});
   }
   stats_.tasks_received += count;
+  if (event_trace_ != nullptr) {
+    event_trace_->emit(sim_.now(), obs::Kind::kTaskArrive, id_, -1,
+                       static_cast<std::uint32_t>(count), first_id);
+  }
   record_queue();
   maybe_start_service();
 }
@@ -96,6 +107,10 @@ void ComputeElement::maybe_start_service() {
   }
   serving_ = true;
   service_started_at_ = sim_.now();
+  if (event_trace_ != nullptr) {
+    event_trace_->emit(sim_.now(), obs::Kind::kServiceStart, id_, -1, 1,
+                       obs::Record::pack_f64(current_service_duration_));
+  }
   service_event_ = sim_.schedule_in(
       current_service_duration_, [this] { finish_current_task(); },
       static_cast<std::size_t>(id_));
@@ -108,6 +123,9 @@ void ComputeElement::finish_current_task() {
   queue_.pop_front();
   ++stats_.tasks_completed;
   stats_.service_time_done += current_service_duration_;
+  if (event_trace_ != nullptr) {
+    event_trace_->emit(sim_.now(), obs::Kind::kTaskComplete, id_, -1, 1, done.id);
+  }
   record_queue();
   if (on_complete_) on_complete_(done);
   maybe_start_service();

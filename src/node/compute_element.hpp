@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "node/task.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "stochastic/rng.hpp"
@@ -80,6 +81,12 @@ class ComputeElement {
   /// Optional queue-length trace (records on every change); pass nullptr to stop.
   void set_queue_trace(des::TimeSeries* trace);
 
+  /// Optional structured event sink: task arrivals (kTaskArrive, count =
+  /// tasks added), service starts (kServiceStart, payload = drawn duration)
+  /// and completions (kTaskComplete, payload = task id). Recording consumes
+  /// no RNG draws and never changes behaviour; pass nullptr to stop.
+  void set_event_trace(obs::TraceBuffer* trace) noexcept { event_trace_ = trace; }
+
   /// Binds externally owned hot-state cells — the scenario's
   /// structure-of-arrays mirror. After binding, *queue_len tracks
   /// queue_length() and *up tracks is_up() on every transition, so policy
@@ -112,6 +119,7 @@ class ComputeElement {
 
   CompletionHandler on_complete_;
   des::TimeSeries* queue_trace_ = nullptr;
+  obs::TraceBuffer* event_trace_ = nullptr;
   /// Hot-state mirror cells (see bind_hot_cells); null = no mirror.
   std::uint32_t* hot_queue_len_ = nullptr;
   std::uint8_t* hot_up_ = nullptr;

@@ -1,0 +1,123 @@
+#include "obs/export.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace lbsim::obs {
+
+namespace {
+
+void write_double(std::ostream& os, double v) {
+  const auto prec = os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  os.precision(prec);
+}
+
+/// Pulls the raw token following `"key":` out of a JSONL line. Only the flat
+/// one-level objects this module writes are supported — which is exactly what
+/// the round-trip contract needs.
+std::string_view field(std::string_view line, std::string_view key) {
+  std::string quoted;
+  quoted.reserve(key.size() + 3);
+  quoted.push_back('"');
+  quoted.append(key);
+  quoted.append("\":");
+  const std::size_t at = line.find(quoted);
+  LBSIM_REQUIRE(at != std::string_view::npos,
+                "trace line missing field '" << key << "': " << line);
+  std::size_t begin = at + quoted.size();
+  while (begin < line.size() && line[begin] == ' ') ++begin;
+  std::size_t end = begin;
+  if (end < line.size() && line[end] == '"') {
+    ++end;
+    while (end < line.size() && line[end] != '"') ++end;
+    return line.substr(begin + 1, end - begin - 1);
+  }
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(begin, end - begin);
+}
+
+template <typename T>
+T parse_int(std::string_view token, std::string_view what) {
+  T value{};
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  LBSIM_REQUIRE(ec == std::errc{} && ptr == token.data() + token.size(),
+                "bad " << what << " in trace line: '" << token << "'");
+  return value;
+}
+
+double parse_double(std::string_view token, std::string_view what) {
+  // std::from_chars for doubles is missing on some libstdc++ versions this
+  // project still supports, so go through strtod with an explicit bound.
+  const std::string owned(token);
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  LBSIM_REQUIRE(end == owned.c_str() + owned.size(),
+                "bad " << what << " in trace line: '" << token << "'");
+  return value;
+}
+
+}  // namespace
+
+void write_jsonl(std::ostream& os, const TraceBuffer& trace, const TraceMeta* meta) {
+  if (meta != nullptr) {
+    os << "{\"meta\": {\"scenario\": \"" << meta->scenario << "\", \"seed\": " << meta->seed
+       << ", \"replications\": " << meta->replications << ", \"git_revision\": \""
+       << meta->git_revision << "\", \"record_bytes\": " << sizeof(Record) << "}}\n";
+  }
+  trace.for_each([&](const Record& r) {
+    os << "{\"t\":";
+    write_double(os, r.time);
+    os << ",\"kind\":\"" << kind_name(r.kind_enum()) << "\",\"node\":" << r.node
+       << ",\"peer\":" << r.peer << ",\"count\":" << r.count
+       << ",\"payload\":" << r.payload << "}\n";
+  });
+}
+
+std::vector<Record> read_jsonl(std::istream& is) {
+  std::vector<Record> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line.find("\"meta\"") != std::string::npos && out.empty() &&
+        line.find("\"kind\"") == std::string::npos) {
+      continue;  // header line
+    }
+    Record r;
+    r.time = parse_double(field(line, "t"), "time");
+    Kind kind{};
+    const std::string_view kind_token = field(line, "kind");
+    LBSIM_REQUIRE(parse_kind(kind_token, kind), "unknown trace kind '" << kind_token << "'");
+    r.kind = static_cast<std::uint32_t>(kind);
+    r.node = parse_int<std::int32_t>(field(line, "node"), "node");
+    r.peer = parse_int<std::int32_t>(field(line, "peer"), "peer");
+    r.count = parse_int<std::uint32_t>(field(line, "count"), "count");
+    r.payload = parse_int<std::uint64_t>(field(line, "payload"), "payload");
+    out.push_back(r);
+  }
+  return out;
+}
+
+void write_chrome(std::ostream& os, const TraceBuffer& trace) {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  std::uint64_t pid = 0;  // replication index, advanced by kRepBegin markers
+  trace.for_each([&](const Record& r) {
+    if (r.kind_enum() == Kind::kRepBegin) pid = r.payload;
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << " {\"name\": \"" << kind_name(r.kind_enum()) << "\", \"ph\": \"i\", \"ts\": ";
+    write_double(os, r.time * 1e6);  // trace-event timestamps are microseconds
+    os << ", \"pid\": " << pid << ", \"tid\": " << (r.node >= 0 ? r.node : 0)
+       << ", \"s\": \"p\", \"args\": {\"peer\": " << r.peer << ", \"count\": " << r.count
+       << ", \"payload\": " << r.payload << "}}";
+  });
+  os << (first ? "" : "\n") << "]}\n";
+}
+
+}  // namespace lbsim::obs

@@ -1,0 +1,40 @@
+#pragma once
+/// \file
+/// Trace exporters: JSONL (one record per line, lossless u64 payloads,
+/// parse-back supported for round-trip tests) and the Chrome trace-event
+/// JSON array consumed by Perfetto / chrome://tracing.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace lbsim::obs {
+
+/// Optional header line for JSONL exports, written as a `{"meta": {...}}`
+/// object before the records so a trace file is self-describing.
+struct TraceMeta {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::uint64_t replications = 0;
+  std::string git_revision;
+};
+
+/// Writes one JSON object per line:
+/// `{"t":..,"kind":"fail","node":0,"peer":-1,"count":0,"payload":0}`.
+/// `payload` is the raw u64 bit pattern, so doubles round-trip exactly.
+void write_jsonl(std::ostream& os, const TraceBuffer& trace,
+                 const TraceMeta* meta = nullptr);
+
+/// Parses a JSONL trace (skipping any leading meta line) back into records.
+/// Throws util::Error on malformed input.
+[[nodiscard]] std::vector<Record> read_jsonl(std::istream& is);
+
+/// Writes the Chrome trace-event format: every record becomes an instant
+/// event (`"ph":"i"`) with ts in microseconds, pid = replication (tracked
+/// from kRepBegin markers) and tid = node, so Perfetto lays replications out
+/// as processes and nodes as threads.
+void write_chrome(std::ostream& os, const TraceBuffer& trace);
+
+}  // namespace lbsim::obs

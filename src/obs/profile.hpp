@@ -1,0 +1,29 @@
+#pragma once
+/// \file
+/// Engine self-profiling: per-phase wall-time breakdown of a replication
+/// (setup / event loop / stats fold). Engines accumulate one of these per
+/// worker and merge — sums commute, so the aggregate is thread-count-
+/// independent. Timing reads the wall clock only; it never touches RNG
+/// state, so profiling preserves bit-identity of every simulated quantity.
+
+#include <cstdint>
+
+namespace lbsim::obs {
+
+struct PhaseProfile {
+  double setup_s = 0.0;  ///< config clone, RNG stream construction, node wiring
+  double loop_s = 0.0;   ///< the DES event loop (sim.run_while_pending)
+  double fold_s = 0.0;   ///< per-replication stats folding into the aggregate
+  std::uint64_t reps = 0;
+
+  void merge(const PhaseProfile& other) noexcept {
+    setup_s += other.setup_s;
+    loop_s += other.loop_s;
+    fold_s += other.fold_s;
+    reps += other.reps;
+  }
+
+  [[nodiscard]] double total_s() const noexcept { return setup_s + loop_s + fold_s; }
+};
+
+}  // namespace lbsim::obs

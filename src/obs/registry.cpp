@@ -1,0 +1,148 @@
+#include "obs/registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace lbsim::obs {
+
+namespace {
+
+/// Shortest round-trip decimal for a double (JSON value position).
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+/// Metric names are identifiers we mint ([a-z0-9._]), but escape defensively.
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xffu);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) noexcept {
+  buckets_[bucket_index(v)] += 1;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+}
+
+std::size_t Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // zero, negatives, NaN
+  int exp = 0;
+  const double mantissa = std::frexp(v, &exp);  // v = mantissa * 2^exp, m in [0.5, 1)
+  int octave = exp - 1;                         // v in [2^octave, 2^(octave+1))
+  std::size_t sub =
+      static_cast<std::size_t>((mantissa * 2.0 - 1.0) * static_cast<double>(kSubBuckets));
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  if (octave < kMinExp) {
+    octave = kMinExp;
+    sub = 0;  // underflow clamps to the very first grid bucket
+  } else if (octave >= kMaxExp) {
+    octave = kMaxExp - 1;
+    sub = kSubBuckets - 1;  // overflow clamps to the very last grid bucket
+  }
+  return 1 + static_cast<std::size_t>(octave - kMinExp) * kSubBuckets + sub;
+}
+
+double Histogram::bucket_lower(std::size_t i) noexcept {
+  if (i == 0) return 0.0;
+  const std::size_t grid = i - 1;
+  const int octave = kMinExp + static_cast<int>(grid / kSubBuckets);
+  const std::size_t sub = grid % kSubBuckets;
+  const double base = std::ldexp(1.0, octave);
+  return base * (1.0 + static_cast<double>(sub) / static_cast<double>(kSubBuckets));
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].merge(c);
+  for (const auto& [name, g] : other.gauges_) gauges_[name].merge(g);
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
+void Registry::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string pad1 = pad + "  ";
+  const std::string pad2 = pad1 + "  ";
+  os << "{\n";
+
+  os << pad1 << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << pad2 << json_string(name) << ": " << c.value();
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad1) << "},\n";
+
+  os << pad1 << "\"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << pad2 << json_string(name) << ": "
+       << json_double(g.value());
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad1) << "},\n";
+
+  os << pad1 << "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << pad2 << json_string(name) << ": {\"count\": "
+       << h.count() << ", \"sum\": " << json_double(h.sum())
+       << ", \"min\": " << json_double(h.count() ? h.min() : 0.0)
+       << ", \"max\": " << json_double(h.count() ? h.max() : 0.0) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      if (h.bucket(i) == 0) continue;
+      if (!first_bucket) os << ", ";
+      os << "{\"lo\": " << json_double(Histogram::bucket_lower(i))
+         << ", \"n\": " << h.bucket(i) << "}";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad1) << "}\n";
+
+  os << pad << "}";
+}
+
+}  // namespace lbsim::obs

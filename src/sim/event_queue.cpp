@@ -40,6 +40,9 @@ EventId EventQueue::push(double time, Callback cb, std::size_t shard_hint) {
   std::push_heap(shard.heap.begin(), shard.heap.end(), later);
   ++shard.live;
   ++live_;
+  ++stats_.scheduled;
+  if (live_ > stats_.max_depth) stats_.max_depth = live_;
+  if (shard.live > stats_.max_shard_depth) stats_.max_shard_depth = shard.live;
   return EventId{serial, slot};
 }
 
@@ -50,6 +53,7 @@ bool EventQueue::cancel(EventId id) noexcept {
   release_slot(id.slot_);
   --shard.live;
   --live_;
+  ++stats_.cancelled;
   // The heap record stays behind as a corpse; rebuild once corpses dominate.
   if (shard.heap.size() >= kCompactMin && shard.heap.size() > 2 * shard.live) compact(shard);
   return true;
@@ -71,6 +75,7 @@ std::size_t EventQueue::heap_records() const noexcept {
 }
 
 void EventQueue::compact(Shard& shard) noexcept {
+  ++stats_.compactions;
   shard.heap.erase(std::remove_if(shard.heap.begin(), shard.heap.end(),
                                   [this](const HeapItem& item) { return is_dead(item); }),
                    shard.heap.end());
@@ -113,6 +118,7 @@ EventQueue::Entry EventQueue::pop() {
   release_slot(item.slot);
   --shard.live;
   --live_;
+  ++stats_.popped;
   return out;
 }
 

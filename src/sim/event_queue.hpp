@@ -54,6 +54,18 @@ class EventQueue {
     Callback callback;
   };
 
+  /// Lifetime instrumentation counters. Cumulative across clear() — a reused
+  /// simulator's stats cover every replication it ran — and free to maintain
+  /// (a handful of integer ops on paths that already touch the same lines).
+  struct Stats {
+    std::uint64_t scheduled = 0;    ///< push() calls
+    std::uint64_t popped = 0;       ///< pop() calls (events fired)
+    std::uint64_t cancelled = 0;    ///< successful cancel() calls
+    std::uint64_t compactions = 0;  ///< shard heap rebuilds (corpse sweeps)
+    std::uint64_t max_depth = 0;    ///< live-event high-water mark (all shards)
+    std::uint64_t max_shard_depth = 0;  ///< live high-water mark of any one shard
+  };
+
   EventQueue() : shards_(1) {}
 
   /// Schedules `cb` at absolute time `time` (finite, >= 0). The shard hint
@@ -78,6 +90,9 @@ class EventQueue {
 
   /// Heap records including dead (cancelled) ones — compaction diagnostics.
   [[nodiscard]] std::size_t heap_records() const noexcept;
+
+  /// Lifetime counters (see Stats); survive clear().
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
   /// Time of the earliest live event; queue must not be empty.
   [[nodiscard]] double next_time();
@@ -140,6 +155,7 @@ class EventQueue {
   std::uint32_t free_head_ = kNilSlot;
   std::size_t live_ = 0;
   std::uint64_t next_serial_ = 1;
+  Stats stats_;
 };
 
 }  // namespace lbsim::des

@@ -50,6 +50,12 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
 
+  /// The event queue's lifetime counters (cumulative across reset(): a reused
+  /// worker simulator's stats cover every replication it ran).
+  [[nodiscard]] const EventQueue::Stats& queue_stats() const noexcept {
+    return queue_.stats();
+  }
+
   /// Re-partitions the event queue into `shards` (>= 1) per-shard heaps; only
   /// legal while no event is pending. Bit-neutral: any shard count replays
   /// events in the identical order. Survives reset().

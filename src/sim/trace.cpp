@@ -35,14 +35,4 @@ std::vector<TimeSeries::Point> TimeSeries::resample(double t0, double t1,
   return out;
 }
 
-void EventLog::log(double time, std::string tag, std::string detail) {
-  records_.push_back(Record{time, std::move(tag), std::move(detail)});
-}
-
-std::size_t EventLog::count_tag(const std::string& tag) const noexcept {
-  return static_cast<std::size_t>(
-      std::count_if(records_.begin(), records_.end(),
-                    [&](const Record& r) { return r.tag == tag; }));
-}
-
 }  // namespace lbsim::des

@@ -1,9 +1,9 @@
 #pragma once
 /// \file
-/// Step-function time series recorder (queue lengths over time, Fig. 4) and a
-/// tagged event log for debugging simulations.
+/// Step-function time series recorder (queue lengths over time, Fig. 4).
+/// Structured event logging lives in obs/trace.hpp (typed 32-byte records);
+/// the string-tag EventLog that used to live here was replaced by it.
 
-#include <string>
 #include <vector>
 
 namespace lbsim::des {
@@ -33,23 +33,6 @@ class TimeSeries {
 
  private:
   std::vector<Point> points_;
-};
-
-/// Append-only log of (time, tag, detail) records.
-class EventLog {
- public:
-  struct Record {
-    double time;
-    std::string tag;
-    std::string detail;
-  };
-
-  void log(double time, std::string tag, std::string detail);
-  [[nodiscard]] const std::vector<Record>& records() const noexcept { return records_; }
-  [[nodiscard]] std::size_t count_tag(const std::string& tag) const noexcept;
-
- private:
-  std::vector<Record> records_;
 };
 
 }  // namespace lbsim::des

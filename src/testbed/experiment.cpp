@@ -1,9 +1,9 @@
 #include "testbed/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <optional>
-#include <sstream>
 #include <thread>
 
 #include "app/workload.hpp"
@@ -15,7 +15,13 @@
 namespace lbsim::testbed {
 
 mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
-                              std::uint64_t replication, mc::RunTrace* trace) {
+                              std::uint64_t replication, mc::RunTrace* trace,
+                              obs::PhaseProfile* profile, obs::Registry* metrics) {
+  // Profiling reads the monotonic clock only (never the RNG streams).
+  using ProfileClock = std::chrono::steady_clock;
+  ProfileClock::time_point profile_begin{};
+  if (profile != nullptr) profile_begin = ProfileClock::now();
+
   validate(config);
   const std::size_t n = config.params.nodes.size();
 
@@ -50,8 +56,13 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
         app::calibrated_service(config.params.nodes[i].lambda_d), size_rngs[i]));
   }
   if (trace != nullptr) {
-    trace->queue_lengths.assign(n, des::TimeSeries{});
-    for (std::size_t i = 0; i < n; ++i) ces[i]->set_queue_trace(&trace->queue_lengths[i]);
+    if (trace->record_queues) {
+      trace->queue_lengths.assign(n, des::TimeSeries{});
+      for (std::size_t i = 0; i < n; ++i) {
+        ces[i]->set_queue_trace(&trace->queue_lengths[i]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) ces[i]->set_event_trace(&trace->events);
   }
 
   // --- communication layer ---
@@ -62,6 +73,7 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
   net_config.state_loss_probability = config.state_loss_probability;
   net_config.channel = config.channel;
   net::Network network(sim, n, std::move(net_config), net_rng, state_rng);
+  if (trace != nullptr) network.set_event_trace(&trace->events);
 
   StateBoard board(n);
   StateBroadcaster broadcaster(sim, network, board, ces, config.params,
@@ -104,15 +116,13 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
       result.bundles_sent += 1;
       result.tasks_moved += batch.size();
       if (trace != nullptr) {
-        std::ostringstream os;
-        os << d.from << "->" << d.to << " x" << batch.size();
-        trace->events.log(sim.now(), "transfer", os.str());
+        trace->events.emit(sim.now(), obs::Kind::kTransferSend, d.from, d.to,
+                           static_cast<std::uint32_t>(batch.size()));
       }
       network.transfer(d.from, d.to, std::move(batch), [&](net::DataTransfer&& xfer) {
         if (trace != nullptr) {
-          std::ostringstream os;
-          os << xfer.from << "->" << xfer.to << " x" << xfer.tasks.size();
-          trace->events.log(sim.now(), "arrival", os.str());
+          trace->events.emit(sim.now(), obs::Kind::kTransferDeliver, xfer.from, xfer.to,
+                             static_cast<std::uint32_t>(xfer.tasks.size()));
         }
         ces.at(static_cast<std::size_t>(xfer.to))->enqueue_batch(std::move(xfer.tasks));
       });
@@ -184,6 +194,10 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
       for (const core::TransferDirective& d : policy.on_start(views[i])) {
         if (d.from == static_cast<int>(i)) mine.push_back(d);
       }
+      if (trace != nullptr) {
+        trace->events.emit(sim.now(), obs::Kind::kPolicyDecision, static_cast<int>(i), -1,
+                           static_cast<std::uint32_t>(mine.size()));
+      }
       execute(mine, static_cast<int>(i));
     }
   }
@@ -191,18 +205,28 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
   for (std::size_t i = 0; i < n; ++i) {
     churn[i]->set_failure_handler([&, i](int node_id) {
       ++result.failures;
-      if (trace != nullptr) trace->events.log(sim.now(), "fail", std::to_string(node_id));
+      if (trace != nullptr) trace->events.emit(sim.now(), obs::Kind::kFail, node_id);
       // The backup agent of the failing node reacts with its local view.
       sample_staleness(node_id);
-      execute(policy.on_failure(node_id, views[i]), node_id);
+      const std::vector<core::TransferDirective> directives =
+          policy.on_failure(node_id, views[i]);
+      if (trace != nullptr) {
+        trace->events.emit(sim.now(), obs::Kind::kPolicyDecision, node_id, -1,
+                           static_cast<std::uint32_t>(directives.size()));
+      }
+      execute(directives, node_id);
     });
     churn[i]->set_recovery_handler([&, i](int node_id) {
       ++result.recoveries;
-      if (trace != nullptr) {
-        trace->events.log(sim.now(), "recover", std::to_string(node_id));
-      }
+      if (trace != nullptr) trace->events.emit(sim.now(), obs::Kind::kRecover, node_id);
       sample_staleness(node_id);
-      execute(policy.on_recovery(node_id, views[i]), node_id);
+      const std::vector<core::TransferDirective> directives =
+          policy.on_recovery(node_id, views[i]);
+      if (trace != nullptr) {
+        trace->events.emit(sim.now(), obs::Kind::kPolicyDecision, node_id, -1,
+                           static_cast<std::uint32_t>(directives.size()));
+      }
+      execute(directives, node_id);
     });
   }
 
@@ -213,6 +237,7 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
   std::unique_ptr<env::Environment> environment;
   if (env_enabled) {
     environment = std::make_unique<env::Environment>(sim, config.environment, *env_rng);
+    if (trace != nullptr) environment->set_event_trace(&trace->events);
     const auto apply_env = [&](std::size_t state) {
       const double mult = config.environment.failure_mult[state];
       for (const auto& process : churn) process->set_hazard_multiplier(mult);
@@ -225,10 +250,8 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
             static_cast<std::size_t>(std::lround(frac * static_cast<double>(k_ch - 1))));
       }
     };
-    environment->set_transition_listener([&, apply_env](std::size_t, std::size_t to) {
-      if (trace != nullptr) trace->events.log(sim.now(), "env", std::to_string(to));
-      apply_env(to);
-    });
+    environment->set_transition_listener(
+        [&, apply_env](std::size_t, std::size_t to) { apply_env(to); });
     apply_env(environment->state());
     environment->start();
   }
@@ -241,7 +264,17 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
   }
   broadcaster.start();
 
+  ProfileClock::time_point profile_loop{};
+  if (profile != nullptr) {
+    profile_loop = ProfileClock::now();
+    profile->setup_s += std::chrono::duration<double>(profile_loop - profile_begin).count();
+  }
   sim.run_while_pending([&] { return done; });
+  if (profile != nullptr) {
+    profile->loop_s +=
+        std::chrono::duration<double>(ProfileClock::now() - profile_loop).count();
+    profile->reps += 1;
+  }
   LBSIM_CHECK(done, "testbed drained its event queue with " << remaining
                                                             << " tasks outstanding");
   broadcaster.stop();
@@ -250,14 +283,38 @@ mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
   for (const auto& ce : ces) result.tasks_completed += ce->stats().tasks_completed;
   result.state_packets_lost = network.state_packets_lost();
   if (environment != nullptr) result.env_transitions = environment->transitions();
+  if (metrics != nullptr) {
+    // DES-core instruments; the realization owns its simulator, so the queue
+    // stats here cover exactly this run.
+    const des::EventQueue::Stats& qs = sim.queue_stats();
+    metrics->counter("des.events.scheduled").add(qs.scheduled);
+    metrics->counter("des.events.popped").add(qs.popped);
+    metrics->counter("des.events.cancelled").add(qs.cancelled);
+    metrics->counter("des.slab.compactions").add(qs.compactions);
+    metrics->gauge("des.queue.max_depth").max_of(static_cast<double>(qs.max_depth));
+    metrics->gauge("des.queue.max_shard_depth")
+        .max_of(static_cast<double>(qs.max_shard_depth));
+  }
   return result;
 }
 
 ExperimentSummary run_experiment(const TestbedConfig& config, std::size_t realizations,
-                                 std::uint64_t seed, unsigned threads) {
+                                 std::uint64_t seed, unsigned threads,
+                                 const mc::ObsSinks& sinks) {
   LBSIM_REQUIRE(realizations >= 1, "realizations=" << realizations);
   unsigned workers = threads == 0 ? std::thread::hardware_concurrency() : threads;
   workers = std::max(1u, std::min<unsigned>(workers, static_cast<unsigned>(realizations)));
+
+  using ProfileClock = std::chrono::steady_clock;
+  const ProfileClock::time_point wall_begin = ProfileClock::now();
+
+  // Each realization traces into its own buffer; the fold below stitches them
+  // in replication order, so the merged trace is thread-count-independent.
+  std::vector<mc::RunTrace> rep_traces;
+  if (sinks.trace != nullptr) {
+    rep_traces.resize(realizations);
+    for (mc::RunTrace& t : rep_traces) t.record_queues = false;
+  }
 
   struct Partial {
     stoch::RunningStats completion;
@@ -266,20 +323,41 @@ ExperimentSummary run_experiment(const TestbedConfig& config, std::size_t realiz
     double moved = 0.0;
     double state_lost = 0.0;
     std::vector<double> samples;
+    obs::Registry metrics;      // folded in worker-id order (commutative merges)
+    obs::PhaseProfile profile;  // folded by summation
   };
   std::vector<Partial> partials(workers);
 
   const auto worker = [&](unsigned tid) {
     const TestbedConfig local = config.clone();
     Partial& out = partials[tid];
+    obs::Registry* metrics = sinks.metrics != nullptr ? &out.metrics : nullptr;
+    obs::PhaseProfile* profile = sinks.profile != nullptr ? &out.profile : nullptr;
     for (std::size_t rep = tid; rep < realizations; rep += workers) {
-      const mc::RunResult run = run_realization(local, seed, rep);
+      mc::RunTrace* trace = sinks.trace != nullptr ? &rep_traces[rep] : nullptr;
+      const mc::RunResult run = run_realization(local, seed, rep, trace, profile, metrics);
+      ProfileClock::time_point fold_begin{};
+      if (profile != nullptr) fold_begin = ProfileClock::now();
       out.completion.add(run.completion_time);
       out.state_age.merge(run.state_age);
       out.failures += static_cast<double>(run.failures);
       out.moved += static_cast<double>(run.tasks_moved);
       out.state_lost += static_cast<double>(run.state_packets_lost);
       out.samples.push_back(run.completion_time);
+      if (metrics != nullptr) {
+        metrics->counter("testbed.realizations").add(1);
+        metrics->counter("testbed.failures").add(run.failures);
+        metrics->counter("testbed.recoveries").add(run.recoveries);
+        metrics->counter("testbed.tasks_completed").add(run.tasks_completed);
+        metrics->counter("net.tasks_moved").add(run.tasks_moved);
+        metrics->counter("net.bundles_sent").add(run.bundles_sent);
+        metrics->counter("net.state_packets_lost").add(run.state_packets_lost);
+        metrics->histogram("testbed.completion_time").observe(run.completion_time);
+      }
+      if (profile != nullptr) {
+        profile->fold_s +=
+            std::chrono::duration<double>(ProfileClock::now() - fold_begin).count();
+      }
     }
   };
 
@@ -302,11 +380,28 @@ ExperimentSummary run_experiment(const TestbedConfig& config, std::size_t realiz
     moved += p.moved;
     state_lost += p.state_lost;
     summary.samples.insert(summary.samples.end(), p.samples.begin(), p.samples.end());
+    if (sinks.metrics != nullptr) sinks.metrics->merge(p.metrics);
+    if (sinks.profile != nullptr) sinks.profile->merge(p.profile);
   }
   summary.mean_failures = failures / static_cast<double>(realizations);
   summary.mean_tasks_moved = moved / static_cast<double>(realizations);
   summary.mean_state_lost = state_lost / static_cast<double>(realizations);
   std::sort(summary.samples.begin(), summary.samples.end());
+
+  if (sinks.trace != nullptr) {
+    for (std::size_t rep = 0; rep < realizations; ++rep) {
+      sinks.trace->emit(0.0, obs::Kind::kRepBegin, -1, -1, 0, rep);
+      sinks.trace->absorb(std::move(rep_traces[rep].events));
+    }
+  }
+  if (sinks.metrics != nullptr) {
+    const double wall_s =
+        std::chrono::duration<double>(ProfileClock::now() - wall_begin).count();
+    if (wall_s > 0.0) {
+      sinks.metrics->gauge("testbed.reps_per_s")
+          .set(static_cast<double>(realizations) / wall_s);
+    }
+  }
   return summary;
 }
 

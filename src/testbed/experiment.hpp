@@ -16,10 +16,15 @@
 namespace lbsim::testbed {
 
 /// One emulated realisation; same result/trace types as the abstract MC so
-/// that benches can tabulate them side by side.
+/// that benches can tabulate them side by side. `profile` (optional)
+/// accumulates the setup / event-loop wall-time split; `metrics` (optional)
+/// receives the realisation's DES-core and net-layer instrument updates.
+/// Neither consumes RNG draws or changes any simulated quantity.
 [[nodiscard]] mc::RunResult run_realization(const TestbedConfig& config, std::uint64_t seed,
                                             std::uint64_t replication,
-                                            mc::RunTrace* trace = nullptr);
+                                            mc::RunTrace* trace = nullptr,
+                                            obs::PhaseProfile* profile = nullptr,
+                                            obs::Registry* metrics = nullptr);
 
 struct ExperimentSummary {
   stoch::RunningStats completion;
@@ -38,9 +43,13 @@ struct ExperimentSummary {
 
 /// Runs `realizations` independent emulated experiments (the paper uses
 /// 20-60 per configuration) on `threads` threads (0 = hardware concurrency).
+/// `sinks` optionally attaches the observability layer: a merged structured
+/// trace (replication order), a merged metrics registry (worker-id order plus
+/// driver-level gauges), and the aggregated phase profile.
 [[nodiscard]] ExperimentSummary run_experiment(const TestbedConfig& config,
                                                std::size_t realizations,
                                                std::uint64_t seed = 0xbed2006,
-                                               unsigned threads = 0);
+                                               unsigned threads = 0,
+                                               const mc::ObsSinks& sinks = {});
 
 }  // namespace lbsim::testbed

@@ -11,8 +11,9 @@ namespace lbsim::util {
 
 enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
 
-/// Process-wide log level. Not thread-safe to mutate while worker threads log;
-/// set it once at start-up.
+/// Process-wide log level. Reads and writes are atomic (relaxed), so mutating
+/// it while worker threads log is safe — records already in flight may still
+/// use the previous threshold, but there is no data race.
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
 

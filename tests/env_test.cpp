@@ -220,7 +220,7 @@ TEST(EnvScenario, OpenArrivalAccountingIsExact) {
   const mc::RunResult result = mc::run_scenario(scenario, test::kFixedSeed, 0, &trace);
   EXPECT_EQ(result.tasks_arrived, 30u);
   EXPECT_EQ(result.tasks_completed, 100u + 60u + 30u);
-  EXPECT_EQ(trace.events.count_tag("inject"), 3u);
+  EXPECT_EQ(trace.events.count(obs::Kind::kInject), 3u);
   EXPECT_GT(result.completion_time, 0.0);
 }
 
@@ -239,7 +239,7 @@ TEST(EnvScenario, EnvironmentTransitionsSurfaceInResultAndTrace) {
   mc::RunTrace trace;
   const mc::RunResult result = mc::run_scenario(scenario, test::kFixedSeed, 0, &trace);
   EXPECT_GT(result.env_transitions, 0u);
-  EXPECT_EQ(trace.events.count_tag("env"), result.env_transitions);
+  EXPECT_EQ(trace.events.count(obs::Kind::kEnvTransition), result.env_transitions);
 }
 
 TEST(EnvScenario, ScheduleReproducesInitiallyDownWithFixedRecoveryExactly) {
@@ -261,16 +261,16 @@ TEST(EnvScenario, ScheduleReproducesInitiallyDownWithFixedRecoveryExactly) {
     const mc::RunResult without = mc::run_scenario(plain, seed, 0, nullptr);
     EXPECT_EQ(with_schedule.failures, 1u);
     EXPECT_EQ(with_schedule.recoveries, 1u);
-    ASSERT_EQ(trace.events.count_tag("fail"), 1u);
-    ASSERT_EQ(trace.events.count_tag("recover"), 1u);
-    for (const auto& record : trace.events.records()) {
-      if (record.tag == "fail") {
+    ASSERT_EQ(trace.events.count(obs::Kind::kFail), 1u);
+    ASSERT_EQ(trace.events.count(obs::Kind::kRecover), 1u);
+    trace.events.for_each([&](const obs::Record& record) {
+      if (record.kind_enum() == obs::Kind::kFail) {
         EXPECT_DOUBLE_EQ(record.time, 0.0);
       }
-      if (record.tag == "recover") {
+      if (record.kind_enum() == obs::Kind::kRecover) {
         EXPECT_DOUBLE_EQ(record.time, recovery);
       }
-    }
+    });
     EXPECT_NEAR(with_schedule.completion_time, without.completion_time + recovery, 1e-9);
   }
 }

@@ -120,10 +120,10 @@ TEST(ScenarioTest, Lbp2TransfersAtFailureInstants) {
   const RunResult run = run_scenario(config, 11, 2, &trace);
   // Every failure of a non-empty node triggers a backup transfer directive;
   // at least check consistency between the log and the counters.
-  EXPECT_EQ(trace.events.count_tag("fail"), run.failures);
-  EXPECT_EQ(trace.events.count_tag("recover"), run.recoveries);
-  EXPECT_EQ(trace.events.count_tag("transfer"), run.bundles_sent);
-  EXPECT_EQ(trace.events.count_tag("arrival"), run.bundles_sent);
+  EXPECT_EQ(trace.events.count(obs::Kind::kFail), run.failures);
+  EXPECT_EQ(trace.events.count(obs::Kind::kRecover), run.recoveries);
+  EXPECT_EQ(trace.events.count(obs::Kind::kTransferSend), run.bundles_sent);
+  EXPECT_EQ(trace.events.count(obs::Kind::kTransferDeliver), run.bundles_sent);
 }
 
 TEST(ScenarioTest, TraceRecordsQueues) {

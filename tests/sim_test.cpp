@@ -314,15 +314,72 @@ TEST(TimeSeriesTest, ResampleHoldsLastValue) {
   EXPECT_DOUBLE_EQ(pts[4].value, 7.0);   // t = 20
 }
 
-TEST(EventLogTest, CountsTags) {
-  EventLog log;
-  log.log(1.0, "fail", "0");
-  log.log(2.0, "recover", "0");
-  log.log(3.0, "fail", "1");
-  EXPECT_EQ(log.count_tag("fail"), 2u);
-  EXPECT_EQ(log.count_tag("recover"), 1u);
-  EXPECT_EQ(log.count_tag("transfer"), 0u);
-  EXPECT_EQ(log.records().size(), 3u);
+TEST(TimeSeriesTest, ValueAtOnEmptySeriesThrows) {
+  TimeSeries ts;
+  EXPECT_THROW((void)ts.value_at(0.0), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, ResampleOnEmptySeriesThrows) {
+  TimeSeries ts;
+  EXPECT_THROW((void)ts.resample(0.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, ResampleRejectsReversedWindow) {
+  TimeSeries ts;
+  ts.record(0.0, 1.0);
+  EXPECT_THROW((void)ts.resample(2.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, SinglePointDegenerateWindow) {
+  // t0 == t1 collapses the grid onto one instant; a single recorded point
+  // must cover it and every later query time.
+  TimeSeries ts;
+  ts.record(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(100.0), 5.0);
+  const auto pts = ts.resample(1.0, 1.0, 4);
+  ASSERT_EQ(pts.size(), 4u);
+  for (const auto& p : pts) {
+    EXPECT_DOUBLE_EQ(p.time, 1.0);
+    EXPECT_DOUBLE_EQ(p.value, 5.0);
+  }
+}
+
+TEST(EventQueueStatsTest, CountsScheduledPoppedCancelled) {
+  EventQueue q;
+  const EventId dead = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.push(3.0, [] {});
+  EXPECT_TRUE(q.cancel(dead));
+  while (!q.empty()) q.pop().callback();
+  const EventQueue::Stats& s = q.stats();
+  EXPECT_EQ(s.scheduled, 3u);
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.popped, 2u);
+  EXPECT_EQ(s.max_depth, 3u);
+  EXPECT_GE(s.max_shard_depth, 3u);
+}
+
+TEST(EventQueueStatsTest, StatsSurviveClear) {
+  // Engines reuse one simulator across a replication loop; the instruments
+  // are cumulative so a per-worker fold sees the whole loop's work.
+  EventQueue q;
+  q.push(1.0, [] {});
+  q.clear();
+  q.push(1.0, [] {});
+  q.pop().callback();
+  const EventQueue::Stats& s = q.stats();
+  EXPECT_EQ(s.scheduled, 2u);
+  EXPECT_EQ(s.popped, 1u);
+}
+
+TEST(SimulatorTest, ExposesQueueStats) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.queue_stats().scheduled, 2u);
+  EXPECT_EQ(sim.queue_stats().popped, 2u);
 }
 
 }  // namespace

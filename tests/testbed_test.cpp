@@ -69,7 +69,7 @@ TEST(TestbedTest, TraceShowsFlatSegmentsDuringDownTime) {
   mc::RunTrace trace;
   const mc::RunResult run = run_realization(config, 4, 1, &trace);
   ASSERT_EQ(trace.queue_lengths.size(), 2u);
-  EXPECT_EQ(trace.events.count_tag("fail"), run.failures);
+  EXPECT_EQ(trace.events.count(obs::Kind::kFail), run.failures);
   EXPECT_DOUBLE_EQ(trace.queue_lengths[0].value_at(run.completion_time), 0.0);
   EXPECT_DOUBLE_EQ(trace.queue_lengths[1].value_at(run.completion_time), 0.0);
 }
